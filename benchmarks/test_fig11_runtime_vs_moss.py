@@ -1,0 +1,70 @@
+"""E5 — Figure 11: runtime of SkinnyMine vs MoSS on low-degree graphs.
+
+The paper lowers the average degree to 2 (f = 70 labels) so that MoSS — a
+complete miner — can finish at all, and plots runtime against graph size
+|V| from 100 to 500.  The expected shape: both curves grow, MoSS grows much
+faster than SkinnyMine (at the paper's scale MoSS is ~5-10x slower at
+|V| = 500).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import MIN_SUPPORT, run_once
+
+from repro.analysis.reporting import print_figure_series
+from repro.baselines import MossMiner
+from repro.core import SkinnyMine
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_skinny_pattern
+
+#: Graph sizes swept (the paper sweeps 100..500 at degree 2).
+SIZES = (100, 200, 300, 400)
+TARGET_LENGTH = 6
+NUM_LABELS = 70
+#: Per-size wall-clock budget handed to MoSS (the complete miner); standing in
+#: for the paper's patience limit so the sweep terminates on one CPU.
+MOSS_BUDGET_SECONDS = 25.0
+
+
+def _build_graph(num_vertices: int):
+    graph = erdos_renyi_graph(num_vertices, 2.0, NUM_LABELS, seed=num_vertices)
+    planted = random_skinny_pattern(TARGET_LENGTH, 1, TARGET_LENGTH + 3, NUM_LABELS,
+                                    seed=num_vertices + 1)
+    inject_pattern(graph, planted, copies=2, seed=num_vertices + 2)
+    return graph
+
+
+def _sweep():
+    skinny_series = []
+    moss_series = []
+    for size in SIZES:
+        graph = _build_graph(size)
+
+        started = time.perf_counter()
+        SkinnyMine(graph, min_support=MIN_SUPPORT).mine(TARGET_LENGTH, delta=2)
+        skinny_series.append((size, time.perf_counter() - started))
+
+        started = time.perf_counter()
+        miner = MossMiner(
+            graph,
+            min_support=MIN_SUPPORT,
+            max_edges=TARGET_LENGTH + 2,
+            time_budget_seconds=MOSS_BUDGET_SECONDS,
+        )
+        miner.mine()
+        moss_series.append((size, time.perf_counter() - started))
+    return skinny_series, moss_series
+
+
+def test_runtime_vs_moss(benchmark):
+    skinny_series, moss_series = run_once(benchmark, _sweep)
+    print_figure_series(
+        "Figure 11: runtime (seconds) vs graph size |V|, degree 2",
+        {"MoSS": moss_series, "SkinnyMine": skinny_series},
+        note=f"l={TARGET_LENGTH}, delta=2, sigma={MIN_SUPPORT}, f={NUM_LABELS}, "
+        f"MoSS budget {MOSS_BUDGET_SECONDS:.0f}s per size",
+    )
+    # Shape: the complete miner is slower than SkinnyMine at every swept size.
+    for (size, moss_seconds), (_, skinny_seconds) in zip(moss_series, skinny_series):
+        assert moss_seconds > skinny_seconds, f"MoSS unexpectedly faster at |V|={size}"

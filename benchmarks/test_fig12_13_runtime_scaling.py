@@ -1,0 +1,93 @@
+"""E6 — Figures 12-13: runtime growth vs SUBDUE and SpiderMine.
+
+The paper sweeps the graph size (500..10,500 against SUBDUE and 1k..50k
+against SpiderMine, degree 3, f = 100, sigma = 2) and shows that SkinnyMine's
+runtime grows much more slowly than both.  The reproduction sweeps smaller
+sizes (pure Python) but must preserve the ordering at the largest size and
+the slower growth of SkinnyMine's curve.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import MIN_SUPPORT, run_once
+
+from repro.analysis.reporting import print_figure_series
+from repro.baselines import SpiderMiner, SubdueMiner
+from repro.core import SkinnyMine
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_skinny_pattern
+
+NUM_LABELS = 100
+TARGET_LENGTH = 6
+SIZES = (200, 400, 600, 800)
+
+
+def _build(num_vertices: int):
+    graph = erdos_renyi_graph(num_vertices, 3.0, NUM_LABELS, seed=num_vertices)
+    planted = random_skinny_pattern(
+        TARGET_LENGTH, 1, TARGET_LENGTH + 3, NUM_LABELS, seed=num_vertices + 1
+    )
+    inject_pattern(graph, planted, copies=2, seed=num_vertices + 2)
+    return graph
+
+
+def _time(function) -> float:
+    started = time.perf_counter()
+    function()
+    return time.perf_counter() - started
+
+
+def _sweep_vs_subdue():
+    skinny, subdue = [], []
+    for size in SIZES:
+        graph = _build(size)
+        skinny.append(
+            (size, _time(lambda: SkinnyMine(graph, min_support=MIN_SUPPORT).mine(TARGET_LENGTH, 2)))
+        )
+        subdue.append(
+            (size, _time(lambda: SubdueMiner(graph, min_support=MIN_SUPPORT,
+                                             beam_width=4, iterations=8).mine()))
+        )
+    return skinny, subdue
+
+
+def _sweep_vs_spidermine():
+    skinny, spider = [], []
+    for size in SIZES:
+        graph = _build(size)
+        skinny.append(
+            (size, _time(lambda: SkinnyMine(graph, min_support=MIN_SUPPORT).mine(TARGET_LENGTH, 2)))
+        )
+        spider.append(
+            (size, _time(lambda: SpiderMiner(graph, min_support=MIN_SUPPORT, top_k=10,
+                                             radius=1, d_max=4, num_seeds=size // 4,
+                                             seed=1).mine()))
+        )
+    return skinny, spider
+
+
+def test_runtime_vs_subdue(benchmark):
+    skinny, subdue = run_once(benchmark, _sweep_vs_subdue)
+    print_figure_series(
+        "Figure 12: runtime (seconds) vs |V| — SkinnyMine vs SUBDUE",
+        {"SUBDUE": subdue, "SkinnyMine": skinny},
+        note=f"deg=3, f={NUM_LABELS}, sigma={MIN_SUPPORT}",
+    )
+    assert subdue[-1][1] > skinny[-1][1]
+
+
+def test_runtime_vs_spidermine(benchmark):
+    skinny, spider = run_once(benchmark, _sweep_vs_spidermine)
+    print_figure_series(
+        "Figure 13: runtime (seconds) vs |V| — SkinnyMine vs SpiderMine",
+        {"SpiderMine": spider, "SkinnyMine": skinny},
+        note=f"deg=3, f={NUM_LABELS}, sigma={MIN_SUPPORT}, K=10",
+    )
+    assert spider[-1][1] > skinny[-1][1]
+    # SkinnyMine's growth from the smallest to the largest size is slower than
+    # SpiderMine's growth.
+    skinny_growth = skinny[-1][1] - skinny[0][1]
+    spider_growth = spider[-1][1] - spider[0][1]
+    assert spider_growth >= skinny_growth

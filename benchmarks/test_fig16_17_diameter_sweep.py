@@ -1,0 +1,80 @@
+"""E8 — Figures 16-17: effect of the diameter constraint l on the two stages.
+
+The paper fixes |V| = 10,000, deg = 3, f = 10, δ = 2, σ = 2 and sweeps the
+length constraint l from 2 to 18, reporting for each l the runtime and the
+number of patterns of DiamMine (Figure 16) and LevelGrow (Figure 17).  Key
+shapes to reproduce:
+
+* many more short frequent paths than long ones (the pattern count drops
+  sharply as l grows);
+* DiamMine's runtime grows in a step up to the largest power of two below l
+  and then plateaus (the Reducibility discussion);
+* LevelGrow's runtime is roughly proportional to the number of patterns it
+  outputs (the Continuity discussion).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.reporting import print_figure_series
+from repro.core import SkinnyMine
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_labeled_path
+
+NUM_VERTICES = 250
+NUM_LABELS = 10
+DELTA = 2
+MIN_SUPPORT = 4
+LENGTHS = tuple(range(2, 10))
+
+
+def _build_graph():
+    graph = erdos_renyi_graph(NUM_VERTICES, 2.0, NUM_LABELS, seed=123)
+    # Plant a few long paths so the upper end of the sweep is populated.
+    for seed in (5, 6):
+        planted = random_labeled_path(10, NUM_LABELS, seed=seed)
+        inject_pattern(graph, planted, copies=4, seed=seed + 10)
+    return graph
+
+
+def _sweep():
+    graph = _build_graph()
+    miner = SkinnyMine(
+        graph, min_support=MIN_SUPPORT, max_patterns_per_diameter=60
+    )
+    diammine_runtime, diammine_counts = [], []
+    levelgrow_runtime, levelgrow_counts = [], []
+    for length in LENGTHS:
+        patterns = miner.mine(length, DELTA)
+        report = miner.last_report
+        diammine_runtime.append((length, report.diammine_seconds))
+        diammine_counts.append((length, report.num_diameters))
+        levelgrow_runtime.append((length, report.levelgrow_seconds))
+        levelgrow_counts.append((length, len(patterns)))
+    return diammine_runtime, diammine_counts, levelgrow_runtime, levelgrow_counts
+
+
+def test_diameter_constraint_sweep(benchmark):
+    diammine_runtime, diammine_counts, levelgrow_runtime, levelgrow_counts = run_once(
+        benchmark, _sweep
+    )
+    print_figure_series(
+        "Figure 16: DiamMine runtime and #frequent paths vs l",
+        {"runtime (s)": diammine_runtime, "number of paths": diammine_counts},
+        note=f"|V|={NUM_VERTICES}, deg=2.2, f={NUM_LABELS}, sigma={MIN_SUPPORT}",
+    )
+    print_figure_series(
+        "Figure 17: LevelGrow runtime and #patterns vs l (delta=2)",
+        {"runtime (s)": levelgrow_runtime, "number of patterns": levelgrow_counts},
+    )
+
+    counts = dict(diammine_counts)
+    # Far more short frequent paths than long ones.
+    assert counts[2] > counts[8]
+    assert counts[2] > counts[max(LENGTHS)]
+    # LevelGrow output shrinks along with the diameter count.
+    grow_counts = dict(levelgrow_counts)
+    assert grow_counts[2] >= grow_counts[max(LENGTHS)]
+    # Runtime sanity: every sweep point completed and produced a measurement.
+    assert len(diammine_runtime) == len(LENGTHS)
+    assert all(seconds >= 0 for _, seconds in levelgrow_runtime)

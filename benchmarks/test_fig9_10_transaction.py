@@ -1,0 +1,78 @@
+"""E4 — Figures 9-10: graph-transaction setting vs SpiderMine and ORIGAMI.
+
+The paper builds a 10-graph database, injects 5 skinny patterns (Figure 9)
+and then 120 additional small patterns (Figure 10), and compares the pattern
+size distributions of SkinnyMine, SpiderMine and ORIGAMI.  Expected shape:
+
+* SkinnyMine reports the largest patterns (the injected skinny ones);
+* SpiderMine reports medium-to-large patterns;
+* ORIGAMI returns a scattered sample that shifts to small patterns once the
+  many small injected patterns appear (Figure 10).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import TRANSACTION_SCALE, run_once
+
+from repro.analysis.distributions import size_distribution
+from repro.analysis.reporting import print_figure_series
+from repro.baselines import OrigamiSampler, SpiderMiner
+from repro.core import SkinnyMine, SupportMeasure
+from repro.datasets.synthetic import build_transaction_dataset
+from repro.graph.paths import diameter
+
+
+def _run(num_small: int):
+    dataset = build_transaction_dataset(
+        seed=9,
+        scale=TRANSACTION_SCALE,
+        num_small=num_small,
+        skinny_support=5,
+        small_support=5,
+    )
+    target_length = min(diameter(p) for p in dataset.skinny_patterns)
+    skinny = SkinnyMine(dataset.graphs, min_support=4).mine(
+        target_length, delta=2, closed_only=True
+    )
+    spider = SpiderMiner(
+        dataset.graphs,
+        min_support=4,
+        top_k=10,
+        radius=1,
+        d_max=4,
+        num_seeds=150,
+        seed=3,
+        support_measure=SupportMeasure.TRANSACTIONS,
+    ).mine()
+    origami = OrigamiSampler(
+        dataset.graphs, min_support=4, num_walks=40, alpha=0.7, seed=5
+    ).mine()
+    return dataset, {"SkinnyMine": skinny, "SpiderMine": spider, "ORIGAMI": origami}
+
+
+@pytest.mark.parametrize(
+    "figure,num_small",
+    [("Figure 9 (fewer small patterns injected)", 0),
+     ("Figure 10 (more small patterns injected)", 120)],
+)
+def test_transaction_setting_distributions(benchmark, figure, num_small):
+    dataset, results = run_once(benchmark, _run, num_small)
+
+    series = {
+        miner: size_distribution(miner, patterns).as_series()
+        for miner, patterns in results.items()
+    }
+    print_figure_series(figure, series, note=f"scale x{TRANSACTION_SCALE}, 10 transactions")
+
+    skinny_sizes = size_distribution("SkinnyMine", results["SkinnyMine"])
+    origami_sizes = size_distribution("ORIGAMI", results["ORIGAMI"])
+    injected_size = max(p.num_vertices() for p in dataset.skinny_patterns)
+
+    # SkinnyMine reaches the injected skinny pattern sizes.
+    assert skinny_sizes.max_size() >= min(
+        injected_size, dataset.skinny_patterns[0].num_vertices()
+    ) - 2
+    # ORIGAMI's sample does not dominate at the large end: its largest pattern
+    # is no larger than SkinnyMine's.
+    assert origami_sizes.max_size() <= skinny_sizes.max_size()

@@ -1,0 +1,65 @@
+"""E1 — Table 1 / Table 2: the five synthetic data settings (GID 1-5).
+
+Regenerates the paper's Table 1 (dataset parameters) at the reproduction
+scale and prints the realised statistics of each generated graph so the
+scaled settings can be compared against the table (|V|, average degree,
+label count, injected pattern shapes).
+"""
+
+from __future__ import annotations
+
+from conftest import GID_SCALE, MIN_SUPPORT, run_once
+
+from repro.analysis.reporting import print_table
+from repro.datasets.synthetic import TABLE1_SETTINGS, TABLE2_DIFFERENCES, build_gid_dataset
+from repro.graph.paths import diameter
+
+
+def _generate_all():
+    return {gid: build_gid_dataset(gid, seed=7, scale=GID_SCALE) for gid in range(1, 6)}
+
+
+def test_table1_dataset_generation(benchmark):
+    datasets = run_once(benchmark, _generate_all)
+
+    rows = []
+    for gid, dataset in sorted(datasets.items()):
+        setting = dataset.setting
+        graph = dataset.graph
+        average_degree = 2 * graph.num_edges() / max(1, graph.num_vertices())
+        long_pattern = dataset.long_patterns[0]
+        rows.append(
+            [
+                gid,
+                graph.num_vertices(),
+                graph.num_edges(),
+                round(average_degree, 2),
+                setting.num_labels,
+                len(dataset.long_patterns),
+                long_pattern.num_vertices(),
+                diameter(long_pattern),
+                setting.long_pattern_support,
+                len(dataset.short_patterns),
+            ]
+        )
+    print_table(
+        ["GID", "|V|", "|E|", "deg", "f", "m", "|V_L|", "L_d", "L_s", "n"],
+        rows,
+        title=f"Table 1 (scaled x{GID_SCALE}): realised dataset statistics",
+    )
+    print_table(
+        ["pair", "difference"],
+        [[pair, text] for pair, text in TABLE2_DIFFERENCES.items()],
+        title="Table 2: setting differences (verbatim from the paper)",
+    )
+
+    # Shape checks: the relative contrasts of Table 2 must hold in the data.
+    degree = {
+        gid: 2 * d.graph.num_edges() / d.graph.num_vertices() for gid, d in datasets.items()
+    }
+    assert degree[2] > degree[1]
+    assert degree[4] > degree[3]
+    assert len(datasets[5].short_patterns) > len(datasets[2].short_patterns)
+    assert TABLE1_SETTINGS[3].num_vertices > TABLE1_SETTINGS[1].num_vertices
+    for dataset in datasets.values():
+        assert dataset.setting.long_pattern_support >= MIN_SUPPORT

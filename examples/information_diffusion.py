@@ -1,0 +1,57 @@
+"""Information diffusion analysis in a microblogging network (Weibo-style).
+
+The paper's second motivating application and the Section 6.3 Weibo case
+study: skinny patterns mined from retweet conversations reveal long diffusion
+chains and the roles users play in them (Figure 24 shows a 13-long 3-skinny
+chain where the root author keeps re-engaging with her followers).
+
+This example generates synthetic conversations with a planted
+root-re-engagement chain, mines them for long diffusion patterns and reports
+how often the root re-appears along the recovered chains.
+
+Run with::
+
+    python examples/information_diffusion.py
+"""
+
+from __future__ import annotations
+
+from repro import SkinnyMine
+from repro.datasets.weibo import ROOT_LABEL, WeiboConfig, generate_weibo_dataset
+
+
+def main() -> None:
+    config = WeiboConfig(
+        num_conversations=16,
+        planted_conversations=4,
+        chain_length=9,
+        background_retweets=14,
+        seed=7,
+    )
+    dataset = generate_weibo_dataset(config)
+    print(f"{len(dataset.graphs)} conversations "
+          f"({len(dataset.planted_conversation_ids)} carry the planted diffusion chain)")
+
+    miner = SkinnyMine(dataset.graphs, min_support=3)
+    patterns = miner.mine(length=config.chain_length, delta=1, closed_only=True)
+    report = miner.last_report
+    print(f"\nSkinnyMine found {len(patterns)} closed {config.chain_length}-long "
+          f"1-skinny diffusion patterns in {report.total_seconds:.2f}s")
+
+    for pattern in sorted(patterns, key=lambda p: -p.support)[:5]:
+        backbone = [str(pattern.graph.label_of(v)) for v in pattern.diameter]
+        root_mentions = backbone.count(ROOT_LABEL)
+        print(f"  chain {' - '.join(backbone)}  "
+              f"(support {pattern.support}, root appears {root_mentions}x)")
+
+    re_engagement = [
+        p
+        for p in patterns
+        if [str(p.graph.label_of(v)) for v in p.diameter].count(ROOT_LABEL) >= 2
+    ]
+    print(f"\npatterns where the root user re-engages along the chain: "
+          f"{len(re_engagement)} — the Figure 24 behaviour")
+
+
+if __name__ == "__main__":
+    main()

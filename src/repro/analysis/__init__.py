@@ -1,0 +1,30 @@
+"""Analysis helpers used by the benchmark harness and the examples.
+
+* :mod:`repro.analysis.distributions` — pattern-size distributions (the
+  histograms of Figures 4–10) and recovery metrics against injected ground
+  truth.
+* :mod:`repro.analysis.reporting` — plain-text tables and series printers so
+  every benchmark can emit the same rows/series the paper's figures plot.
+"""
+
+from repro.analysis.distributions import (
+    PatternSizeDistribution,
+    injected_pattern_recovery,
+    size_distribution,
+)
+from repro.analysis.reporting import (
+    format_series,
+    format_table,
+    print_figure_series,
+    print_table,
+)
+
+__all__ = [
+    "PatternSizeDistribution",
+    "injected_pattern_recovery",
+    "size_distribution",
+    "format_series",
+    "format_table",
+    "print_figure_series",
+    "print_table",
+]

@@ -1,0 +1,129 @@
+"""Pattern-size distributions and ground-truth recovery metrics.
+
+The effectiveness figures of the paper (Figures 4–10) plot, for each miner,
+the number of reported patterns at each pattern size |V|.  The skinniness
+experiment (Table 3 discussion) asks which injected patterns each miner
+captures.  This module computes both from lists of mined patterns, uniformly
+for SkinnyMine results (:class:`repro.core.patterns.SkinnyPattern`) and
+baseline results (:class:`repro.baselines.common.MinedPattern`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.isomorphism import are_isomorphic, is_subgraph_isomorphic
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _pattern_graph(pattern: object) -> LabeledGraph:
+    """Accept SkinnyPattern, MinedPattern or a bare LabeledGraph."""
+    if isinstance(pattern, LabeledGraph):
+        return pattern
+    graph = getattr(pattern, "graph", None)
+    if isinstance(graph, LabeledGraph):
+        return graph
+    raise TypeError(f"cannot extract a pattern graph from {pattern!r}")
+
+
+@dataclass
+class PatternSizeDistribution:
+    """Histogram of pattern sizes (|V|), the y-axis of Figures 4–10."""
+
+    miner: str
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, size: int) -> None:
+        self.counts[size] = self.counts.get(size, 0) + 1
+
+    def sizes(self) -> List[int]:
+        return sorted(self.counts)
+
+    def count_at(self, size: int) -> int:
+        return self.counts.get(size, 0)
+
+    def max_size(self) -> int:
+        return max(self.counts, default=0)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def patterns_at_least(self, size: int) -> int:
+        return sum(count for s, count in self.counts.items() if s >= size)
+
+    def as_series(self) -> List[Tuple[int, int]]:
+        return [(size, self.counts[size]) for size in self.sizes()]
+
+
+def size_distribution(
+    miner: str, patterns: Iterable[object]
+) -> PatternSizeDistribution:
+    """Build a pattern-size (|V|) distribution from any miner's output."""
+    distribution = PatternSizeDistribution(miner=miner)
+    for pattern in patterns:
+        distribution.add(_pattern_graph(pattern).num_vertices())
+    return distribution
+
+
+@dataclass
+class RecoveryReport:
+    """Which injected (ground-truth) patterns a miner recovered."""
+
+    miner: str
+    recovered: List[int] = field(default_factory=list)
+    missed: List[int] = field(default_factory=list)
+
+    @property
+    def recovery_rate(self) -> float:
+        total = len(self.recovered) + len(self.missed)
+        return len(self.recovered) / total if total else 0.0
+
+
+def injected_pattern_recovery(
+    miner: str,
+    mined_patterns: Sequence[object],
+    injected_patterns: Union[Sequence[LabeledGraph], Dict[int, LabeledGraph]],
+    allow_containment: bool = True,
+) -> RecoveryReport:
+    """Check which injected patterns appear in the mining output.
+
+    An injected pattern counts as recovered when some mined pattern is
+    isomorphic to it, or (with ``allow_containment``) contains it as a
+    subgraph — the latter matters because miners legitimately report
+    super-patterns once injected copies interconnect with the background
+    (the paper observes exactly this for GID 2).
+    """
+    if isinstance(injected_patterns, dict):
+        items = list(injected_patterns.items())
+    else:
+        items = list(enumerate(injected_patterns))
+    mined_graphs = [_pattern_graph(pattern) for pattern in mined_patterns]
+
+    report = RecoveryReport(miner=miner)
+    for identifier, injected in items:
+        hit = False
+        for mined in mined_graphs:
+            if are_isomorphic(mined, injected):
+                hit = True
+                break
+            if allow_containment and mined.num_vertices() >= injected.num_vertices():
+                if is_subgraph_isomorphic(injected, mined):
+                    hit = True
+                    break
+        if hit:
+            report.recovered.append(identifier)
+        else:
+            report.missed.append(identifier)
+    return report
+
+
+def largest_pattern_size(patterns: Sequence[object]) -> Tuple[int, int]:
+    """(max |V|, max |E|) over a mining result — used by Figure 19."""
+    max_vertices = 0
+    max_edges = 0
+    for pattern in patterns:
+        graph = _pattern_graph(pattern)
+        max_vertices = max(max_vertices, graph.num_vertices())
+        max_edges = max(max_edges, graph.num_edges())
+    return max_vertices, max_edges

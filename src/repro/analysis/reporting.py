@@ -1,0 +1,80 @@
+"""Plain-text tables and series used by the benchmark harness.
+
+Every benchmark regenerating a paper table or figure prints its rows/series
+through these helpers so the output format is uniform and easily diffed
+against EXPERIMENTS.md.  No plotting dependency is used (the environment is
+offline); a "figure" is reported as the series of (x, y) points the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def format_series(
+    name: str,
+    points: Union[Sequence[Tuple[Number, Number]], Mapping[Number, Number]],
+) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    if isinstance(points, Mapping):
+        items: Iterable[Tuple[Number, Number]] = sorted(points.items())
+    else:
+        items = points
+    rendered = ", ".join(f"{_format_cell(x)}={_format_cell(y)}" for x, y in items)
+    return f"{name}: {rendered}" if rendered else f"{name}: (empty)"
+
+
+def print_figure_series(
+    figure: str,
+    series: Mapping[str, Union[Sequence[Tuple[Number, Number]], Mapping[Number, Number]]],
+    note: Optional[str] = None,
+) -> None:
+    """Print every series of one figure, one line per series."""
+    print()
+    print(f"== {figure} ==")
+    if note:
+        print(f"   ({note})")
+    for name in series:
+        print("  " + format_series(name, series[name]))

@@ -1,0 +1,42 @@
+"""Reimplementations of the miners SkinnyMine is compared against.
+
+The paper's evaluation (Section 6) compares against five systems obtained
+from their original authors: SUBDUE, SEuS, MoSS, SpiderMine and ORIGAMI,
+plus gSpan as the canonical complete transaction-setting miner.  The original
+C++/Java binaries are not redistributable, so this package reimplements the
+published core idea of each system in Python (see DESIGN.md for the
+substitution rationale).  Absolute runtimes are not comparable to the paper's
+testbed, but the qualitative behaviour each baseline exhibits in the paper —
+which pattern sizes it finds, when it stops scaling — is preserved.
+
+* :mod:`repro.baselines.gspan` — complete frequent subgraph mining by DFS-code
+  pattern growth (graph-transaction setting).
+* :mod:`repro.baselines.moss` — complete single-graph miner (MoSS-style
+  enumerate-and-check with embedding-based support).
+* :mod:`repro.baselines.spidermine` — top-K large pattern mining with
+  r-spiders, random seed selection and spider merging (SpiderMine).
+* :mod:`repro.baselines.subdue` — MDL/compression-guided beam search
+  (SUBDUE).
+* :mod:`repro.baselines.seus` — summary-graph based candidate generation
+  (SEuS).
+* :mod:`repro.baselines.origami` — output-space sampling of maximal patterns
+  (ORIGAMI).
+"""
+
+from repro.baselines.common import MinedPattern
+from repro.baselines.gspan import GSpanMiner
+from repro.baselines.moss import MossMiner
+from repro.baselines.origami import OrigamiSampler
+from repro.baselines.seus import SeusMiner
+from repro.baselines.spidermine import SpiderMiner
+from repro.baselines.subdue import SubdueMiner
+
+__all__ = [
+    "MinedPattern",
+    "GSpanMiner",
+    "MossMiner",
+    "OrigamiSampler",
+    "SeusMiner",
+    "SpiderMiner",
+    "SubdueMiner",
+]

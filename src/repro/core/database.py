@@ -1,0 +1,192 @@
+"""The mining context: data graph(s) plus a support measure.
+
+The paper defines the problem in the single-graph setting (support =
+``|E[P]|``, the number of embeddings) and notes that the graph-transaction
+setting "can be easily derived".  ``MiningContext`` abstracts over both so
+DiamMine, LevelGrow and the baselines are written once:
+
+* ``SupportMeasure.EMBEDDINGS`` — distinct occurrences across all graphs
+  (the paper's measure in the single-graph setting);
+* ``SupportMeasure.TRANSACTIONS`` — number of transactions with ≥ 1 embedding
+  (standard graph-transaction support);
+* ``SupportMeasure.MNI`` — minimum-image support, offered for baseline
+  harmonisation in the single-graph setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.graph.embeddings import Embedding
+from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+
+
+class SupportMeasure(Enum):
+    """How pattern support is computed from an embedding list."""
+
+    EMBEDDINGS = "embeddings"
+    TRANSACTIONS = "transactions"
+    MNI = "mni"
+
+
+@dataclass
+class MiningContext:
+    """A data graph or graph database together with the support measure.
+
+    Parameters
+    ----------
+    graphs:
+        The data.  Pass a single :class:`LabeledGraph` for the single-graph
+        setting or a sequence of them for the transaction setting.
+    min_support:
+        The frequency threshold σ.
+    support_measure:
+        Defaults to embeddings for a single graph and transactions for a
+        database, matching the paper's two settings.
+    """
+
+    graphs: List[LabeledGraph]
+    min_support: int
+    support_measure: SupportMeasure
+    _label_index: Dict[int, Dict[Label, List[VertexId]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __init__(
+        self,
+        graphs: Union[LabeledGraph, Sequence[LabeledGraph]],
+        min_support: int,
+        support_measure: Optional[SupportMeasure] = None,
+    ) -> None:
+        if isinstance(graphs, LabeledGraph):
+            graph_list = [graphs]
+            default_measure = SupportMeasure.EMBEDDINGS
+        else:
+            graph_list = list(graphs)
+            default_measure = (
+                SupportMeasure.EMBEDDINGS
+                if len(graph_list) == 1
+                else SupportMeasure.TRANSACTIONS
+            )
+        if not graph_list:
+            raise ValueError("MiningContext requires at least one data graph")
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.graphs = graph_list
+        self.min_support = min_support
+        self.support_measure = support_measure or default_measure
+        self._label_index = {}
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+    @property
+    def is_single_graph(self) -> bool:
+        return len(self.graphs) == 1
+
+    def graph(self, index: int = 0) -> LabeledGraph:
+        return self.graphs[index]
+
+    def graph_indices(self) -> range:
+        return range(len(self.graphs))
+
+    def vertices_with_label(self, graph_index: int, label: Label) -> List[VertexId]:
+        """All vertices of one transaction carrying ``label`` (cached)."""
+        index = self._label_index.get(graph_index)
+        if index is None:
+            index = {}
+            graph = self.graphs[graph_index]
+            for vertex in graph.vertices():
+                index.setdefault(graph.label_of(vertex), []).append(vertex)
+            self._label_index[graph_index] = index
+        return index.get(label, [])
+
+    def frequent_labels(self) -> Set[Label]:
+        """Vertex labels whose single-vertex support reaches the threshold."""
+        frequent: Set[Label] = set()
+        all_labels: Set[Label] = set()
+        for graph in self.graphs:
+            all_labels |= graph.labels_used()
+        for label in all_labels:
+            occurrences = [
+                (index, vertex)
+                for index in self.graph_indices()
+                for vertex in self.vertices_with_label(index, label)
+            ]
+            if self.support_measure is SupportMeasure.TRANSACTIONS:
+                support = len({index for index, _ in occurrences})
+            else:
+                support = len(occurrences)
+            if support >= self.min_support:
+                frequent.add(label)
+        return frequent
+
+    # ------------------------------------------------------------------ #
+    # support
+    # ------------------------------------------------------------------ #
+    def support_of_embeddings(
+        self, embeddings: Sequence[Embedding], pattern: Optional[LabeledGraph] = None
+    ) -> int:
+        """Support of a pattern given its embedding list, per the configured measure."""
+        if self.support_measure is SupportMeasure.TRANSACTIONS:
+            return len({embedding.graph_index for embedding in embeddings})
+        if self.support_measure is SupportMeasure.MNI:
+            from repro.graph.embeddings import mni_support
+
+            if pattern is None:
+                raise ValueError("MNI support requires the pattern graph")
+            return mni_support(pattern, embeddings)
+        return len({embedding.image_key() for embedding in embeddings})
+
+    def support_of_occurrences(
+        self, occurrences: Iterable[Tuple[int, FrozenSet[VertexId]]]
+    ) -> int:
+        """Support from raw (graph_index, vertex-image) occurrence keys.
+
+        MNI support cannot be derived from unordered images, so this method
+        treats it like embedding support; path-shaped patterns with ordered
+        occurrences should use :meth:`support_of_path_occurrences` instead.
+        """
+        occurrence_list = list(occurrences)
+        if self.support_measure is SupportMeasure.TRANSACTIONS:
+            return len({index for index, _ in occurrence_list})
+        return len(set(occurrence_list))
+
+    def support_of_path_occurrences(
+        self, occurrences: Iterable[Tuple[int, Tuple[VertexId, ...]]]
+    ) -> int:
+        """Support of a path pattern from ordered (graph_index, vertex tuple) occurrences.
+
+        Handles all three measures; the MNI value is computed position-wise
+        over the ordered tuples (each tuple position is one pattern vertex).
+        """
+        occurrence_list = list(occurrences)
+        if not occurrence_list:
+            return 0
+        if self.support_measure is SupportMeasure.TRANSACTIONS:
+            return len({index for index, _ in occurrence_list})
+        if self.support_measure is SupportMeasure.MNI:
+            length = len(occurrence_list[0][1])
+            images: List[Set[Tuple[int, VertexId]]] = [set() for _ in range(length)]
+            for graph_index, vertices in occurrence_list:
+                for position, vertex in enumerate(vertices):
+                    images[position].add((graph_index, vertex))
+            return min(len(position_images) for position_images in images)
+        return len({(index, frozenset(vertices)) for index, vertices in occurrence_list})
+
+    def is_frequent(self, support: int) -> bool:
+        return support >= self.min_support
+
+    def total_vertices(self) -> int:
+        return sum(graph.num_vertices() for graph in self.graphs)
+
+    def total_edges(self) -> int:
+        return sum(graph.num_edges() for graph in self.graphs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MiningContext graphs={len(self.graphs)} "
+            f"sigma={self.min_support} measure={self.support_measure.value}>"
+        )

@@ -1,0 +1,94 @@
+"""Canonical diameters, vertex levels and the skinny predicates.
+
+Implements Definitions 4–7 of the paper:
+
+* ``canonical_diameter(G)`` — the minimum diameter-realising simple path under
+  the total path order (Definition 4).  Every connected graph has exactly one.
+* ``vertex_levels(G, L)`` — ``Dist(v, L)`` for every vertex (Definition 5).
+* ``is_delta_skinny(G, delta)`` — every vertex within distance δ of the
+  canonical diameter (Definition 6).
+* ``is_l_long_delta_skinny(G, l, delta)`` — Definition 7, the target pattern
+  shape of the (l, δ)-SPM problem.
+
+These are *reference* implementations working on a whole graph: they perform
+full diameter computations and are used to validate mining results, to define
+ground truth in tests, and by the brute-force enumerate-and-check miner.  The
+mining loop itself never calls them per candidate — it maintains the canonical
+diameter incrementally via :mod:`repro.core.constraints`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.orders import canonical_orientation, path_sort_key
+from repro.graph.labeled_graph import LabeledGraph, VertexId
+from repro.graph.paths import all_diameter_paths, distance_to_set
+
+
+def canonical_diameter(graph: LabeledGraph) -> List[VertexId]:
+    """The canonical diameter L_G of a connected graph (Definition 4).
+
+    Raises ``ValueError`` on empty or disconnected graphs, where the diameter
+    (and hence the canonical diameter) is undefined.
+    """
+    if graph.num_vertices() == 0:
+        raise ValueError("the canonical diameter of an empty graph is undefined")
+    if not graph.is_connected():
+        raise ValueError("the canonical diameter of a disconnected graph is undefined")
+    candidates = all_diameter_paths(graph)
+    oriented = [canonical_orientation(graph, path) for path in candidates]
+    return min(oriented, key=lambda path: path_sort_key(graph, path))
+
+
+def diameter_length(graph: LabeledGraph) -> int:
+    """Length (edge count) of the canonical diameter."""
+    return len(canonical_diameter(graph)) - 1
+
+
+def vertex_levels(
+    graph: LabeledGraph, diameter_path: Sequence[VertexId]
+) -> Dict[VertexId, int]:
+    """``Dist(v, L)`` for every vertex ``v`` (Definition 5).
+
+    ``diameter_path`` is typically the canonical diameter, but any vertex
+    subset works (the computation is a multi-source BFS from the path).
+    """
+    return distance_to_set(graph, list(diameter_path))
+
+
+def is_delta_skinny(graph: LabeledGraph, delta: int) -> bool:
+    """Definition 6: every vertex lies within distance δ of the canonical diameter."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if graph.num_vertices() == 0:
+        return True
+    if not graph.is_connected():
+        return False
+    levels = vertex_levels(graph, canonical_diameter(graph))
+    return max(levels.values()) <= delta
+
+
+def is_l_long_delta_skinny(graph: LabeledGraph, length: int, delta: int) -> bool:
+    """Definition 7: canonical diameter has length exactly ``length`` and G is δ-skinny."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if graph.num_vertices() == 0 or not graph.is_connected():
+        return False
+    diameter_path = canonical_diameter(graph)
+    if len(diameter_path) - 1 != length:
+        return False
+    levels = vertex_levels(graph, diameter_path)
+    return max(levels.values()) <= delta
+
+
+def skinniness(graph: LabeledGraph) -> int:
+    """The smallest δ for which the graph is δ-skinny (max vertex level)."""
+    if graph.num_vertices() == 0:
+        return 0
+    if not graph.is_connected():
+        raise ValueError("skinniness is undefined on a disconnected graph")
+    levels = vertex_levels(graph, canonical_diameter(graph))
+    return max(levels.values())

@@ -1,0 +1,351 @@
+"""The general direct mining framework (Section 5 of the paper).
+
+The paper abstracts SkinnyMine into a two-stage recipe applicable to any
+graph constraint that is *reducible* and *continuous*:
+
+1. **Minimal constraint-satisfying pattern generation** — mine (often
+   off-line) the minimal patterns that satisfy the constraint and index their
+   embeddings.
+2. **Constraint-preserving pattern growth** — on a mining request, fetch the
+   relevant minimal patterns and grow each while preserving the constraint.
+
+This module provides:
+
+* :class:`GraphConstraint` — the protocol a constraint must implement
+  (satisfaction test, minimal-pattern miner, constraint-preserving grower);
+* :func:`check_reducibility` / :func:`check_continuity` — Property 1 and 2 of
+  the paper, decidable on an explicit finite pattern universe.  They are used
+  in tests to show the skinny constraint qualifies while the paper's two
+  counter-examples (``MaxDegree ≤ K`` and "all degrees equal") fail the
+  respective property;
+* :class:`DirectMiner` — the generic two-stage driver, of which SkinnyMine is
+  the concrete instance (`SkinnyConstraintDriver` adapts it);
+* :class:`MinimalPatternIndex` — the pre-computed index of Figure 2 keyed by
+  the constraint parameter (for skinny patterns: the diameter length).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+
+from repro.core.database import MiningContext, SupportMeasure
+from repro.core.diameter import is_l_long_delta_skinny
+from repro.core.patterns import SkinnyPattern
+from repro.graph.canonical import canonical_key
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import LabeledGraph
+
+
+# --------------------------------------------------------------------- #
+# constraint properties (Property 1 and 2)
+# --------------------------------------------------------------------- #
+ConstraintPredicate = Callable[[LabeledGraph], bool]
+
+
+def _strict_subpatterns(pattern: LabeledGraph) -> List[LabeledGraph]:
+    """All connected subgraphs of ``pattern`` with exactly one edge removed.
+
+    Vertices isolated by the removal are dropped, mirroring the paper's
+    pattern containment (patterns are connected subgraphs; |E(P')| =
+    |E(P)| - 1).
+    """
+    subpatterns: List[LabeledGraph] = []
+    for edge in pattern.edges():
+        candidate = pattern.copy()
+        candidate.remove_edge(edge.u, edge.v)
+        for vertex in (edge.u, edge.v):
+            if candidate.degree(vertex) == 0 and candidate.num_vertices() > 1:
+                candidate.remove_vertex(vertex)
+        components = candidate.connected_components()
+        if len(components) == 1:
+            subpatterns.append(candidate)
+    return subpatterns
+
+
+@dataclass
+class ReducibilityReport:
+    """Outcome of a reducibility check on a finite universe."""
+
+    reducible: bool
+    minimal_patterns: List[LabeledGraph]
+    threshold_size: Optional[int]
+
+
+def check_reducibility(
+    predicate: ConstraintPredicate,
+    universe: Sequence[LabeledGraph],
+    min_size: int = 1,
+) -> ReducibilityReport:
+    """Property 1 (Reducibility) evaluated over an explicit pattern universe.
+
+    A constraint is reducible if there is a non-empty set of satisfying
+    patterns of size ≥ ``min_size`` whose strict (one-edge-smaller connected)
+    subpatterns all violate the constraint — the minimal
+    constraint-satisfying patterns.  The check returns those minimal patterns
+    found in ``universe``.
+    """
+    minimal: List[LabeledGraph] = []
+    for pattern in universe:
+        if pattern.num_edges() < min_size:
+            continue
+        if not predicate(pattern):
+            continue
+        if all(not predicate(sub) for sub in _strict_subpatterns(pattern)):
+            minimal.append(pattern)
+    if not minimal:
+        return ReducibilityReport(False, [], None)
+    threshold = min(pattern.num_edges() for pattern in minimal)
+    nontrivial = [pattern for pattern in minimal if pattern.num_edges() >= min_size]
+    return ReducibilityReport(bool(nontrivial), nontrivial, threshold)
+
+
+@dataclass
+class ContinuityReport:
+    """Outcome of a continuity check on a finite universe."""
+
+    continuous: bool
+    violating_patterns: List[LabeledGraph]
+
+
+def check_continuity(
+    predicate: ConstraintPredicate,
+    universe: Sequence[LabeledGraph],
+    minimal_patterns: Optional[Sequence[LabeledGraph]] = None,
+) -> ContinuityReport:
+    """Property 2 (Continuity) evaluated over an explicit pattern universe.
+
+    Every satisfying pattern must either be minimal (no strict subpattern
+    satisfies the constraint — or be designated minimal by the caller) or
+    have at least one strict subpattern that also satisfies it.  Patterns
+    violating this are returned; an empty violation list means the constraint
+    is continuous on the universe.
+    """
+    minimal_keys = None
+    if minimal_patterns is not None:
+        minimal_keys = {canonical_key(pattern) for pattern in minimal_patterns}
+    violations: List[LabeledGraph] = []
+    for pattern in universe:
+        if not predicate(pattern):
+            continue
+        subpatterns = _strict_subpatterns(pattern)
+        if any(predicate(sub) for sub in subpatterns):
+            continue
+        if minimal_keys is not None:
+            if canonical_key(pattern) in minimal_keys:
+                continue
+        else:
+            # No designated minimal set: a pattern with no satisfying strict
+            # subpattern is its own minimal pattern, which case (1) allows.
+            continue
+        violations.append(pattern)
+    return ContinuityReport(not violations, violations)
+
+
+# --------------------------------------------------------------------- #
+# constraint predicates used in the paper's discussion
+# --------------------------------------------------------------------- #
+def skinny_constraint(length: int, delta: int) -> ConstraintPredicate:
+    """The l-long δ-skinny constraint as a predicate (reducible + continuous)."""
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        return is_l_long_delta_skinny(pattern, length, delta)
+
+    return predicate
+
+
+def max_degree_constraint(maximum: int) -> ConstraintPredicate:
+    """The paper's non-reducible example: every vertex degree strictly below ``maximum``."""
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        if pattern.num_vertices() == 0:
+            return False
+        return all(pattern.degree(vertex) < maximum for vertex in pattern.vertices())
+
+    return predicate
+
+
+def uniform_degree_constraint() -> ConstraintPredicate:
+    """The paper's non-continuous example: all vertices share the same degree."""
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        degrees = {pattern.degree(vertex) for vertex in pattern.vertices()}
+        return pattern.num_vertices() > 0 and len(degrees) == 1
+
+    return predicate
+
+
+def min_size_constraint(min_edges: int) -> ConstraintPredicate:
+    """A simple reducible + continuous constraint (|E(P)| ≥ k) used in examples."""
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        return pattern.num_edges() >= min_edges
+
+    return predicate
+
+
+# --------------------------------------------------------------------- #
+# the generic two-stage driver
+# --------------------------------------------------------------------- #
+class ConstraintDriver(Protocol):
+    """What a constraint must provide to plug into :class:`DirectMiner`.
+
+    ``mine_minimal(context, parameter)`` returns the minimal
+    constraint-satisfying patterns for one value of the constraint parameter
+    (e.g. the diameter length for skinny patterns);
+    ``grow(context, minimal, parameter)`` grows one minimal pattern into all
+    target patterns of its cluster.
+    """
+
+    def mine_minimal(self, context: MiningContext, parameter: Hashable) -> List[object]:
+        ...
+
+    def grow(
+        self, context: MiningContext, minimal: object, parameter: Hashable
+    ) -> List[SkinnyPattern]:
+        ...
+
+
+@dataclass
+class MinimalPatternIndex:
+    """The pre-computed index of minimal patterns keyed by constraint parameter."""
+
+    entries: Dict[Hashable, List[object]] = field(default_factory=dict)
+    build_seconds: Dict[Hashable, float] = field(default_factory=dict)
+
+    def store(self, parameter: Hashable, patterns: List[object], seconds: float) -> None:
+        self.entries[parameter] = patterns
+        self.build_seconds[parameter] = seconds
+
+    def get(self, parameter: Hashable) -> Optional[List[object]]:
+        return self.entries.get(parameter)
+
+    def parameters(self) -> List[Hashable]:
+        return sorted(self.entries, key=str)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class DirectMiningReport:
+    """Stage break-down for a generic direct-mining request."""
+
+    parameter: Hashable
+    stage_one_seconds: float
+    stage_two_seconds: float
+    num_minimal_patterns: int
+    num_patterns: int
+    served_from_index: bool
+
+
+class DirectMiner:
+    """Generic two-stage direct miner (Figure 2)."""
+
+    def __init__(
+        self,
+        graphs: Union[LabeledGraph, Sequence[LabeledGraph]],
+        min_support: int,
+        driver: ConstraintDriver,
+        support_measure: Optional[SupportMeasure] = None,
+    ) -> None:
+        self._context = MiningContext(graphs, min_support, support_measure)
+        self._driver = driver
+        self._index = MinimalPatternIndex()
+        self.last_report: Optional[DirectMiningReport] = None
+
+    @property
+    def index(self) -> MinimalPatternIndex:
+        return self._index
+
+    def precompute(self, parameters: Iterable[Hashable]) -> MinimalPatternIndex:
+        """Stage 1 for a batch of parameters; results go into the index."""
+        for parameter in parameters:
+            if self._index.get(parameter) is not None:
+                continue
+            started = time.perf_counter()
+            minimal = self._driver.mine_minimal(self._context, parameter)
+            self._index.store(parameter, minimal, time.perf_counter() - started)
+        return self._index
+
+    def mine(self, parameter: Hashable) -> List[SkinnyPattern]:
+        """Serve one mining request: fetch (or compute) minimal patterns, grow each."""
+        served_from_index = self._index.get(parameter) is not None
+        started = time.perf_counter()
+        if not served_from_index:
+            self.precompute([parameter])
+        minimal_patterns = self._index.get(parameter) or []
+        stage_one_seconds = (
+            self._index.build_seconds.get(parameter, 0.0)
+            if served_from_index
+            else time.perf_counter() - started
+        )
+
+        started = time.perf_counter()
+        results: List[SkinnyPattern] = []
+        for minimal in minimal_patterns:
+            results.extend(self._driver.grow(self._context, minimal, parameter))
+        stage_two_seconds = time.perf_counter() - started
+
+        self.last_report = DirectMiningReport(
+            parameter=parameter,
+            stage_one_seconds=stage_one_seconds,
+            stage_two_seconds=stage_two_seconds,
+            num_minimal_patterns=len(minimal_patterns),
+            num_patterns=len(results),
+            served_from_index=served_from_index,
+        )
+        return results
+
+
+class SkinnyConstraintDriver:
+    """Adapter plugging SkinnyMine's two stages into :class:`DirectMiner`.
+
+    The constraint parameter is the pair ``(length, delta)``; minimal patterns
+    are the frequent length-``l`` paths.
+    """
+
+    def __init__(
+        self,
+        max_paths_per_length: Optional[int] = None,
+        max_patterns_per_diameter: Optional[int] = None,
+        include_minimal: bool = True,
+    ) -> None:
+        self._max_paths_per_length = max_paths_per_length
+        self._max_patterns_per_diameter = max_patterns_per_diameter
+        self._include_minimal = include_minimal
+
+    def mine_minimal(
+        self, context: MiningContext, parameter: Tuple[int, int]
+    ) -> List[object]:
+        from repro.core.diammine import DiamMine
+
+        length, _ = parameter
+        return DiamMine(
+            context, max_paths_per_length=self._max_paths_per_length
+        ).mine(length)
+
+    def grow(
+        self, context: MiningContext, minimal: object, parameter: Tuple[int, int]
+    ) -> List[SkinnyPattern]:
+        from repro.core.levelgrow import LevelGrower
+        from repro.core.patterns import initial_state_from_path
+
+        _, delta = parameter
+        grower = LevelGrower(context, max_patterns=self._max_patterns_per_diameter)
+        root = initial_state_from_path(minimal)
+        grower.register(root)
+        results: List[SkinnyPattern] = []
+        if self._include_minimal:
+            results.append(root.to_pattern())
+        frontier = [root]
+        for level in range(1, delta + 1):
+            next_frontier = []
+            for state in frontier:
+                next_frontier.extend(grower.grow_level(state, level))
+            if not next_frontier:
+                break
+            results.extend(state.to_pattern() for state in next_frontier)
+            frontier = next_frontier
+        return results

@@ -1,0 +1,338 @@
+"""LevelGrow — Stage II of SkinnyMine: constraint-preserving pattern growth.
+
+Section 3.1 / Algorithm 3 of the paper.  Each canonical diameter mined by
+DiamMine is grown level by level: iteration ``i`` adds only edges that either
+attach a *new* i-level vertex to an (i-1)-level vertex, connect an existing
+(i-1)-level vertex to an existing i-level vertex, or connect two existing
+i-level vertices.  Every extension must preserve the canonical diameter
+(Loop Invariant 1), which is checked locally through the
+``D_H`` / ``D_T`` indices (:mod:`repro.core.constraints`), and must stay
+frequent in the data.
+
+Duplicate elimination.  The canonical diameter already partitions the result
+space into disjoint clusters (patterns sharing a diameter), so duplicates can
+only arise *within* a cluster, from reaching the same pattern through
+different edge-addition orders.  The paper orders extension edges and anchors
+each pattern at its last added edge (gSpan style); this implementation keeps
+the canonical ordering of candidate extensions but guarantees uniqueness with
+an explicit per-cluster registry of minimum DFS codes, which is simpler to
+reason about and immune to corner cases in the anchor ordering when new twig
+vertices are created dynamically.  The observable behaviour (each pattern
+reported exactly once, only cluster-local candidates examined) matches the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import (
+    admissible_existing_edge,
+    admissible_new_vertex,
+    distances_after_existing_edge,
+    new_vertex_distances,
+)
+from repro.core.database import MiningContext
+from repro.core.patterns import GrowthState
+from repro.graph.canonical import wl_signature
+from repro.graph.embeddings import Embedding
+from repro.graph.isomorphism import are_isomorphic
+from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+
+
+class PatternRegistry:
+    """Exact duplicate detection tuned for the growth loop.
+
+    Computing a full canonical form (minimum DFS code) per candidate is the
+    dominant cost of naive duplicate elimination, so the registry buckets
+    patterns by a cheap Weisfeiler–Lehman signature and confirms collisions
+    with an exact labeled-isomorphism test.  Equal signatures with
+    non-isomorphic members only cost an extra VF2 call; isomorphic patterns
+    are always detected (the signature is isomorphism-invariant and the
+    confirmation is exact), so the registry never reports a false duplicate
+    nor misses a true one.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple, List[LabeledGraph]] = {}
+        self._count = 0
+
+    def add_if_new(self, pattern: LabeledGraph) -> bool:
+        """Register ``pattern``; return True if it was not seen before."""
+        signature = wl_signature(pattern)
+        bucket = self._buckets.setdefault(signature, [])
+        for member in bucket:
+            if are_isomorphic(pattern, member):
+                return False
+        bucket.append(pattern)
+        self._count += 1
+        return True
+
+    def __len__(self) -> int:
+        return self._count
+
+
+@dataclass(frozen=True)
+class NewVertexExtension:
+    """Attach a new vertex with ``label`` to pattern vertex ``parent``."""
+
+    parent: VertexId
+    label: str
+
+    def sort_key(self) -> Tuple:
+        return (0, self.parent, self.label)
+
+
+@dataclass(frozen=True)
+class ExistingEdgeExtension:
+    """Add the pattern edge (u, v) between two existing vertices."""
+
+    u: VertexId
+    v: VertexId
+
+    def sort_key(self) -> Tuple:
+        return (1, min(self.u, self.v), max(self.u, self.v))
+
+
+Extension = object  # union of the two dataclasses above
+
+
+@dataclass
+class LevelGrowStatistics:
+    """Counters exposed for the scalability experiments (Figures 16–18)."""
+
+    candidates_generated: int = 0
+    candidates_rejected_constraints: int = 0
+    candidates_rejected_support: int = 0
+    candidates_rejected_duplicate: int = 0
+    patterns_emitted: int = 0
+
+    def merge(self, other: "LevelGrowStatistics") -> None:
+        self.candidates_generated += other.candidates_generated
+        self.candidates_rejected_constraints += other.candidates_rejected_constraints
+        self.candidates_rejected_support += other.candidates_rejected_support
+        self.candidates_rejected_duplicate += other.candidates_rejected_duplicate
+        self.patterns_emitted += other.patterns_emitted
+
+
+class LevelGrower:
+    """Grows patterns one level at a time (Algorithm 3).
+
+    One ``LevelGrower`` is created per canonical-diameter cluster; it owns the
+    cluster's duplicate registry so the same pattern is never emitted twice
+    even across level iterations.
+    """
+
+    def __init__(
+        self,
+        context: MiningContext,
+        max_patterns: Optional[int] = None,
+    ) -> None:
+        self._context = context
+        self._max_patterns = max_patterns
+        self._registry = PatternRegistry()
+        self.statistics = LevelGrowStatistics()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def register(self, state: GrowthState) -> None:
+        """Record a pattern (typically the bare diameter) in the duplicate registry."""
+        self._registry.add_if_new(state.pattern)
+
+    def grow_level(self, state: GrowthState, level: int) -> List[GrowthState]:
+        """All frequent constraint-preserving patterns reachable from ``state``
+        by adding one or more edges of iteration ``level``.
+
+        Mirrors Algorithm 3: a worklist of patterns is repeatedly extended by
+        admissible edges until no new pattern appears.
+        """
+        if level < 1:
+            raise ValueError("growth levels start at 1")
+        results: List[GrowthState] = []
+        worklist: List[GrowthState] = [state]
+        while worklist:
+            current = worklist.pop()
+            for extension in self._candidate_extensions(current, level):
+                self.statistics.candidates_generated += 1
+                extended = self._apply_extension(current, extension, level)
+                if extended is None:
+                    continue
+                current.accepted_children += 1
+                if extended.support >= current.support:
+                    current.equal_support_children += 1
+                if not self._registry.add_if_new(extended.pattern):
+                    self.statistics.candidates_rejected_duplicate += 1
+                    continue
+                self.statistics.patterns_emitted += 1
+                results.append(extended)
+                worklist.append(extended)
+                if self._max_patterns is not None and len(self._registry) > self._max_patterns:
+                    return results
+        return results
+
+    # ------------------------------------------------------------------ #
+    # candidate generation
+    # ------------------------------------------------------------------ #
+    def _candidate_extensions(
+        self, state: GrowthState, level: int
+    ) -> List[Extension]:
+        """Extensions allowed at iteration ``level``, in canonical order.
+
+        Candidates are read off the pattern's embeddings so only edges that
+        occur somewhere in the data are proposed (pattern-growth style); this
+        is what makes the search cluster-local.
+        """
+        pattern = state.pattern
+        parents = [v for v, lvl in state.levels.items() if lvl == level - 1]
+        currents = [v for v, lvl in state.levels.items() if lvl == level]
+
+        new_vertex_candidates: Set[NewVertexExtension] = set()
+        edge_candidates: Set[ExistingEdgeExtension] = set()
+
+        for embedding in state.embeddings:
+            mapping = embedding.as_dict()
+            image = set(mapping.values())
+            graph = self._context.graph(embedding.graph_index)
+            reverse = {data: pat for pat, data in mapping.items()}
+            for parent in parents:
+                data_parent = mapping[parent]
+                for neighbor in graph.neighbors(data_parent):
+                    if neighbor in image:
+                        other = reverse[neighbor]
+                        if (
+                            state.levels.get(other) == level
+                            and not pattern.has_edge(parent, other)
+                        ):
+                            edge_candidates.add(
+                                ExistingEdgeExtension(parent, other)
+                            )
+                    else:
+                        new_vertex_candidates.add(
+                            NewVertexExtension(
+                                parent, str(graph.label_of(neighbor))
+                            )
+                        )
+            for current in currents:
+                data_current = mapping[current]
+                for neighbor in graph.neighbors(data_current):
+                    if neighbor in image:
+                        other = reverse[neighbor]
+                        if (
+                            state.levels.get(other) == level
+                            and other != current
+                            and not pattern.has_edge(current, other)
+                        ):
+                            edge_candidates.add(
+                                ExistingEdgeExtension(
+                                    min(current, other), max(current, other)
+                                )
+                            )
+
+        ordered: List[Extension] = sorted(
+            new_vertex_candidates, key=lambda ext: ext.sort_key()
+        )
+        ordered.extend(sorted(edge_candidates, key=lambda ext: ext.sort_key()))
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # extension application
+    # ------------------------------------------------------------------ #
+    def _apply_extension(
+        self, state: GrowthState, extension: Extension, level: int
+    ) -> Optional[GrowthState]:
+        if isinstance(extension, NewVertexExtension):
+            return self._apply_new_vertex(state, extension, level)
+        if isinstance(extension, ExistingEdgeExtension):
+            return self._apply_existing_edge(state, extension)
+        raise TypeError(f"unknown extension type: {extension!r}")
+
+    def _apply_new_vertex(
+        self, state: GrowthState, extension: NewVertexExtension, level: int
+    ) -> Optional[GrowthState]:
+        if not admissible_new_vertex(state, extension.parent, extension.label):
+            self.statistics.candidates_rejected_constraints += 1
+            return None
+
+        new_embeddings: List[Embedding] = []
+        new_vertex = state.next_vertex_id()
+        for embedding in state.embeddings:
+            mapping = embedding.as_dict()
+            image = set(mapping.values())
+            graph = self._context.graph(embedding.graph_index)
+            data_parent = mapping[extension.parent]
+            for neighbor in graph.neighbors(data_parent):
+                if neighbor in image:
+                    continue
+                if str(graph.label_of(neighbor)) != extension.label:
+                    continue
+                new_embeddings.append(embedding.extended(new_vertex, neighbor))
+        if not new_embeddings:
+            self.statistics.candidates_rejected_support += 1
+            return None
+
+        pattern = state.pattern.copy()
+        pattern.add_vertex(new_vertex, extension.label)
+        pattern.add_edge(extension.parent, new_vertex)
+        support = self._context.support_of_embeddings(new_embeddings, pattern)
+        if not self._context.is_frequent(support):
+            self.statistics.candidates_rejected_support += 1
+            return None
+
+        dist_head, dist_tail = new_vertex_distances(state, extension.parent)
+        levels = dict(state.levels)
+        levels[new_vertex] = level
+        new_dist_head = dict(state.dist_head)
+        new_dist_tail = dict(state.dist_tail)
+        new_dist_head[new_vertex] = dist_head
+        new_dist_tail[new_vertex] = dist_tail
+        return GrowthState(
+            pattern=pattern,
+            diameter_len=state.diameter_len,
+            levels=levels,
+            dist_head=new_dist_head,
+            dist_tail=new_dist_tail,
+            embeddings=new_embeddings,
+            support=support,
+            last_extension=("new", extension.parent, extension.label),
+        )
+
+    def _apply_existing_edge(
+        self, state: GrowthState, extension: ExistingEdgeExtension
+    ) -> Optional[GrowthState]:
+        u, v = extension.u, extension.v
+        if not admissible_existing_edge(state, u, v):
+            self.statistics.candidates_rejected_constraints += 1
+            return None
+
+        new_embeddings: List[Embedding] = []
+        for embedding in state.embeddings:
+            graph = self._context.graph(embedding.graph_index)
+            if graph.has_edge(embedding.target_of(u), embedding.target_of(v)):
+                new_embeddings.append(embedding)
+        if not new_embeddings:
+            self.statistics.candidates_rejected_support += 1
+            return None
+
+        pattern = state.pattern.copy()
+        pattern.add_edge(u, v)
+        support = self._context.support_of_embeddings(new_embeddings, pattern)
+        if not self._context.is_frequent(support):
+            self.statistics.candidates_rejected_support += 1
+            return None
+
+        carrier = GrowthState(
+            pattern=pattern,
+            diameter_len=state.diameter_len,
+            levels=dict(state.levels),
+            dist_head=dict(state.dist_head),
+            dist_tail=dict(state.dist_tail),
+            embeddings=new_embeddings,
+            support=support,
+            last_extension=("edge", u, v),
+        )
+        dist_head, dist_tail = distances_after_existing_edge(carrier, u, v)
+        carrier.dist_head = dist_head
+        carrier.dist_tail = dist_tail
+        return carrier

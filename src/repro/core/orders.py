@@ -1,0 +1,117 @@
+"""Path orders (Definitions 2 and 3 of the paper).
+
+Two orders are defined on labeled simple paths of a graph:
+
+* the **lexicographical path order** ``<_L`` compares first by length (shorter
+  is smaller) and then label sequence element by element (Definition 2);
+* the **total path order** ``<`` breaks lexicographic ties by comparing the
+  physical vertex-id sequences numerically (Definition 3).
+
+The canonical diameter (Definition 4) is the minimum path under the total
+order among all diameter-realising simple paths, so these comparators are the
+foundation of everything in :mod:`repro.core.diameter`.
+
+Labels are compared through ``str`` (the paper assumes an arbitrary but fixed
+lexicographic order on the label set; stringification gives us one for any
+hashable label type used in this code base).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+
+
+def label_key(label: Label) -> str:
+    """Normalise a label for comparison (fixed total order on the label set)."""
+    return str(label)
+
+
+def path_label_sequence(graph: LabeledGraph, path: Sequence[VertexId]) -> Tuple[str, ...]:
+    """The comparable label sequence of a path."""
+    return tuple(label_key(graph.label_of(vertex)) for vertex in path)
+
+
+def compare_lexicographic(
+    labels_a: Sequence[str], labels_b: Sequence[str]
+) -> int:
+    """Definition 2: compare two label sequences; -1, 0 or +1.
+
+    A shorter path is smaller than a longer one; equal-length paths are
+    compared label by label.  Returns 0 when the sequences are
+    lexicographically equal (``=_L``).
+    """
+    if len(labels_a) != len(labels_b):
+        return -1 if len(labels_a) < len(labels_b) else 1
+    for left, right in zip(labels_a, labels_b):
+        if left != right:
+            return -1 if left < right else 1
+    return 0
+
+
+def compare_total(
+    labels_a: Sequence[str],
+    ids_a: Sequence[VertexId],
+    labels_b: Sequence[str],
+    ids_b: Sequence[VertexId],
+) -> int:
+    """Definition 3: total order combining label order and physical-id order."""
+    lexicographic = compare_lexicographic(labels_a, labels_b)
+    if lexicographic != 0:
+        return lexicographic
+    for left, right in zip(ids_a, ids_b):
+        if left != right:
+            return -1 if left < right else 1
+    return 0
+
+
+def path_sort_key(graph: LabeledGraph, path: Sequence[VertexId]) -> Tuple:
+    """A sort key realising the total path order for paths of one graph.
+
+    Sorting by this key orders paths exactly as Definition 3: first by
+    length, then by label sequence, then by physical vertex-id sequence.
+    """
+    return (len(path), path_label_sequence(graph, path), tuple(path))
+
+
+def canonical_orientation(
+    graph: LabeledGraph, path: Sequence[VertexId]
+) -> List[VertexId]:
+    """Return the orientation of ``path`` that is smaller under the total order.
+
+    A simple path read forwards or backwards denotes the same subgraph; the
+    canonical diameter definition implicitly picks the smaller of the two
+    sequences, so most call-sites normalise a path with this helper first.
+    """
+    forward = list(path)
+    backward = list(reversed(path))
+    if compare_total(
+        path_label_sequence(graph, forward),
+        forward,
+        path_label_sequence(graph, backward),
+        backward,
+    ) <= 0:
+        return forward
+    return backward
+
+
+def canonical_label_orientation(labels: Sequence[str]) -> Tuple[str, ...]:
+    """Canonical (smaller) orientation of a bare label sequence.
+
+    Used by DiamMine, which manipulates label sequences before any pattern
+    graph exists; ties (palindromes) keep the forward orientation.
+    """
+    forward = tuple(labels)
+    backward = tuple(reversed(labels))
+    return forward if forward <= backward else backward
+
+
+def smallest_path(
+    graph: LabeledGraph, paths: Sequence[Sequence[VertexId]]
+) -> List[VertexId]:
+    """The minimum path among ``paths`` (both orientations considered)."""
+    if not paths:
+        raise ValueError("smallest_path requires at least one path")
+    oriented = [canonical_orientation(graph, path) for path in paths]
+    return min(oriented, key=lambda path: path_sort_key(graph, path))

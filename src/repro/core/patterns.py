@@ -1,0 +1,234 @@
+"""Pattern objects: mined results and in-flight growth states.
+
+Two classes live here:
+
+* :class:`SkinnyPattern` — an element of the mining *result*: the pattern
+  graph, its canonical diameter, its embeddings and support.  This is what
+  :class:`repro.core.skinnymine.SkinnyMine` returns and what the benchmark
+  harness consumes.
+* :class:`GrowthState` — the state LevelGrow carries while growing a pattern:
+  the pattern graph, the (fixed) canonical diameter occupying pattern
+  vertices ``0 .. l``, the per-vertex level and the two distance indices
+  ``D_H`` / ``D_T`` of Section 3.4, plus the live embedding list.
+
+Pattern-vertex numbering convention: the canonical diameter is always the
+path ``0 - 1 - ... - l`` with head ``v_H = 0`` and tail ``v_T = l``; twig
+vertices are numbered ``l + 1, l + 2, ...`` in creation order.  Keeping the
+diameter on the smallest ids makes the paper's Definition-3 tie-break (prefer
+smaller physical ids) favour the stored diameter automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.orders import canonical_label_orientation
+from repro.graph.canonical import canonical_key
+from repro.graph.embeddings import Embedding
+from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A frequent simple path produced by DiamMine (a future canonical diameter).
+
+    ``labels`` is the canonical orientation of the path's label sequence
+    (Definition 2/3); ``embeddings`` are (graph index, data-vertex tuple)
+    pairs oriented to match ``labels``.
+    """
+
+    labels: Tuple[str, ...]
+    embeddings: Tuple[Tuple[int, Tuple[VertexId, ...]], ...]
+    support: int
+
+    @property
+    def length(self) -> int:
+        """Number of edges of the path."""
+        return len(self.labels) - 1
+
+    def to_graph(self) -> LabeledGraph:
+        """Materialise the path as a pattern graph on vertices ``0 .. length``."""
+        graph = LabeledGraph(name=f"diameter-{self.length}")
+        for position, label in enumerate(self.labels):
+            graph.add_vertex(position, label)
+            if position > 0:
+                graph.add_edge(position - 1, position)
+        return graph
+
+    def to_embedding_objects(self) -> List[Embedding]:
+        """Embeddings as :class:`repro.graph.embeddings.Embedding` objects."""
+        result = []
+        for graph_index, vertices in self.embeddings:
+            mapping = {position: vertex for position, vertex in enumerate(vertices)}
+            result.append(Embedding.from_dict(mapping, graph_index))
+        return result
+
+
+@dataclass
+class SkinnyPattern:
+    """One mined l-long δ-skinny pattern."""
+
+    graph: LabeledGraph
+    diameter: List[VertexId]
+    embeddings: List[Embedding]
+    support: int
+
+    @property
+    def diameter_length(self) -> int:
+        return len(self.diameter) - 1
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    @property
+    def skinniness(self) -> int:
+        """Maximum vertex level of the pattern (lazy, recomputed from the graph)."""
+        from repro.core.diameter import vertex_levels
+
+        levels = vertex_levels(self.graph, self.diameter)
+        return max(levels.values())
+
+    def canonical_form(self) -> Tuple:
+        """A hashable key equal for isomorphic patterns."""
+        return canonical_key(self.graph)
+
+    def diameter_labels(self) -> Tuple[str, ...]:
+        return tuple(str(self.graph.label_of(vertex)) for vertex in self.diameter)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SkinnyPattern |V|={self.num_vertices} |E|={self.num_edges} "
+            f"l={self.diameter_length} support={self.support}>"
+        )
+
+
+@dataclass
+class GrowthState:
+    """The in-flight state of one pattern during LevelGrow.
+
+    Attributes
+    ----------
+    pattern:
+        The pattern graph.  Vertices ``0 .. diameter_len`` are the canonical
+        diameter; larger ids are twig vertices.
+    diameter_len:
+        l = |L|, which equals the pattern's diameter D(P) throughout growth
+        (Loop Invariant 1).
+    levels:
+        ``Dist(v, L)`` for every pattern vertex.
+    dist_head / dist_tail:
+        The two indices ``D^u_H`` / ``D^u_T`` of Section 3.4: shortest
+        distance from each pattern vertex to the head (vertex 0) and tail
+        (vertex ``diameter_len``) of the diameter.
+    embeddings:
+        Current embeddings of the pattern in the data.
+    support:
+        Support of the pattern under the context's measure.
+    """
+
+    pattern: LabeledGraph
+    diameter_len: int
+    levels: Dict[VertexId, int]
+    dist_head: Dict[VertexId, int]
+    dist_tail: Dict[VertexId, int]
+    embeddings: List[Embedding]
+    support: int
+    last_extension: Optional[Tuple] = None
+    # Growth accounting filled in by LevelGrower: how many accepted (frequent,
+    # constraint-preserving, non-duplicate) extensions this state has, and how
+    # many of them kept the same support.  Used for the maximal / closed
+    # output filters (Algorithm 3 reports closed patterns).
+    accepted_children: int = 0
+    equal_support_children: int = 0
+
+    @property
+    def head(self) -> VertexId:
+        return 0
+
+    @property
+    def tail(self) -> VertexId:
+        return self.diameter_len
+
+    @property
+    def diameter_vertices(self) -> List[VertexId]:
+        return list(range(self.diameter_len + 1))
+
+    def max_level(self) -> int:
+        return max(self.levels.values()) if self.levels else 0
+
+    def next_vertex_id(self) -> VertexId:
+        return max(self.pattern.vertices()) + 1
+
+    def vertices_at_level(self, level: int) -> List[VertexId]:
+        return [vertex for vertex, lvl in self.levels.items() if lvl == level]
+
+    def diameter_label_sequence(self) -> Tuple[str, ...]:
+        return tuple(
+            str(self.pattern.label_of(vertex)) for vertex in self.diameter_vertices
+        )
+
+    def canonical_form(self) -> Tuple:
+        return canonical_key(self.pattern)
+
+    def copy(self) -> "GrowthState":
+        return GrowthState(
+            pattern=self.pattern.copy(),
+            diameter_len=self.diameter_len,
+            levels=dict(self.levels),
+            dist_head=dict(self.dist_head),
+            dist_tail=dict(self.dist_tail),
+            embeddings=list(self.embeddings),
+            support=self.support,
+            last_extension=self.last_extension,
+        )
+
+    def to_pattern(self) -> SkinnyPattern:
+        """Freeze the state into a result object."""
+        return SkinnyPattern(
+            graph=self.pattern.copy(),
+            diameter=self.diameter_vertices,
+            embeddings=list(self.embeddings),
+            support=self.support,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GrowthState |V|={self.pattern.num_vertices()} "
+            f"|E|={self.pattern.num_edges()} l={self.diameter_len} "
+            f"support={self.support}>"
+        )
+
+
+def initial_state_from_path(
+    path: PathPattern, min_support_hint: Optional[int] = None
+) -> GrowthState:
+    """Build the level-0 growth state from a DiamMine path (iteration 0 of Stage II).
+
+    The path's orientation must already be canonical: when the path's label
+    sequence is not palindromic, its forward reading must be the smaller one,
+    which :class:`PathPattern` guarantees by construction.
+    """
+    if path.labels != canonical_label_orientation(path.labels):
+        raise ValueError("PathPattern labels must be in canonical orientation")
+    graph = path.to_graph()
+    length = path.length
+    levels = {vertex: 0 for vertex in range(length + 1)}
+    dist_head = {vertex: vertex for vertex in range(length + 1)}
+    dist_tail = {vertex: length - vertex for vertex in range(length + 1)}
+    embeddings = path.to_embedding_objects()
+    support = path.support if min_support_hint is None else path.support
+    return GrowthState(
+        pattern=graph,
+        diameter_len=length,
+        levels=levels,
+        dist_head=dist_head,
+        dist_tail=dist_tail,
+        embeddings=embeddings,
+        support=support,
+    )

@@ -1,0 +1,39 @@
+"""Synthetic datasets reproducing the paper's evaluation workloads.
+
+* :mod:`repro.datasets.synthetic` — the Table 1/2 single-graph settings
+  (GID 1–5), the Table 3 varied-skinniness injection experiment and the
+  graph-transaction databases of Figures 9–10.
+* :mod:`repro.datasets.dblp` — a synthetic stand-in for the DBLP author
+  timeline graphs of Section 6.3 (same schema: per-year timeline nodes with
+  collaboration-strength labels P/S/J/B × levels 1–3).
+* :mod:`repro.datasets.weibo` — a synthetic stand-in for the Sina Weibo
+  retweet conversations of Section 6.3 (root / follower / followee / other
+  roles, long diffusion chains).
+* :mod:`repro.datasets.trajectories` — location-based-service trajectory
+  graphs for the mobile-data-mining motivation of Section 1.
+"""
+
+from repro.datasets.synthetic import (
+    DataSetting,
+    TABLE1_SETTINGS,
+    build_gid_dataset,
+    build_skinniness_series,
+    build_transaction_dataset,
+)
+from repro.datasets.dblp import DBLPConfig, generate_dblp_dataset
+from repro.datasets.weibo import WeiboConfig, generate_weibo_dataset
+from repro.datasets.trajectories import TrajectoryConfig, generate_trajectory_dataset
+
+__all__ = [
+    "DataSetting",
+    "TABLE1_SETTINGS",
+    "build_gid_dataset",
+    "build_skinniness_series",
+    "build_transaction_dataset",
+    "DBLPConfig",
+    "generate_dblp_dataset",
+    "WeiboConfig",
+    "generate_weibo_dataset",
+    "TrajectoryConfig",
+    "generate_trajectory_dataset",
+]

@@ -1,0 +1,69 @@
+"""Labeled-graph substrate used by SkinnyMine, the baselines and the datasets.
+
+This subpackage is self-contained: it provides the graph data structure,
+subgraph isomorphism, canonical codes, path/distance utilities, embedding
+bookkeeping, random generators and a small text I/O format.  Nothing in here
+knows about skinny patterns; it is the layer the paper's algorithms (and the
+competing miners) are built on.
+"""
+
+from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.isomorphism import (
+    are_isomorphic,
+    find_automorphisms,
+    find_subgraph_embeddings,
+    is_subgraph_isomorphic,
+)
+from repro.graph.canonical import CanonicalCode, DFSCode, minimum_dfs_code
+from repro.graph.paths import (
+    all_diameter_paths,
+    bfs_distances,
+    diameter,
+    eccentricity,
+    enumerate_simple_paths,
+    shortest_path_length,
+)
+from repro.graph.embeddings import (
+    Embedding,
+    EmbeddingList,
+    mni_support,
+    transaction_support,
+)
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    inject_pattern,
+    random_labeled_path,
+    random_skinny_pattern,
+    random_tree_pattern,
+)
+from repro.graph.io import graph_from_edge_list, read_lg, write_lg
+
+__all__ = [
+    "Edge",
+    "LabeledGraph",
+    "are_isomorphic",
+    "find_automorphisms",
+    "find_subgraph_embeddings",
+    "is_subgraph_isomorphic",
+    "CanonicalCode",
+    "DFSCode",
+    "minimum_dfs_code",
+    "all_diameter_paths",
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+    "enumerate_simple_paths",
+    "shortest_path_length",
+    "Embedding",
+    "EmbeddingList",
+    "mni_support",
+    "transaction_support",
+    "erdos_renyi_graph",
+    "inject_pattern",
+    "random_labeled_path",
+    "random_skinny_pattern",
+    "random_tree_pattern",
+    "graph_from_edge_list",
+    "read_lg",
+    "write_lg",
+]

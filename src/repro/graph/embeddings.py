@@ -1,0 +1,176 @@
+"""Embeddings and support counting.
+
+The paper works in the single-graph setting where the support of a pattern
+``P`` is ``|E[P]|``, the number of distinct embeddings of ``P`` in ``G``
+(Definition 8).  The graph-transaction setting ("can be easily derived",
+Section 2) counts the number of transactions containing at least one
+embedding.  Baseline miners that use other single-graph measures (MNI) can do
+so through :func:`mni_support`.
+
+``Embedding`` is an immutable pattern-vertex → data-vertex map.
+``EmbeddingList`` is the bookkeeping structure pattern-growth miners carry
+with each pattern so extension candidates can be generated from occurrences
+instead of re-matching from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, VertexId
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A single occurrence of a pattern in a data graph.
+
+    ``mapping`` sends pattern vertex ids to data-graph vertex ids;
+    ``graph_index`` identifies the transaction when mining a graph database
+    (always 0 in the single-graph setting).
+    """
+
+    mapping: Tuple[Tuple[VertexId, VertexId], ...]
+    graph_index: int = 0
+
+    @classmethod
+    def from_dict(
+        cls, mapping: Dict[VertexId, VertexId], graph_index: int = 0
+    ) -> "Embedding":
+        return cls(mapping=tuple(sorted(mapping.items())), graph_index=graph_index)
+
+    def as_dict(self) -> Dict[VertexId, VertexId]:
+        return dict(self.mapping)
+
+    def image(self) -> FrozenSet[VertexId]:
+        """The set of data-graph vertices covered by this embedding."""
+        return frozenset(target for _, target in self.mapping)
+
+    def image_key(self) -> Tuple[int, FrozenSet[VertexId]]:
+        """Key identifying the *subgraph* occurrence (transaction + vertex set)."""
+        return (self.graph_index, self.image())
+
+    def target_of(self, pattern_vertex: VertexId) -> VertexId:
+        for source, target in self.mapping:
+            if source == pattern_vertex:
+                return target
+        raise KeyError(f"pattern vertex {pattern_vertex} is not mapped")
+
+    def extended(
+        self, pattern_vertex: VertexId, data_vertex: VertexId
+    ) -> "Embedding":
+        """Return a new embedding with one extra pattern vertex mapped."""
+        mapping = self.as_dict()
+        if pattern_vertex in mapping:
+            raise KeyError(f"pattern vertex {pattern_vertex} already mapped")
+        mapping[pattern_vertex] = data_vertex
+        return Embedding.from_dict(mapping, self.graph_index)
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+
+@dataclass
+class EmbeddingList:
+    """All known embeddings of one pattern, with cheap support queries."""
+
+    embeddings: List[Embedding] = field(default_factory=list)
+
+    def add(self, embedding: Embedding) -> None:
+        self.embeddings.append(embedding)
+
+    def __iter__(self) -> Iterator[Embedding]:
+        return iter(self.embeddings)
+
+    def __len__(self) -> int:
+        return len(self.embeddings)
+
+    def deduplicated(self) -> "EmbeddingList":
+        """Keep one embedding per distinct occurrence (transaction, vertex set)."""
+        seen: Set[Tuple[int, FrozenSet[VertexId]]] = set()
+        kept: List[Embedding] = []
+        for embedding in self.embeddings:
+            key = embedding.image_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(embedding)
+        return EmbeddingList(kept)
+
+    def embedding_support(self) -> int:
+        """|E[P]|: the number of distinct occurrences (single-graph support)."""
+        return len({embedding.image_key() for embedding in self.embeddings})
+
+    def transaction_support(self) -> int:
+        """Number of distinct transactions containing at least one embedding."""
+        return len({embedding.graph_index for embedding in self.embeddings})
+
+    def transactions(self) -> Set[int]:
+        return {embedding.graph_index for embedding in self.embeddings}
+
+    def images(self) -> List[FrozenSet[VertexId]]:
+        return [embedding.image() for embedding in self.embeddings]
+
+
+def embeddings_from_maps(
+    maps: Iterable[Dict[VertexId, VertexId]], graph_index: int = 0
+) -> EmbeddingList:
+    """Wrap raw vertex maps (e.g. from the isomorphism module) into an EmbeddingList."""
+    collection = EmbeddingList()
+    for mapping in maps:
+        collection.add(Embedding.from_dict(mapping, graph_index))
+    return collection
+
+
+def mni_support(
+    pattern: LabeledGraph, embeddings: Sequence[Embedding]
+) -> int:
+    """Minimum-image based (MNI) support of a pattern in a single graph.
+
+    MNI is the standard anti-monotone single-graph support: for each pattern
+    vertex count the distinct data vertices it maps to across all embeddings
+    and take the minimum.  It is provided for the baselines (MoSS-style
+    miners) and for harmonised comparisons; SkinnyMine itself follows the
+    paper and counts embeddings.
+    """
+    if pattern.num_vertices() == 0:
+        return 0
+    images: Dict[VertexId, Set[Tuple[int, VertexId]]] = {
+        vertex: set() for vertex in pattern.vertices()
+    }
+    for embedding in embeddings:
+        for source, target in embedding.mapping:
+            images[source].add((embedding.graph_index, target))
+    if not embeddings:
+        return 0
+    return min(len(targets) for targets in images.values())
+
+
+def transaction_support(embeddings: Sequence[Embedding]) -> int:
+    """Number of distinct transactions covered by ``embeddings``."""
+    return len({embedding.graph_index for embedding in embeddings})
+
+
+def embedding_support(embeddings: Sequence[Embedding]) -> int:
+    """Number of distinct occurrences (transaction, vertex-image) pairs."""
+    return len({embedding.image_key() for embedding in embeddings})
+
+
+def path_embedding(
+    path_pattern_vertices: Sequence[VertexId],
+    data_path: Sequence[VertexId],
+    graph_index: int = 0,
+) -> Embedding:
+    """Build the embedding mapping a pattern path onto a data-graph path.
+
+    The two sequences must have equal length; position ``i`` of the pattern
+    path is mapped to position ``i`` of the data path.
+    """
+    if len(path_pattern_vertices) != len(data_path):
+        raise ValueError("pattern path and data path must have the same length")
+    mapping = dict(zip(path_pattern_vertices, data_path))
+    if len(mapping) != len(path_pattern_vertices):
+        raise ValueError("pattern path vertices must be distinct")
+    if len(set(data_path)) != len(data_path):
+        raise ValueError("data path vertices must be distinct")
+    return Embedding.from_dict(mapping, graph_index)

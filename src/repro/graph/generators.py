@@ -1,0 +1,291 @@
+"""Random labeled graph generators and pattern injection.
+
+The paper's synthetic evaluation (Section 6.2) builds data graphs by
+
+1. generating an Erdős–Rényi background graph ``G(n, p)`` whose vertices get
+   uniform random labels from an alphabet of ``f`` labels, and
+2. *injecting* hand-built skinny (or small) patterns into it a given number
+   of times, each injection becoming one embedding of the pattern.
+
+This module provides those two primitives plus generators for the pattern
+shapes used throughout the evaluation: labeled paths (future canonical
+diameters), skinny graphs (a backbone path plus bounded twigs) and small
+random tree/graph patterns.
+
+Every function takes an explicit ``seed`` or ``rng``; nothing touches the
+global ``random`` state, so datasets are reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+
+
+def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def default_labels(count: int) -> List[str]:
+    """The label alphabet used by the synthetic datasets: ``L0 .. L{count-1}``."""
+    return [f"L{i}" for i in range(count)]
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    avg_degree: float,
+    num_labels: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    labels: Optional[Sequence[Label]] = None,
+    name: str = "erdos-renyi",
+) -> LabeledGraph:
+    """Generate a labeled Erdős–Rényi graph with a target average degree.
+
+    The paper parameterises its backgrounds by ``|V|``, average degree
+    ``deg`` and label count ``f``; that maps to ``G(n, p)`` with
+    ``p = deg / (n - 1)``.  Labels are drawn uniformly from ``labels`` (or a
+    default alphabet of ``num_labels`` strings).
+    """
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be non-negative")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    if num_labels <= 0 and labels is None:
+        raise ValueError("num_labels must be positive")
+    generator = _resolve_rng(seed, rng)
+    alphabet = list(labels) if labels is not None else default_labels(num_labels)
+
+    graph = LabeledGraph(name=name)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, generator.choice(alphabet))
+
+    if num_vertices <= 1:
+        return graph
+    probability = min(1.0, avg_degree / (num_vertices - 1))
+    if probability <= 0:
+        return graph
+
+    # Geometric skipping (the standard O(n + m) G(n, p) sampler) keeps the
+    # generator usable for the paper's larger scalability settings.
+    import math
+
+    log_q = math.log(1.0 - probability) if probability < 1.0 else None
+    u, v = 1, -1
+    while u < num_vertices:
+        if probability >= 1.0:
+            v += 1
+        else:
+            r = generator.random()
+            v += 1 + int(math.log(1.0 - r) / log_q)
+        while v >= u and u < num_vertices:
+            v -= u
+            u += 1
+        if u < num_vertices:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_labeled_path(
+    length: int,
+    num_labels: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    labels: Optional[Sequence[Label]] = None,
+) -> LabeledGraph:
+    """A path pattern with ``length`` edges and uniformly random labels."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    generator = _resolve_rng(seed, rng)
+    alphabet = list(labels) if labels is not None else default_labels(num_labels)
+    path = LabeledGraph(name=f"path-{length}")
+    previous: Optional[VertexId] = None
+    for vertex in range(length + 1):
+        path.add_vertex(vertex, generator.choice(alphabet))
+        if previous is not None:
+            path.add_edge(previous, vertex)
+        previous = vertex
+    return path
+
+
+def random_skinny_pattern(
+    backbone_length: int,
+    skinniness: int,
+    num_vertices: int,
+    num_labels: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    labels: Optional[Sequence[Label]] = None,
+) -> LabeledGraph:
+    """Generate an ``l``-long ``δ``-skinny pattern to inject into a background.
+
+    The pattern has a backbone path of ``backbone_length`` edges; remaining
+    vertices (up to ``num_vertices``) are attached as twigs whose distance to
+    the backbone never exceeds ``skinniness``.  With ``skinniness == 0`` the
+    pattern is exactly the backbone path.
+
+    The construction attaches twig vertices to uniformly chosen *interior*
+    backbone vertices (never the two endpoints) so the backbone remains a
+    diameter-realising path of the generated pattern: hanging a twig of depth
+    ``d ≤ δ`` off an interior vertex cannot create a vertex pair farther
+    apart than the two backbone endpoints as long as
+    ``2 * δ ≤ backbone_length``, which the generator enforces.
+    """
+    if backbone_length < 1:
+        raise ValueError("backbone_length must be at least 1")
+    if skinniness < 0:
+        raise ValueError("skinniness must be non-negative")
+    if num_vertices < backbone_length + 1:
+        raise ValueError("num_vertices must cover the backbone")
+    if skinniness > 0 and 2 * skinniness > backbone_length:
+        raise ValueError(
+            "2 * skinniness must not exceed backbone_length, otherwise twigs "
+            "could extend the diameter beyond the backbone"
+        )
+    generator = _resolve_rng(seed, rng)
+    alphabet = list(labels) if labels is not None else default_labels(num_labels)
+
+    pattern = LabeledGraph(name=f"skinny-{backbone_length}-{skinniness}")
+    backbone: List[VertexId] = []
+    for vertex in range(backbone_length + 1):
+        pattern.add_vertex(vertex, generator.choice(alphabet))
+        backbone.append(vertex)
+        if vertex > 0:
+            pattern.add_edge(vertex - 1, vertex)
+
+    extra = num_vertices - (backbone_length + 1)
+    if extra > 0 and skinniness == 0:
+        raise ValueError("cannot place extra vertices with skinniness 0")
+
+    # Track each vertex's distance to the backbone so twigs respect δ and the
+    # endpoints' eccentricity is never exceeded.
+    level: Dict[VertexId, int] = {vertex: 0 for vertex in backbone}
+    # Position along the backbone of the anchoring vertex (used to bound the
+    # distance a twig vertex adds to either endpoint).
+    anchor_position: Dict[VertexId, int] = {vertex: i for i, vertex in enumerate(backbone)}
+    next_id = backbone_length + 1
+    interior = backbone[1:-1] if backbone_length >= 2 else backbone
+
+    attachable: List[VertexId] = list(interior)
+    for _ in range(extra):
+        candidates = [
+            vertex
+            for vertex in attachable
+            if level[vertex] < skinniness
+            and level[vertex] + 1 + min(
+                anchor_position[vertex], backbone_length - anchor_position[vertex]
+            )
+            <= backbone_length
+            and level[vertex] + 1
+            + max(anchor_position[vertex], backbone_length - anchor_position[vertex])
+            <= backbone_length
+        ]
+        if not candidates:
+            break
+        parent = generator.choice(candidates)
+        vertex = next_id
+        next_id += 1
+        pattern.add_vertex(vertex, generator.choice(alphabet))
+        pattern.add_edge(parent, vertex)
+        level[vertex] = level[parent] + 1
+        anchor_position[vertex] = anchor_position[parent]
+        attachable.append(vertex)
+    return pattern
+
+
+def random_tree_pattern(
+    num_vertices: int,
+    num_labels: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    labels: Optional[Sequence[Label]] = None,
+) -> LabeledGraph:
+    """A small random labeled tree (uniform attachment), used as a "short pattern"."""
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be at least 1")
+    generator = _resolve_rng(seed, rng)
+    alphabet = list(labels) if labels is not None else default_labels(num_labels)
+    tree = LabeledGraph(name=f"tree-{num_vertices}")
+    tree.add_vertex(0, generator.choice(alphabet))
+    for vertex in range(1, num_vertices):
+        parent = generator.randrange(vertex)
+        tree.add_vertex(vertex, generator.choice(alphabet))
+        tree.add_edge(parent, vertex)
+    return tree
+
+
+def inject_pattern(
+    graph: LabeledGraph,
+    pattern: LabeledGraph,
+    copies: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    bridge_probability: float = 0.3,
+) -> List[Dict[VertexId, VertexId]]:
+    """Inject ``copies`` embeddings of ``pattern`` into ``graph`` in place.
+
+    Each copy adds fresh vertices carrying the pattern's labels plus the
+    pattern's edges, then connects the copy to the background with a small
+    number of random bridge edges (with probability ``bridge_probability`` per
+    copy vertex, at most one bridge each) so the copy is not an isolated
+    component — mirroring the paper's observation that injected patterns
+    interconnect with the background.
+
+    Returns the list of pattern-vertex → data-vertex maps for the injected
+    copies (useful as ground truth in effectiveness experiments).
+    """
+    if copies < 0:
+        raise ValueError("copies must be non-negative")
+    if not 0.0 <= bridge_probability <= 1.0:
+        raise ValueError("bridge_probability must be within [0, 1]")
+    generator = _resolve_rng(seed, rng)
+    background_vertices = list(graph.vertices())
+    injected_maps: List[Dict[VertexId, VertexId]] = []
+
+    next_id = max(graph.vertices(), default=-1) + 1
+    for _ in range(copies):
+        mapping: Dict[VertexId, VertexId] = {}
+        for pattern_vertex in pattern.vertices():
+            graph.add_vertex(next_id, pattern.label_of(pattern_vertex))
+            mapping[pattern_vertex] = next_id
+            next_id += 1
+        for edge in pattern.edges():
+            graph.add_edge(mapping[edge.u], mapping[edge.v], edge.label)
+        if background_vertices:
+            for pattern_vertex in pattern.vertices():
+                if generator.random() < bridge_probability:
+                    anchor = generator.choice(background_vertices)
+                    target = mapping[pattern_vertex]
+                    if anchor != target and not graph.has_edge(anchor, target):
+                        graph.add_edge(anchor, target)
+        injected_maps.append(mapping)
+    return injected_maps
+
+
+def random_transaction_database(
+    num_graphs: int,
+    num_vertices: int,
+    avg_degree: float,
+    num_labels: int,
+    seed: Optional[int] = None,
+) -> List[LabeledGraph]:
+    """A list of independent Erdős–Rényi labeled graphs (a graph-transaction DB)."""
+    if num_graphs < 0:
+        raise ValueError("num_graphs must be non-negative")
+    generator = random.Random(seed)
+    database: List[LabeledGraph] = []
+    for index in range(num_graphs):
+        database.append(
+            erdos_renyi_graph(
+                num_vertices,
+                avg_degree,
+                num_labels,
+                rng=generator,
+                name=f"transaction-{index}",
+            )
+        )
+    return database

@@ -1,0 +1,84 @@
+"""Text I/O for labeled graphs.
+
+Two formats are supported:
+
+* **LG format** — the ``t # <id> / v <id> <label> / e <u> <v> [label]`` format
+  used by gSpan-family tools.  ``read_lg``/``write_lg`` handle files that
+  contain one or many graphs.
+* **Edge list** — a minimal ``u,label_u,v,label_v`` CSV-ish format handy for
+  quick fixtures (``graph_from_edge_list``).
+
+Datasets produced by :mod:`repro.datasets` can be persisted with these
+helpers so the benchmark harness can cache expensive generations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.graph.labeled_graph import LabeledGraph
+
+PathLike = Union[str, Path]
+
+
+def write_lg(graphs: Union[LabeledGraph, Sequence[LabeledGraph]], path: PathLike) -> None:
+    """Write one graph or a list of graphs in LG format."""
+    if isinstance(graphs, LabeledGraph):
+        graphs = [graphs]
+    lines: List[str] = []
+    for index, graph in enumerate(graphs):
+        lines.append(f"t # {index}")
+        id_map = {vertex: position for position, vertex in enumerate(graph.vertices())}
+        for vertex in graph.vertices():
+            lines.append(f"v {id_map[vertex]} {graph.label_of(vertex)}")
+        for edge in graph.edges():
+            if edge.label is None:
+                lines.append(f"e {id_map[edge.u]} {id_map[edge.v]}")
+            else:
+                lines.append(f"e {id_map[edge.u]} {id_map[edge.v]} {edge.label}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_lg(path: PathLike) -> List[LabeledGraph]:
+    """Read a (multi-)graph LG file written by :func:`write_lg` or gSpan tools."""
+    graphs: List[LabeledGraph] = []
+    current: LabeledGraph | None = None
+    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "t":
+            current = LabeledGraph(name=f"graph-{len(graphs)}")
+            graphs.append(current)
+        elif parts[0] == "v":
+            if current is None:
+                raise ValueError("vertex line before any 't' line")
+            if len(parts) < 3:
+                raise ValueError(f"malformed vertex line: {raw_line!r}")
+            current.add_vertex(int(parts[1]), parts[2])
+        elif parts[0] == "e":
+            if current is None:
+                raise ValueError("edge line before any 't' line")
+            if len(parts) < 3:
+                raise ValueError(f"malformed edge line: {raw_line!r}")
+            label = parts[3] if len(parts) > 3 else None
+            current.add_edge(int(parts[1]), int(parts[2]), label)
+        else:
+            raise ValueError(f"unrecognised LG line: {raw_line!r}")
+    return graphs
+
+
+def graph_from_edge_list(
+    rows: Iterable[Tuple[int, str, int, str]], name: str = ""
+) -> LabeledGraph:
+    """Build a graph from ``(u, label_u, v, label_v)`` rows."""
+    graph = LabeledGraph(name=name)
+    for u, label_u, v, label_v in rows:
+        if not graph.has_vertex(u):
+            graph.add_vertex(u, label_u)
+        if not graph.has_vertex(v):
+            graph.add_vertex(v, label_v)
+        graph.add_edge(u, v)
+    return graph

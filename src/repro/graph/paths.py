@@ -1,0 +1,256 @@
+"""Shortest paths, eccentricities, diameters and simple-path enumeration.
+
+The canonical-diameter machinery of the paper (Definitions 4–7) is built on a
+few primitives provided here:
+
+* ``bfs_distances`` — single-source shortest distances (unweighted).
+* ``eccentricity`` / ``diameter`` — the usual definitions for connected graphs.
+* ``all_diameter_paths`` — every *simple* path whose length equals the
+  diameter (the set ``D_G`` of Definition 4).
+* ``enumerate_simple_paths`` — all simple paths of a given length, used by
+  brute-force reference implementations in tests and by DiamMine's
+  completeness checks.
+
+All lengths are edge counts, matching the paper (a path of length ``l`` has
+``l + 1`` vertices).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, VertexId
+
+
+def bfs_distances(
+    graph: LabeledGraph,
+    source: VertexId,
+    cutoff: Optional[int] = None,
+) -> Dict[VertexId, int]:
+    """Return shortest distances from ``source`` to every reachable vertex.
+
+    ``cutoff`` (if given) stops the search at that distance: vertices farther
+    away are omitted from the result.
+    """
+    if not graph.has_vertex(source):
+        raise KeyError(f"vertex {source} is not in the graph")
+    distances: Dict[VertexId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        current_distance = distances[current]
+        if cutoff is not None and current_distance >= cutoff:
+            continue
+        for neighbor in graph.neighbors(current):
+            if neighbor not in distances:
+                distances[neighbor] = current_distance + 1
+                queue.append(neighbor)
+    return distances
+
+
+def shortest_path_length(
+    graph: LabeledGraph, source: VertexId, target: VertexId
+) -> Optional[int]:
+    """Length of a shortest path between ``source`` and ``target`` (None if disconnected)."""
+    if not graph.has_vertex(target):
+        raise KeyError(f"vertex {target} is not in the graph")
+    if source == target:
+        return 0
+    distances: Dict[VertexId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor in distances:
+                continue
+            distances[neighbor] = distances[current] + 1
+            if neighbor == target:
+                return distances[neighbor]
+            queue.append(neighbor)
+    return None
+
+
+def all_pairs_distances(graph: LabeledGraph) -> Dict[VertexId, Dict[VertexId, int]]:
+    """All-pairs shortest distances via repeated BFS (unweighted graphs)."""
+    return {vertex: bfs_distances(graph, vertex) for vertex in graph.vertices()}
+
+
+def eccentricity(graph: LabeledGraph, vertex: VertexId) -> int:
+    """Maximum shortest distance from ``vertex`` to any other vertex.
+
+    Raises ``ValueError`` if the graph is not connected (eccentricity is
+    undefined / infinite).
+    """
+    distances = bfs_distances(graph, vertex)
+    if len(distances) != graph.num_vertices():
+        raise ValueError("eccentricity is undefined on a disconnected graph")
+    return max(distances.values(), default=0)
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """The diameter D(G): max over shortest distances between all vertex pairs."""
+    if graph.num_vertices() == 0:
+        raise ValueError("diameter is undefined on the empty graph")
+    best = 0
+    for vertex in graph.vertices():
+        distances = bfs_distances(graph, vertex)
+        if len(distances) != graph.num_vertices():
+            raise ValueError("diameter is undefined on a disconnected graph")
+        best = max(best, max(distances.values(), default=0))
+    return best
+
+
+def distance_to_set(
+    graph: LabeledGraph, targets: Sequence[VertexId]
+) -> Dict[VertexId, int]:
+    """Shortest distance from every vertex to the nearest vertex of ``targets``.
+
+    Multi-source BFS; this is ``Dist(v, L)`` from the paper when ``targets``
+    is the vertex sequence of the canonical diameter ``L``.
+    """
+    target_set = set(targets)
+    missing = target_set - {v for v in graph.vertices()}
+    if missing:
+        raise KeyError(f"target vertices not in graph: {sorted(missing)}")
+    distances: Dict[VertexId, int] = {vertex: 0 for vertex in target_set}
+    queue = deque(target_set)
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def enumerate_simple_paths(
+    graph: LabeledGraph,
+    length: int,
+    start: Optional[VertexId] = None,
+) -> Iterator[List[VertexId]]:
+    """Yield every simple path with exactly ``length`` edges.
+
+    Each undirected path is yielded in both orientations unless the caller
+    deduplicates; mining code deduplicates by (frozenset of vertices, label
+    sequence) or by keeping the orientation whose endpoint ids are minimal.
+    ``start`` restricts enumeration to paths beginning at that vertex.
+
+    This is the brute-force primitive: it is exponential in ``length`` and is
+    intended for reference checks, small pattern graphs and DiamMine's unit
+    tests — not for mining large data graphs directly.
+    """
+    if length < 0:
+        raise ValueError("path length must be non-negative")
+    sources = [start] if start is not None else list(graph.vertices())
+
+    def extend(path: List[VertexId], visited: Set[VertexId]) -> Iterator[List[VertexId]]:
+        if len(path) == length + 1:
+            yield list(path)
+            return
+        for neighbor in graph.neighbors(path[-1]):
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            path.append(neighbor)
+            yield from extend(path, visited)
+            path.pop()
+            visited.discard(neighbor)
+
+    for source in sources:
+        if not graph.has_vertex(source):
+            raise KeyError(f"vertex {source} is not in the graph")
+        yield from extend([source], {source})
+
+
+def unique_simple_paths(
+    graph: LabeledGraph, length: int
+) -> List[List[VertexId]]:
+    """All simple paths of ``length`` edges, one orientation per undirected path.
+
+    The kept orientation is the one whose vertex-id sequence is
+    lexicographically smaller — a stable, direction-free enumeration used by
+    the reference (brute-force) path miner.
+    """
+    seen: Set[Tuple[VertexId, ...]] = set()
+    unique: List[List[VertexId]] = []
+    for path in enumerate_simple_paths(graph, length):
+        forward = tuple(path)
+        backward = tuple(reversed(path))
+        key = min(forward, backward)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(list(key))
+    return unique
+
+
+def shortest_paths_between(
+    graph: LabeledGraph, source: VertexId, target: VertexId
+) -> List[List[VertexId]]:
+    """Enumerate all shortest (hence simple) paths between two vertices."""
+    distances = bfs_distances(graph, source)
+    if target not in distances:
+        return []
+    target_distance = distances[target]
+
+    paths: List[List[VertexId]] = []
+
+    def backtrack(current: VertexId, path: List[VertexId]) -> None:
+        if current == source:
+            paths.append(list(reversed(path)))
+            return
+        for neighbor in graph.neighbors(current):
+            if distances.get(neighbor, -1) == distances[current] - 1:
+                path.append(neighbor)
+                backtrack(neighbor, path)
+                path.pop()
+
+    backtrack(target, [target])
+    return paths
+
+
+def all_diameter_paths(graph: LabeledGraph) -> List[List[VertexId]]:
+    """The set D_G of Definition 4: every simple path of length D(G) realising it.
+
+    Only *shortest* paths can realise the diameter (a longer simple path
+    between two vertices at distance D(G) has more than D(G) edges), so it
+    suffices to enumerate shortest paths between every pair at distance D(G).
+    Each path appears once, oriented so that its vertex-id sequence is the
+    smaller of the two orientations.
+    """
+    if graph.num_vertices() == 0:
+        raise ValueError("diameter paths are undefined on the empty graph")
+    graph_diameter = diameter(graph)
+    results: List[List[VertexId]] = []
+    seen: Set[Tuple[VertexId, ...]] = set()
+    for source in graph.vertices():
+        distances = bfs_distances(graph, source)
+        for target, distance in distances.items():
+            if distance != graph_diameter or source > target:
+                continue
+            for path in shortest_paths_between(graph, source, target):
+                forward = tuple(path)
+                backward = tuple(reversed(path))
+                key = min(forward, backward)
+                if key not in seen:
+                    seen.add(key)
+                    results.append(list(key))
+    return results
+
+
+def path_labels(graph: LabeledGraph, path: Sequence[VertexId]) -> List:
+    """The label sequence of a path (convenience for ordering/tests)."""
+    return [graph.label_of(vertex) for vertex in path]
+
+
+def is_simple_path(graph: LabeledGraph, path: Sequence[VertexId]) -> bool:
+    """True if ``path`` is a simple path of ``graph`` (consecutive edges exist)."""
+    if len(path) == 0:
+        return False
+    if len(set(path)) != len(path):
+        return False
+    for u, v in zip(path, path[1:]):
+        if not graph.has_edge(u, v):
+            return False
+    return True

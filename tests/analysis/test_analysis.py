@@ -1,0 +1,100 @@
+"""Tests for the analysis helpers (distributions, recovery, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distributions import (
+    PatternSizeDistribution,
+    injected_pattern_recovery,
+    largest_pattern_size,
+    size_distribution,
+)
+from repro.analysis.reporting import format_series, format_table, print_figure_series, print_table
+from repro.baselines.common import MinedPattern
+from repro.core.patterns import SkinnyPattern
+from repro.graph.labeled_graph import build_graph
+
+
+def make_pattern(num_vertices: int) -> MinedPattern:
+    labels = {i: "a" for i in range(num_vertices)}
+    edges = [(i, i + 1) for i in range(num_vertices - 1)]
+    return MinedPattern(build_graph(labels, edges), support=2)
+
+
+class TestDistributions:
+    def test_size_distribution_counts(self):
+        patterns = [make_pattern(3), make_pattern(3), make_pattern(5)]
+        distribution = size_distribution("demo", patterns)
+        assert distribution.count_at(3) == 2
+        assert distribution.count_at(5) == 1
+        assert distribution.count_at(4) == 0
+        assert distribution.max_size() == 5
+        assert distribution.total() == 3
+        assert distribution.patterns_at_least(4) == 1
+        assert distribution.as_series() == [(3, 2), (5, 1)]
+
+    def test_accepts_skinny_patterns_and_graphs(self):
+        graph = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        skinny = SkinnyPattern(graph, [0, 1], [], 2)
+        distribution = size_distribution("mixed", [skinny, graph])
+        assert distribution.total() == 2
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(TypeError):
+            size_distribution("bad", [42])
+
+    def test_empty_distribution(self):
+        distribution = PatternSizeDistribution("empty")
+        assert distribution.max_size() == 0
+        assert distribution.sizes() == []
+
+
+class TestRecovery:
+    def test_recovery_by_isomorphism(self):
+        injected = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        mined = [MinedPattern(build_graph({5: "c", 6: "b", 7: "a"}, [(5, 6), (6, 7)]), 2)]
+        report = injected_pattern_recovery("demo", mined, [injected])
+        assert report.recovered == [0]
+        assert report.recovery_rate == 1.0
+
+    def test_recovery_by_containment(self):
+        injected = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        bigger = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        mined = [MinedPattern(bigger, 2)]
+        by_containment = injected_pattern_recovery("demo", mined, [injected])
+        strict = injected_pattern_recovery("demo", mined, [injected], allow_containment=False)
+        assert by_containment.recovered == [0]
+        assert strict.missed == [0]
+
+    def test_recovery_with_dict_ground_truth(self):
+        injected = {7: build_graph({0: "a", 1: "b"}, [(0, 1)])}
+        report = injected_pattern_recovery("demo", [], injected)
+        assert report.missed == [7]
+        assert report.recovery_rate == 0.0
+
+    def test_largest_pattern_size(self):
+        assert largest_pattern_size([make_pattern(4), make_pattern(2)]) == (4, 3)
+        assert largest_pattern_size([]) == (0, 0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "2.500" in text
+
+    def test_format_series(self):
+        assert format_series("s", [(1, 2), (3, 4)]) == "s: 1=2, 3=4"
+        assert format_series("s", {}) == "s: (empty)"
+        assert format_series("s", {2: 5}) == "s: 2=5"
+
+    def test_print_helpers_smoke(self, capsys):
+        print_table(["a"], [[1]], title="demo")
+        print_figure_series("Figure X", {"line": [(1, 1)]}, note="scaled")
+        captured = capsys.readouterr().out
+        assert "demo" in captured
+        assert "Figure X" in captured
+        assert "line: 1=1" in captured

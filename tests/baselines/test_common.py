@@ -1,0 +1,65 @@
+"""Tests for the shared baseline infrastructure."""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    IsomorphismRegistry,
+    MinedPattern,
+    PatternGrowthMiner,
+)
+from repro.core.database import MiningContext, SupportMeasure
+from repro.graph.labeled_graph import build_graph, graph_from_paths
+
+
+class TestMinedPattern:
+    def test_properties(self):
+        pattern = MinedPattern(build_graph({0: "a", 1: "b"}, [(0, 1)]), support=3)
+        assert pattern.num_vertices == 2
+        assert pattern.num_edges == 1
+        assert "support=3" in repr(pattern)
+
+
+class TestIsomorphismRegistry:
+    def test_add_and_duplicate(self):
+        registry = IsomorphismRegistry()
+        assert registry.add(build_graph({0: "a", 1: "b"}, [(0, 1)]))
+        assert not registry.add(build_graph({5: "b", 9: "a"}, [(5, 9)]))
+        assert registry.add(build_graph({0: "a", 1: "a"}, [(0, 1)]))
+
+
+class TestPatternGrowthMiner:
+    def test_complete_mining_small_graph(self):
+        graph = graph_from_paths([list("abc"), list("abc")])
+        context = MiningContext(graph, 2)
+        result = PatternGrowthMiner(context).mine()
+        assert result.completed
+        sizes = sorted(p.num_edges for p in result.patterns)
+        # Frequent patterns: edges a-b and b-c, and the path a-b-c.
+        assert sizes == [1, 1, 2]
+
+    def test_max_edges_cap(self):
+        graph = graph_from_paths([list("abcde"), list("abcde")])
+        context = MiningContext(graph, 2)
+        result = PatternGrowthMiner(context, max_edges=2).mine()
+        assert result.completed
+        assert all(p.num_edges <= 2 for p in result.patterns)
+
+    def test_time_budget_marks_incomplete(self):
+        graph = graph_from_paths([list("abcdefghij")] * 3)
+        context = MiningContext(graph, 2)
+        result = PatternGrowthMiner(context, time_budget_seconds=0.0).mine()
+        assert not result.completed
+
+    def test_max_patterns_cap(self):
+        graph = graph_from_paths([list("abcde"), list("abcde")])
+        context = MiningContext(graph, 2)
+        result = PatternGrowthMiner(context, max_patterns=2).mine()
+        assert len(result.patterns) == 2
+        assert not result.completed
+
+    def test_transaction_support(self):
+        database = [graph_from_paths([list("ab")]), graph_from_paths([list("ab")])]
+        context = MiningContext(database, 2, SupportMeasure.TRANSACTIONS)
+        result = PatternGrowthMiner(context).mine()
+        assert len(result.patterns) == 1
+        assert result.patterns[0].support == 2

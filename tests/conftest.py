@@ -1,0 +1,74 @@
+"""Shared fixtures: small graphs used across the test-suite.
+
+The ``figure3_graph`` fixture reproduces the example graph of Figure 3 in the
+paper: a 6-long 2-skinny graph whose canonical diameter is the path
+``v1..v7`` (labels a, b, c, d, e, f, g here), with twigs hanging off the
+backbone at levels 1 and 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph, build_graph
+
+
+@pytest.fixture
+def triangle_graph() -> LabeledGraph:
+    """A labeled triangle a-b-c."""
+    return build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph() -> LabeledGraph:
+    """A 5-vertex labeled path a-b-c-b-a."""
+    return build_graph(
+        {0: "a", 1: "b", 2: "c", 3: "b", 4: "a"},
+        [(0, 1), (1, 2), (2, 3), (3, 4)],
+    )
+
+
+@pytest.fixture
+def figure3_graph() -> LabeledGraph:
+    """A 6-long 2-skinny graph in the spirit of the paper's Figure 3.
+
+    Backbone: 1-2-3-4-5-6-7 (labels a..g).  Twigs: vertex 8 (level 1) off
+    vertex 3, vertex 9 (level 2) off vertex 8, vertex 10 (level 1) off
+    vertex 5, vertex 11 (level 1) off vertex 6.
+    """
+    return build_graph(
+        {
+            1: "a",
+            2: "b",
+            3: "c",
+            4: "d",
+            5: "e",
+            6: "f",
+            7: "g",
+            8: "h",
+            9: "i",
+            10: "j",
+            11: "k",
+        },
+        [
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (3, 8),
+            (8, 9),
+            (5, 10),
+            (6, 11),
+        ],
+    )
+
+
+@pytest.fixture
+def two_triangles_graph() -> LabeledGraph:
+    """Two disjoint labeled triangles (used for component / embedding tests)."""
+    return build_graph(
+        {0: "a", 1: "b", 2: "c", 3: "a", 4: "b", 5: "c"},
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+    )

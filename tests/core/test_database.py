@@ -1,0 +1,100 @@
+"""Tests for the MiningContext (support measures, label index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import MiningContext, SupportMeasure
+from repro.graph.embeddings import Embedding
+from repro.graph.labeled_graph import build_graph
+
+
+class TestConstruction:
+    def test_single_graph_defaults_to_embedding_support(self, triangle_graph):
+        context = MiningContext(triangle_graph, 2)
+        assert context.is_single_graph
+        assert context.support_measure is SupportMeasure.EMBEDDINGS
+
+    def test_database_defaults_to_transaction_support(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 2)
+        assert not context.is_single_graph
+        assert context.support_measure is SupportMeasure.TRANSACTIONS
+
+    def test_explicit_measure_override(self, triangle_graph):
+        context = MiningContext(triangle_graph, 1, SupportMeasure.MNI)
+        assert context.support_measure is SupportMeasure.MNI
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            MiningContext([], 1)
+
+    def test_invalid_support_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            MiningContext(triangle_graph, 0)
+
+    def test_repr(self, triangle_graph):
+        assert "sigma=2" in repr(MiningContext(triangle_graph, 2))
+
+
+class TestLabelIndex:
+    def test_vertices_with_label(self, path_graph):
+        context = MiningContext(path_graph, 1)
+        assert sorted(context.vertices_with_label(0, "a")) == [0, 4]
+        assert sorted(context.vertices_with_label(0, "b")) == [1, 3]
+        assert context.vertices_with_label(0, "zzz") == []
+
+    def test_frequent_labels_embeddings(self, path_graph):
+        context = MiningContext(path_graph, 2)
+        assert context.frequent_labels() == {"a", "b"}
+
+    def test_frequent_labels_transactions(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 2)
+        # 'a', 'b', 'c' appear in both graphs.
+        assert context.frequent_labels() == {"a", "b", "c"}
+
+
+class TestSupport:
+    def test_embedding_support_counts_images(self, path_graph):
+        context = MiningContext(path_graph, 1)
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        embeddings = [
+            Embedding.from_dict({0: 0, 1: 1}),
+            Embedding.from_dict({0: 4, 1: 3}),
+            Embedding.from_dict({0: 4, 1: 3}),
+        ]
+        assert context.support_of_embeddings(embeddings, pattern) == 2
+
+    def test_transaction_support(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 1)
+        embeddings = [
+            Embedding.from_dict({0: 0}, graph_index=0),
+            Embedding.from_dict({0: 1}, graph_index=0),
+            Embedding.from_dict({0: 0}, graph_index=1),
+        ]
+        assert context.support_of_embeddings(embeddings) == 2
+
+    def test_mni_support_requires_pattern(self, triangle_graph):
+        context = MiningContext(triangle_graph, 1, SupportMeasure.MNI)
+        with pytest.raises(ValueError):
+            context.support_of_embeddings([Embedding.from_dict({0: 0})])
+
+    def test_support_of_occurrences(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 1)
+        occurrences = [
+            (0, frozenset({0, 1})),
+            (0, frozenset({1, 2})),
+            (1, frozenset({0, 1})),
+        ]
+        assert context.support_of_occurrences(occurrences) == 2
+        single = MiningContext(triangle_graph, 1)
+        assert single.support_of_occurrences(occurrences) == 3
+
+    def test_is_frequent(self, triangle_graph):
+        context = MiningContext(triangle_graph, 3)
+        assert context.is_frequent(3)
+        assert not context.is_frequent(2)
+
+    def test_totals(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 1)
+        assert context.total_vertices() == 8
+        assert context.total_edges() == 7

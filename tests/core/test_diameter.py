@@ -1,0 +1,139 @@
+"""Tests for canonical diameters, vertex levels and skinny predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diameter import (
+    canonical_diameter,
+    diameter_length,
+    is_delta_skinny,
+    is_l_long_delta_skinny,
+    skinniness,
+    vertex_levels,
+)
+from repro.graph.generators import random_labeled_path, random_skinny_pattern
+from repro.graph.labeled_graph import LabeledGraph, build_graph
+
+
+class TestCanonicalDiameter:
+    def test_path_graph_diameter_is_itself(self, path_graph):
+        assert canonical_diameter(path_graph) == [0, 1, 2, 3, 4]
+        assert diameter_length(path_graph) == 4
+
+    def test_figure3_canonical_diameter(self, figure3_graph):
+        # Labels along 1..7 are a..g; the competing path ending at vertex 11
+        # (label k) is lexicographically larger, so the backbone wins.
+        assert canonical_diameter(figure3_graph) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_lexicographically_smaller_branch_wins(self):
+        # Y-shaped graph: two diameter paths with different end labels.
+        graph = build_graph(
+            {0: "m", 1: "m", 2: "m", 3: "a", 4: "z"},
+            [(0, 1), (1, 2), (2, 3), (2, 4)],
+        )
+        # Diameter = 3; candidate endpoints: 0..3 (labels m,m,m,a) and 0..4
+        # (labels m,m,m,z).  The 'a' ending is smaller once oriented.
+        result = canonical_diameter(graph)
+        labels = [graph.label_of(v) for v in result]
+        assert labels == ["a", "m", "m", "m"]
+
+    def test_id_tiebreak_on_equal_labels(self):
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "a", 3: "b", 4: "a"},
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+        )
+        # Palindromic labels: both orientations label-equal; ids break the tie.
+        assert canonical_diameter(graph) == [0, 1, 2, 3, 4]
+
+    def test_unique_for_any_connected_graph(self, triangle_graph):
+        assert canonical_diameter(triangle_graph) in ([0, 1], [0, 2], [1, 2])
+        assert len(canonical_diameter(triangle_graph)) == 2
+
+    def test_disconnected_raises(self, two_triangles_graph):
+        with pytest.raises(ValueError):
+            canonical_diameter(two_triangles_graph)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            canonical_diameter(LabeledGraph())
+
+    def test_single_vertex(self):
+        graph = build_graph({0: "a"}, [])
+        assert canonical_diameter(graph) == [0]
+        assert diameter_length(graph) == 0
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_diameter_invariant_under_relabeling(self, length, seed):
+        path = random_labeled_path(length, 3, seed=seed)
+        mapping = {vertex: vertex + 50 for vertex in path.vertices()}
+        renamed = path.relabel_vertices(mapping)
+        original = [path.label_of(v) for v in canonical_diameter(path)]
+        relabeled = [renamed.label_of(v) for v in canonical_diameter(renamed)]
+        assert original == relabeled
+
+
+class TestVertexLevels:
+    def test_figure3_levels(self, figure3_graph):
+        levels = vertex_levels(figure3_graph, [1, 2, 3, 4, 5, 6, 7])
+        assert levels[8] == 1
+        assert levels[9] == 2
+        assert levels[10] == 1
+        assert levels[11] == 1
+        assert all(levels[v] == 0 for v in range(1, 8))
+
+    def test_levels_of_path_are_zero(self, path_graph):
+        levels = vertex_levels(path_graph, [0, 1, 2, 3, 4])
+        assert set(levels.values()) == {0}
+
+
+class TestSkinnyPredicates:
+    def test_figure3_is_6_long_2_skinny(self, figure3_graph):
+        assert is_l_long_delta_skinny(figure3_graph, 6, 2)
+        assert not is_l_long_delta_skinny(figure3_graph, 6, 1)
+        assert not is_l_long_delta_skinny(figure3_graph, 5, 2)
+
+    def test_path_is_zero_skinny(self, path_graph):
+        assert is_delta_skinny(path_graph, 0)
+        assert is_l_long_delta_skinny(path_graph, 4, 0)
+
+    def test_skinniness_value(self, figure3_graph, path_graph):
+        assert skinniness(figure3_graph) == 2
+        assert skinniness(path_graph) == 0
+
+    def test_disconnected_graph_is_not_skinny(self, two_triangles_graph):
+        assert not is_delta_skinny(two_triangles_graph, 3)
+        assert not is_l_long_delta_skinny(two_triangles_graph, 1, 3)
+
+    def test_empty_graph(self):
+        assert is_delta_skinny(LabeledGraph(), 0)
+        assert not is_l_long_delta_skinny(LabeledGraph(), 0, 0)
+
+    def test_invalid_parameters(self, path_graph):
+        with pytest.raises(ValueError):
+            is_delta_skinny(path_graph, -1)
+        with pytest.raises(ValueError):
+            is_l_long_delta_skinny(path_graph, -1, 0)
+        with pytest.raises(ValueError):
+            is_l_long_delta_skinny(path_graph, 1, -1)
+
+    def test_skinniness_disconnected_raises(self, two_triangles_graph):
+        with pytest.raises(ValueError):
+            skinniness(two_triangles_graph)
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_skinny_patterns_satisfy_predicate(self, backbone, delta, seed):
+        if 2 * delta > backbone:
+            return
+        extra = 0 if delta == 0 else 2 * delta
+        pattern = random_skinny_pattern(backbone, delta, backbone + 1 + extra, 3, seed=seed)
+        assert is_l_long_delta_skinny(pattern, backbone, delta)
+        assert skinniness(pattern) <= delta

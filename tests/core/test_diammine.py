@@ -1,0 +1,201 @@
+"""Tests for DiamMine (Stage I: frequent simple path mining)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import MiningContext, SupportMeasure
+from repro.core.diammine import DiamMine, brute_force_frequent_paths, mine_frequent_paths
+from repro.core.orders import canonical_label_orientation
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    inject_pattern,
+    random_labeled_path,
+    random_transaction_database,
+)
+from repro.graph.labeled_graph import build_graph, graph_from_paths
+from repro.graph.paths import is_simple_path
+
+
+class TestFrequentEdges:
+    def test_single_edge_paths(self):
+        graph = graph_from_paths([["a", "b"], ["a", "b"], ["a", "c"]])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(1)
+        assert len(paths) == 1
+        assert paths[0].labels == ("a", "b")
+        assert paths[0].support == 2
+
+    def test_threshold_filters(self):
+        graph = graph_from_paths([["a", "b"], ["a", "c"]])
+        context = MiningContext(graph, 2)
+        assert DiamMine(context).mine(1) == []
+
+    def test_invalid_length(self, triangle_graph):
+        with pytest.raises(ValueError):
+            DiamMine(MiningContext(triangle_graph, 1)).mine(0)
+
+
+class TestPowersOfTwo:
+    def test_length_two_paths(self):
+        graph = graph_from_paths([["a", "b", "c"], ["a", "b", "c"]])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(2)
+        assert len(paths) == 1
+        assert paths[0].labels == ("a", "b", "c")
+        assert paths[0].support == 2
+
+    def test_length_four_paths(self):
+        graph = graph_from_paths([list("abcde"), list("abcde"), list("vwxyz")])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(4)
+        assert [p.labels for p in paths] == [("a", "b", "c", "d", "e")]
+
+    def test_embeddings_are_simple_paths(self):
+        graph = erdos_renyi_graph(50, 2.5, 3, seed=11)
+        context = MiningContext(graph, 2)
+        for path in DiamMine(context).mine(4):
+            for graph_index, vertices in path.embeddings:
+                assert graph_index == 0
+                assert is_simple_path(graph, list(vertices))
+                labels = tuple(str(graph.label_of(v)) for v in vertices)
+                assert labels == path.labels
+
+
+class TestMerging:
+    def test_length_three_by_merging(self):
+        graph = graph_from_paths([list("abcd"), list("abcd")])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(3)
+        assert [p.labels for p in paths] == [("a", "b", "c", "d")]
+
+    def test_odd_lengths_match_bruteforce(self):
+        graph = erdos_renyi_graph(35, 2.2, 3, seed=3)
+        context = MiningContext(graph, 2)
+        for length in (3, 5, 6, 7):
+            mined = DiamMine(context, prune_intermediate=False).mine(length)
+            brute = brute_force_frequent_paths(context, length)
+            assert sorted(p.labels for p in mined) == sorted(p.labels for p in brute)
+            mined_support = {p.labels: p.support for p in mined}
+            brute_support = {p.labels: p.support for p in brute}
+            assert mined_support == brute_support
+
+
+class TestCanonicalisation:
+    def test_labels_are_canonical_orientation(self):
+        graph = graph_from_paths([["c", "b", "a"], ["c", "b", "a"]])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(2)
+        assert paths[0].labels == ("a", "b", "c")
+        for _, vertices in paths[0].embeddings:
+            labels = tuple(str(graph.label_of(v)) for v in vertices)
+            assert labels == ("a", "b", "c")
+
+    def test_palindromic_path_counted_once(self):
+        graph = graph_from_paths([["a", "b", "a"], ["a", "b", "a"]])
+        context = MiningContext(graph, 2)
+        paths = DiamMine(context).mine(2)
+        assert len(paths) == 1
+        assert paths[0].support == 2
+
+    def test_path_pattern_to_graph(self):
+        graph = graph_from_paths([list("abc"), list("abc")])
+        context = MiningContext(graph, 2)
+        path = DiamMine(context).mine(2)[0]
+        materialised = path.to_graph()
+        assert materialised.num_vertices() == 3
+        assert materialised.num_edges() == 2
+        assert [materialised.label_of(v) for v in (0, 1, 2)] == ["a", "b", "c"]
+
+    def test_path_pattern_embedding_objects(self):
+        graph = graph_from_paths([list("abc"), list("abc")])
+        context = MiningContext(graph, 2)
+        path = DiamMine(context).mine(2)[0]
+        embeddings = path.to_embedding_objects()
+        assert len(embeddings) == 2
+        for embedding in embeddings:
+            assert set(embedding.as_dict().keys()) == {0, 1, 2}
+
+
+class TestTransactionSetting:
+    def test_transaction_support(self):
+        database = [
+            graph_from_paths([list("abc")]),
+            graph_from_paths([list("abc"), list("abc")]),
+            graph_from_paths([list("xyz")]),
+        ]
+        context = MiningContext(database, 2)
+        paths = DiamMine(context).mine(2)
+        assert len(paths) == 1
+        # Transaction support counts graphs, not embeddings.
+        assert paths[0].support == 2
+
+    def test_injected_paths_found_across_transactions(self):
+        database = random_transaction_database(4, 40, 1.5, 6, seed=1)
+        planted = random_labeled_path(5, 6, seed=9)
+        for index, graph in enumerate(database):
+            inject_pattern(graph, planted, copies=1, seed=100 + index)
+        context = MiningContext(database, 4)
+        paths = DiamMine(context).mine(5)
+        planted_labels = canonical_label_orientation(
+            tuple(str(planted.label_of(v)) for v in sorted(planted.vertices()))
+        )
+        assert planted_labels in {p.labels for p in paths}
+
+
+class TestConvenienceAPIs:
+    def test_mine_lengths_shares_ladder(self):
+        graph = erdos_renyi_graph(40, 2, 3, seed=7)
+        context = MiningContext(graph, 2)
+        miner = DiamMine(context)
+        by_length = miner.mine_lengths([2, 4, 3])
+        assert set(by_length) == {2, 3, 4}
+        assert by_length[2] == miner.mine(2)
+
+    def test_mine_at_least_stops_when_empty(self):
+        graph = graph_from_paths([list("abc"), list("abc")])
+        context = MiningContext(graph, 2)
+        results = DiamMine(context).mine_at_least(1, 10)
+        assert set(results) == {1, 2}
+
+    def test_functional_facade(self):
+        graph = graph_from_paths([list("abc"), list("abc")])
+        assert len(mine_frequent_paths(MiningContext(graph, 2), 2)) == 1
+
+    def test_max_paths_per_length_caps_output(self):
+        graph = erdos_renyi_graph(60, 3, 2, seed=13)
+        context = MiningContext(graph, 2)
+        capped = DiamMine(context, max_paths_per_length=3).mine(2)
+        uncapped = DiamMine(context).mine(2)
+        assert len(capped) <= len(uncapped)
+        assert len(capped) <= 4  # cap counts undirected sequences
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.integers(min_value=20, max_value=45),
+        st.floats(min_value=1.0, max_value=2.5),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_matches_bruteforce_on_random_graphs(
+        self, vertices, degree, labels, seed, length
+    ):
+        graph = erdos_renyi_graph(vertices, degree, labels, seed=seed)
+        context = MiningContext(graph, 2)
+        mined = DiamMine(context, prune_intermediate=False).mine(length)
+        brute = brute_force_frequent_paths(context, length)
+        assert sorted(p.labels for p in mined) == sorted(p.labels for p in brute)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_transaction_setting_matches_bruteforce(self, seed):
+        database = random_transaction_database(3, 25, 2.0, 3, seed=seed)
+        context = MiningContext(database, 2)
+        mined = DiamMine(context).mine(3)
+        brute = brute_force_frequent_paths(context, 3)
+        assert sorted(p.labels for p in mined) == sorted(p.labels for p in brute)

@@ -1,0 +1,149 @@
+"""Tests for the generic direct-mining framework (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import (
+    DirectMiner,
+    SkinnyConstraintDriver,
+    check_continuity,
+    check_reducibility,
+    max_degree_constraint,
+    min_size_constraint,
+    skinny_constraint,
+    uniform_degree_constraint,
+)
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_skinny_pattern
+from repro.graph.labeled_graph import build_graph, graph_from_paths
+
+
+def pattern_universe():
+    """A small explicit pattern universe used for property checks.
+
+    Contains paths of several lengths, a star, a triangle, a square and a
+    skinny Y shape — enough to exercise both positive and negative cases of
+    the reducibility / continuity definitions.
+    """
+    universe = []
+    for length in range(1, 5):
+        labels = {i: "a" for i in range(length + 1)}
+        edges = [(i, i + 1) for i in range(length)]
+        universe.append(build_graph(labels, edges))
+    universe.append(  # star
+        build_graph({0: "a", 1: "a", 2: "a", 3: "a"}, [(0, 1), (0, 2), (0, 3)])
+    )
+    universe.append(  # triangle
+        build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+    )
+    universe.append(  # square (2-regular, all degrees equal)
+        build_graph({0: "a", 1: "a", 2: "a", 3: "a"}, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    )
+    universe.append(  # Y with a longer arm (3-long 1-skinny)
+        build_graph(
+            {0: "a", 1: "a", 2: "a", 3: "a", 4: "a"},
+            [(0, 1), (1, 2), (2, 3), (2, 4)],
+        )
+    )
+    return universe
+
+
+class TestReducibility:
+    def test_skinny_constraint_is_reducible(self):
+        report = check_reducibility(skinny_constraint(3, 1), pattern_universe(), min_size=3)
+        assert report.reducible
+        # The minimal patterns are the bare length-3 paths.
+        assert any(
+            pattern.num_edges() == 3 and pattern.num_vertices() == 4
+            for pattern in report.minimal_patterns
+        )
+        assert report.threshold_size == 3
+
+    def test_max_degree_constraint_not_reducible(self):
+        # Paper Section 5.2: MaxDegree < K admits only trivial minimal patterns.
+        report = check_reducibility(
+            max_degree_constraint(3), pattern_universe(), min_size=2
+        )
+        assert not report.reducible
+
+    def test_min_size_constraint_reducible(self):
+        report = check_reducibility(min_size_constraint(3), pattern_universe(), min_size=3)
+        assert report.reducible
+        assert all(p.num_edges() == 3 for p in report.minimal_patterns)
+
+    def test_empty_universe(self):
+        report = check_reducibility(min_size_constraint(1), [])
+        assert not report.reducible
+        assert report.minimal_patterns == []
+
+
+class TestContinuity:
+    def test_skinny_constraint_is_continuous_on_universe(self):
+        predicate = skinny_constraint(3, 1)
+        universe = pattern_universe()
+        minimal = check_reducibility(predicate, universe, min_size=3).minimal_patterns
+        report = check_continuity(predicate, universe, minimal)
+        assert report.continuous
+
+    def test_uniform_degree_constraint_not_continuous(self):
+        # Paper Section 5.3: "all vertices have equal degree" is not continuous.
+        predicate = uniform_degree_constraint()
+        universe = pattern_universe()
+        single_edge = [p for p in universe if p.num_edges() == 1]
+        report = check_continuity(predicate, universe, minimal_patterns=single_edge)
+        assert not report.continuous
+        # The square (2-regular) is satisfying but removing any edge breaks it.
+        assert any(p.num_edges() == 4 and p.degree(0) == 2 for p in report.violating_patterns)
+
+    def test_min_size_constraint_continuous(self):
+        predicate = min_size_constraint(2)
+        universe = pattern_universe()
+        minimal = check_reducibility(predicate, universe, min_size=2).minimal_patterns
+        assert check_continuity(predicate, universe, minimal).continuous
+
+
+class TestDirectMiner:
+    def build_data(self):
+        background = erdos_renyi_graph(120, 1.4, 25, seed=41)
+        pattern = random_skinny_pattern(5, 1, 8, 25, seed=43)
+        inject_pattern(background, pattern, copies=3, seed=47)
+        return background, pattern
+
+    def test_skinny_driver_equivalent_to_skinnymine(self):
+        from repro.core import SkinnyMine
+
+        background, _ = self.build_data()
+        driver_results = DirectMiner(
+            background, min_support=2, driver=SkinnyConstraintDriver()
+        ).mine((5, 1))
+        skinnymine_results = SkinnyMine(background, min_support=2).mine(5, 1)
+        assert {p.canonical_form() for p in driver_results} == {
+            p.canonical_form() for p in skinnymine_results
+        }
+
+    def test_precompute_and_index_reuse(self):
+        background, _ = self.build_data()
+        miner = DirectMiner(background, min_support=2, driver=SkinnyConstraintDriver())
+        miner.precompute([(5, 1), (4, 1)])
+        assert len(miner.index) == 2
+        results = miner.mine((5, 1))
+        assert miner.last_report is not None
+        assert miner.last_report.served_from_index
+        assert miner.last_report.num_patterns == len(results)
+
+    def test_report_when_not_precomputed(self):
+        background, _ = self.build_data()
+        miner = DirectMiner(background, min_support=2, driver=SkinnyConstraintDriver())
+        miner.mine((5, 1))
+        assert not miner.last_report.served_from_index
+        assert miner.last_report.num_minimal_patterns >= 1
+
+    def test_minimal_pattern_index_api(self):
+        from repro.core.framework import MinimalPatternIndex
+
+        index = MinimalPatternIndex()
+        index.store("k", ["x"], 0.5)
+        assert index.get("k") == ["x"]
+        assert index.get("missing") is None
+        assert index.parameters() == ["k"]
+        assert len(index) == 1

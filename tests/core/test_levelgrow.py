@@ -1,0 +1,189 @@
+"""Tests for LevelGrow (Stage II growth) and the pattern registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import MiningContext
+from repro.core.diammine import DiamMine
+from repro.core.levelgrow import (
+    ExistingEdgeExtension,
+    LevelGrower,
+    NewVertexExtension,
+    PatternRegistry,
+)
+from repro.core.patterns import initial_state_from_path
+from repro.graph.labeled_graph import build_graph, graph_from_paths
+
+
+def star_data_graph():
+    """Two copies of a path a-b-c whose middle vertex carries a 'z' twig."""
+    graph = graph_from_paths([list("abc"), list("abc")])
+    # vertices 0,1,2 and 3,4,5; add twigs on the middle vertices.
+    twig_one = 100
+    twig_two = 101
+    graph.add_vertex(twig_one, "z")
+    graph.add_vertex(twig_two, "z")
+    graph.add_edge(1, twig_one)
+    graph.add_edge(4, twig_two)
+    return graph
+
+
+def backbone_path(context, length=2, labels=("a", "b", "c")):
+    """The DiamMine path whose label sequence equals ``labels``."""
+    for path in DiamMine(context).mine(length):
+        if path.labels == tuple(labels):
+            return path
+    raise AssertionError(f"no frequent path with labels {labels}")
+
+
+class TestPatternRegistry:
+    def test_detects_isomorphic_duplicates(self):
+        registry = PatternRegistry()
+        first = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        second = build_graph({7: "b", 9: "a"}, [(7, 9)])
+        assert registry.add_if_new(first)
+        assert not registry.add_if_new(second)
+        assert len(registry) == 1
+
+    def test_distinguishes_non_isomorphic(self):
+        registry = PatternRegistry()
+        assert registry.add_if_new(build_graph({0: "a", 1: "b"}, [(0, 1)]))
+        assert registry.add_if_new(build_graph({0: "a", 1: "c"}, [(0, 1)]))
+        assert len(registry) == 2
+
+
+class TestExtensionsOrdering:
+    def test_sort_keys(self):
+        new = NewVertexExtension(parent=2, label="z")
+        edge = ExistingEdgeExtension(u=5, v=3)
+        assert new.sort_key()[0] == 0
+        assert edge.sort_key() == (1, 3, 5)
+
+
+class TestLevelGrow:
+    def test_grows_frequent_twig(self):
+        graph = star_data_graph()
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        assert len(grown) == 1
+        result = grown[0]
+        assert result.pattern.num_vertices() == 4
+        assert result.support == 2
+        assert result.levels[result.next_vertex_id() - 1] == 1
+
+    def test_rejects_infrequent_twig(self):
+        graph = star_data_graph()
+        # Add a unique twig to only one copy: support 1 < 2.
+        graph.add_vertex(200, "q")
+        graph.add_edge(1, 200)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        labels_used = {
+            str(state.pattern.label_of(v))
+            for state in grown
+            for v in state.pattern.vertices()
+        }
+        assert "q" not in labels_used
+        assert grower.statistics.candidates_rejected_support >= 1
+
+    def test_constraint_rejections_counted(self):
+        # Endpoint twigs must be rejected by Constraint I.
+        graph = graph_from_paths([list("abc"), list("abc")])
+        graph.add_vertex(100, "z")
+        graph.add_vertex(101, "z")
+        graph.add_edge(0, 100)  # attach to the head vertex
+        graph.add_edge(3, 101)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        assert grown == []
+        assert grower.statistics.candidates_rejected_constraints >= 1
+
+    def test_level_must_be_positive(self):
+        graph = star_data_graph()
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        with pytest.raises(ValueError):
+            grower.grow_level(root, 0)
+
+    def test_max_patterns_cap(self):
+        graph = star_data_graph()
+        # Make many distinct frequent twigs by adding several labels to both copies.
+        for offset, label in enumerate("defgh"):
+            first, second = 300 + 2 * offset, 301 + 2 * offset
+            graph.add_vertex(first, label)
+            graph.add_vertex(second, label)
+            graph.add_edge(1, first)
+            graph.add_edge(4, second)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context, max_patterns=3)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        assert 0 < len(grown) <= 4
+
+    def test_duplicate_statistics(self):
+        # Two frequent twigs on the same parent: patterns {x}, {y}, {x,y} are
+        # reachable in two orders; the registry must collapse duplicates.
+        graph = graph_from_paths([list("abc"), list("abc")])
+        for base, label in ((400, "x"), (402, "y")):
+            graph.add_vertex(base, label)
+            graph.add_vertex(base + 1, label)
+            graph.add_edge(1, base)
+            graph.add_edge(4, base + 1)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        # Patterns: +x, +y, +x+y  (and +x twice is impossible: only one x per copy).
+        assert len(grown) == 3
+        assert grower.statistics.candidates_rejected_duplicate >= 1
+
+    def test_existing_edge_extension_creates_cycle(self):
+        # Data: path a-b-c with a twig 'z' on b and an edge from z to... we
+        # need an (1,1)-level edge: two twigs z,y on the middle, connected.
+        graph = graph_from_paths([list("abc"), list("abc")])
+        for base in (0, 3):
+            z, y = 500 + base, 520 + base
+            graph.add_vertex(z, "z")
+            graph.add_vertex(y, "y")
+            graph.add_edge(base + 1, z)
+            graph.add_edge(base + 1, y)
+            graph.add_edge(z, y)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        # Expect at least one grown pattern containing the z-y edge (a triangle
+        # hanging off the backbone).
+        has_cycle = any(
+            state.pattern.num_edges() > state.pattern.num_vertices() - 1
+            for state in grown
+        )
+        assert has_cycle
+
+    def test_statistics_merge(self):
+        from repro.core.levelgrow import LevelGrowStatistics
+
+        one = LevelGrowStatistics(1, 2, 3, 4, 5)
+        two = LevelGrowStatistics(10, 20, 30, 40, 50)
+        one.merge(two)
+        assert (
+            one.candidates_generated,
+            one.candidates_rejected_constraints,
+            one.candidates_rejected_support,
+            one.candidates_rejected_duplicate,
+            one.patterns_emitted,
+        ) == (11, 22, 33, 44, 55)

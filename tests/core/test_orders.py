@@ -1,0 +1,104 @@
+"""Tests for the path orders (Definitions 2 and 3)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orders import (
+    canonical_label_orientation,
+    canonical_orientation,
+    compare_lexicographic,
+    compare_total,
+    label_key,
+    path_label_sequence,
+    path_sort_key,
+    smallest_path,
+)
+from repro.graph.labeled_graph import build_graph
+
+
+class TestLexicographicOrder:
+    def test_shorter_path_is_smaller(self):
+        assert compare_lexicographic(("a",), ("a", "b")) == -1
+        assert compare_lexicographic(("a", "b"), ("a",)) == 1
+
+    def test_equal_length_compares_labels(self):
+        assert compare_lexicographic(("a", "b"), ("a", "c")) == -1
+        assert compare_lexicographic(("a", "c"), ("a", "b")) == 1
+
+    def test_equal_sequences(self):
+        assert compare_lexicographic(("a", "b"), ("a", "b")) == 0
+
+    def test_first_difference_decides(self):
+        assert compare_lexicographic(("a", "z", "a"), ("b", "a", "a")) == -1
+
+
+class TestTotalOrder:
+    def test_label_order_dominates(self):
+        assert compare_total(("a", "b"), (5, 6), ("a", "c"), (0, 1)) == -1
+
+    def test_id_tiebreak(self):
+        assert compare_total(("a", "b"), (0, 1), ("a", "b"), (0, 2)) == -1
+        assert compare_total(("a", "b"), (3, 1), ("a", "b"), (0, 2)) == 1
+
+    def test_identical_paths(self):
+        assert compare_total(("a",), (1,), ("a",), (1,)) == 0
+
+    @given(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=5),
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_antisymmetry_of_lexicographic(self, left, right):
+        forward = compare_lexicographic(tuple(left), tuple(right))
+        backward = compare_lexicographic(tuple(right), tuple(left))
+        assert forward == -backward
+
+
+class TestCanonicalOrientation:
+    def test_label_orientation_picks_smaller(self):
+        assert canonical_label_orientation(("b", "a")) == ("a", "b")
+        assert canonical_label_orientation(("a", "b")) == ("a", "b")
+
+    def test_palindrome_keeps_forward(self):
+        assert canonical_label_orientation(("a", "b", "a")) == ("a", "b", "a")
+
+    def test_orientation_on_graph_path(self, path_graph):
+        # path_graph labels: a-b-c-b-a; ids 0..4.  Palindromic labels, so the
+        # id tie-break decides: forward [0..4] starts with 0 < 4.
+        assert canonical_orientation(path_graph, [4, 3, 2, 1, 0]) == [0, 1, 2, 3, 4]
+        assert canonical_orientation(path_graph, [0, 1, 2, 3, 4]) == [0, 1, 2, 3, 4]
+
+    def test_orientation_prefers_smaller_labels(self):
+        graph = build_graph({0: "z", 1: "m", 2: "a"}, [(0, 1), (1, 2)])
+        assert canonical_orientation(graph, [0, 1, 2]) == [2, 1, 0]
+
+    def test_smallest_path(self, path_graph):
+        paths = [[2, 3, 4], [0, 1, 2]]
+        assert smallest_path(path_graph, paths) == [0, 1, 2]
+
+    def test_smallest_path_empty_raises(self, path_graph):
+        import pytest
+
+        with pytest.raises(ValueError):
+            smallest_path(path_graph, [])
+
+    def test_path_sort_key_orders_by_length_first(self, path_graph):
+        short = path_sort_key(path_graph, [0, 1])
+        long = path_sort_key(path_graph, [0, 1, 2])
+        assert short < long
+
+    def test_label_sequence(self, path_graph):
+        assert path_label_sequence(path_graph, [0, 1, 2]) == ("a", "b", "c")
+
+    def test_label_key_stringifies(self):
+        assert label_key(3) == "3"
+        assert label_key("x") == "x"
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_label_orientation_idempotent(self, labels):
+        once = canonical_label_orientation(tuple(labels))
+        assert canonical_label_orientation(once) == once
+        assert once <= tuple(reversed(once))

@@ -1,0 +1,111 @@
+"""Tests for PathPattern, SkinnyPattern and GrowthState."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.patterns import (
+    GrowthState,
+    PathPattern,
+    SkinnyPattern,
+    initial_state_from_path,
+)
+from repro.graph.embeddings import Embedding
+from repro.graph.labeled_graph import build_graph
+
+
+def simple_path_pattern() -> PathPattern:
+    return PathPattern(
+        labels=("a", "b", "c"),
+        embeddings=((0, (10, 11, 12)), (0, (20, 21, 22))),
+        support=2,
+    )
+
+
+class TestPathPattern:
+    def test_length_and_graph(self):
+        path = simple_path_pattern()
+        assert path.length == 2
+        graph = path.to_graph()
+        assert graph.num_vertices() == 3
+        assert graph.num_edges() == 2
+        assert [graph.label_of(v) for v in (0, 1, 2)] == ["a", "b", "c"]
+
+    def test_embedding_objects(self):
+        embeddings = simple_path_pattern().to_embedding_objects()
+        assert len(embeddings) == 2
+        assert embeddings[0].as_dict() == {0: 10, 1: 11, 2: 12}
+
+
+class TestInitialState:
+    def test_initial_state_shape(self):
+        state = initial_state_from_path(simple_path_pattern())
+        assert state.diameter_len == 2
+        assert state.head == 0 and state.tail == 2
+        assert state.diameter_vertices == [0, 1, 2]
+        assert state.levels == {0: 0, 1: 0, 2: 0}
+        assert state.dist_head == {0: 0, 1: 1, 2: 2}
+        assert state.dist_tail == {0: 2, 1: 1, 2: 0}
+        assert state.support == 2
+        assert len(state.embeddings) == 2
+
+    def test_non_canonical_orientation_rejected(self):
+        path = PathPattern(labels=("c", "b", "a"), embeddings=(), support=0)
+        with pytest.raises(ValueError):
+            initial_state_from_path(path)
+
+    def test_state_copy_is_independent(self):
+        state = initial_state_from_path(simple_path_pattern())
+        clone = state.copy()
+        clone.pattern.add_vertex(99, "z")
+        clone.levels[99] = 1
+        assert 99 not in state.pattern
+        assert 99 not in state.levels
+
+    def test_next_vertex_id_and_levels(self):
+        state = initial_state_from_path(simple_path_pattern())
+        assert state.next_vertex_id() == 3
+        assert state.vertices_at_level(0) == [0, 1, 2]
+        assert state.vertices_at_level(1) == []
+        assert state.max_level() == 0
+
+    def test_diameter_label_sequence(self):
+        state = initial_state_from_path(simple_path_pattern())
+        assert state.diameter_label_sequence() == ("a", "b", "c")
+
+    def test_to_pattern(self):
+        state = initial_state_from_path(simple_path_pattern())
+        pattern = state.to_pattern()
+        assert isinstance(pattern, SkinnyPattern)
+        assert pattern.diameter == [0, 1, 2]
+        assert pattern.support == 2
+        assert pattern.diameter_length == 2
+        assert pattern.num_vertices == 3
+        assert pattern.num_edges == 2
+
+    def test_repr(self):
+        state = initial_state_from_path(simple_path_pattern())
+        assert "GrowthState" in repr(state)
+        assert "SkinnyPattern" in repr(state.to_pattern())
+
+
+class TestSkinnyPattern:
+    def test_skinniness_and_labels(self):
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "c", 3: "z"}, [(0, 1), (1, 2), (1, 3)]
+        )
+        pattern = SkinnyPattern(
+            graph=graph,
+            diameter=[0, 1, 2],
+            embeddings=[Embedding.from_dict({0: 0, 1: 1, 2: 2, 3: 3})],
+            support=1,
+        )
+        assert pattern.skinniness == 1
+        assert pattern.diameter_labels() == ("a", "b", "c")
+
+    def test_canonical_form_matches_isomorphic_pattern(self):
+        graph_a = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        graph_b = build_graph({5: "b", 7: "a"}, [(5, 7)])
+        one = SkinnyPattern(graph_a, [0, 1], [], 0)
+        two = SkinnyPattern(graph_b, [7, 5], [], 0)
+        assert one.canonical_form() == two.canonical_form()

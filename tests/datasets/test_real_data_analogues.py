@@ -1,0 +1,114 @@
+"""Tests for the DBLP-, Weibo- and trajectory-style synthetic datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dblp import (
+    CareerArchetype,
+    DBLPConfig,
+    collaboration_label,
+    generate_dblp_dataset,
+)
+from repro.datasets.trajectories import TrajectoryConfig, generate_trajectory_dataset
+from repro.datasets.weibo import ROOT_LABEL, WeiboConfig, generate_weibo_dataset
+from repro.graph.paths import diameter
+
+
+class TestDBLP:
+    def test_labels(self):
+        assert collaboration_label("P", 2) == "P2"
+        with pytest.raises(ValueError):
+            collaboration_label("X", 1)
+        with pytest.raises(ValueError):
+            collaboration_label("P", 9)
+
+    def test_archetype_label_sequence(self):
+        archetype = CareerArchetype("demo", (("B", 1), ("P", 3)))
+        labels = archetype.label_sequence(4)
+        assert labels == ["B1", "B1", "P3", "P3"]
+
+    def test_dataset_shape(self):
+        config = DBLPConfig(num_authors=12, career_length=10, authors_per_archetype=2, seed=1)
+        dataset = generate_dblp_dataset(config)
+        assert len(dataset.graphs) == 12
+        # Timeline backbone: career_length year nodes labelled 'Y' forming a path.
+        graph = dataset.graphs[0]
+        year_nodes = [v for v in graph.vertices() if graph.label_of(v) == "Y"]
+        assert len(year_nodes) == 10
+        assert diameter(graph) >= 9
+
+    def test_archetype_ground_truth(self):
+        config = DBLPConfig(num_authors=12, career_length=8, authors_per_archetype=2, seed=2)
+        dataset = generate_dblp_dataset(config)
+        rising = dataset.archetype_authors("rising-star")
+        assert len(rising) == 2
+        background = [a for a, name in dataset.archetype_of_author.items() if name is None]
+        assert len(background) == 12 - 6
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            generate_dblp_dataset(DBLPConfig(num_authors=2, authors_per_archetype=5))
+        with pytest.raises(ValueError):
+            generate_dblp_dataset(DBLPConfig(career_length=1))
+
+    def test_deterministic(self):
+        config = DBLPConfig(num_authors=10, career_length=6, authors_per_archetype=1, seed=9)
+        first = generate_dblp_dataset(config)
+        second = generate_dblp_dataset(config)
+        assert [g.num_edges() for g in first.graphs] == [g.num_edges() for g in second.graphs]
+
+
+class TestWeibo:
+    def test_dataset_shape(self):
+        config = WeiboConfig(num_conversations=10, planted_conversations=3, chain_length=8, seed=1)
+        dataset = generate_weibo_dataset(config)
+        assert len(dataset.graphs) == 10
+        assert dataset.planted_conversation_ids == [0, 1, 2]
+        for graph in dataset.graphs:
+            assert graph.label_of(0) == ROOT_LABEL
+            assert graph.is_connected()
+
+    def test_planted_conversations_are_longer(self):
+        config = WeiboConfig(num_conversations=8, planted_conversations=4, chain_length=10, seed=3)
+        dataset = generate_weibo_dataset(config)
+        planted = [diameter(dataset.graphs[i]) for i in dataset.planted_conversation_ids]
+        background = [
+            diameter(dataset.graphs[i])
+            for i in range(len(dataset.graphs))
+            if i not in dataset.planted_conversation_ids
+        ]
+        assert min(planted) >= config.chain_length
+        assert max(background) < config.chain_length
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            generate_weibo_dataset(WeiboConfig(num_conversations=2, planted_conversations=5))
+        with pytest.raises(ValueError):
+            generate_weibo_dataset(WeiboConfig(chain_length=1))
+
+
+class TestTrajectories:
+    def test_dataset_shape(self):
+        config = TrajectoryConfig(num_users=15, route_length=6, users_per_route=4, seed=1)
+        dataset = generate_trajectory_dataset(config)
+        assert len(dataset.graphs) == 15
+        assert len(dataset.popular_routes) == config.num_popular_routes
+        assert all(len(route) == 7 for route in dataset.popular_routes)
+
+    def test_route_users_share_backbone(self):
+        config = TrajectoryConfig(num_users=14, route_length=5, users_per_route=5, seed=2)
+        dataset = generate_trajectory_dataset(config)
+        route = dataset.popular_routes[0]
+        followers = [u for u, r in dataset.route_of_user.items() if r == 0]
+        assert len(followers) == 5
+        for user in followers:
+            graph = dataset.graphs[user]
+            backbone_labels = [graph.label_of(v) for v in range(len(route))]
+            assert backbone_labels == route
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            generate_trajectory_dataset(TrajectoryConfig(num_users=2, users_per_route=5))
+        with pytest.raises(ValueError):
+            generate_trajectory_dataset(TrajectoryConfig(route_length=1))

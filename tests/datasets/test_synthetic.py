@@ -1,0 +1,118 @@
+"""Tests for the Table 1/2/3 and graph-transaction dataset builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    TABLE1_SETTINGS,
+    TABLE2_DIFFERENCES,
+    TABLE3_PATTERNS,
+    build_gid_dataset,
+    build_skinniness_series,
+    build_transaction_dataset,
+)
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.paths import diameter
+
+
+class TestTable1Settings:
+    def test_all_five_settings_present(self):
+        assert set(TABLE1_SETTINGS) == {1, 2, 3, 4, 5}
+
+    def test_table1_values_match_paper(self):
+        one = TABLE1_SETTINGS[1]
+        assert (one.num_vertices, one.num_labels, one.avg_degree) == (500, 80, 2)
+        assert (one.long_pattern_vertices, one.long_pattern_diameter) == (40, 18)
+        four = TABLE1_SETTINGS[4]
+        assert (four.num_vertices, four.num_labels, four.avg_degree) == (1000, 240, 4)
+        assert four.short_pattern_support == 20
+        five = TABLE1_SETTINGS[5]
+        assert five.num_short_patterns == 20
+
+    def test_table2_differences_documented(self):
+        assert "2 vs 1" in TABLE2_DIFFERENCES
+        assert "doubles the average degree" in TABLE2_DIFFERENCES["2 vs 1"]
+
+    def test_scaled_setting_preserves_shape(self):
+        scaled = TABLE1_SETTINGS[1].scaled(0.3)
+        assert scaled.num_labels == 80
+        assert scaled.avg_degree == 2
+        assert scaled.num_vertices < 500
+        # The injected long pattern shrinks but keeps its vertices/diameter ratio.
+        assert 4 <= scaled.long_pattern_diameter < 18
+        original_ratio = 40 / 18
+        scaled_ratio = scaled.long_pattern_vertices / scaled.long_pattern_diameter
+        assert abs(scaled_ratio - original_ratio) < 0.5
+        with pytest.raises(ValueError):
+            TABLE1_SETTINGS[1].scaled(0.0)
+
+
+class TestGIDDatasets:
+    def test_unknown_gid_rejected(self):
+        with pytest.raises(ValueError):
+            build_gid_dataset(9)
+
+    def test_build_scaled_gid1(self):
+        dataset = build_gid_dataset(1, seed=1, scale=0.2)
+        assert dataset.gid == 1
+        assert dataset.graph.num_vertices() >= 60
+        assert len(dataset.long_patterns) == 5
+        assert len(dataset.short_patterns) >= 1
+        # Every injected long pattern really occurs in the data graph.
+        assert is_subgraph_isomorphic(dataset.long_patterns[0], dataset.graph)
+
+    def test_injected_long_patterns_have_table_diameter(self):
+        dataset = build_gid_dataset(2, seed=3, scale=0.2)
+        for pattern in dataset.long_patterns:
+            assert diameter(pattern) == dataset.setting.long_pattern_diameter
+
+    def test_deterministic(self):
+        first = build_gid_dataset(1, seed=5, scale=0.2)
+        second = build_gid_dataset(1, seed=5, scale=0.2)
+        assert first.graph.num_edges() == second.graph.num_edges()
+        assert first.graph.vertex_labels() == second.graph.vertex_labels()
+
+
+class TestSkinninessSeries:
+    def test_table3_shape(self):
+        assert len(TABLE3_PATTERNS) == 10
+        assert TABLE3_PATTERNS[0] == (1, 60, 50)
+        assert TABLE3_PATTERNS[9] == (10, 60, 8)
+
+    def test_build_series_scaled(self):
+        series = build_skinniness_series(seed=1, scale=0.15)
+        assert set(series.patterns) == set(range(1, 11))
+        # PID 1 remains skinnier (longer diameter relative to size) than PID 10.
+        assert series.pattern_diameter(1) > series.pattern_diameter(10)
+        assert is_subgraph_isomorphic(series.patterns[6], series.graph)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_skinniness_series(scale=0)
+
+
+class TestTransactionDataset:
+    def test_figure9_defaults_scaled(self):
+        dataset = build_transaction_dataset(seed=1, scale=0.15)
+        assert len(dataset.graphs) == 10
+        assert len(dataset.skinny_patterns) == 5
+        assert dataset.small_patterns == []
+
+    def test_figure10_adds_small_patterns(self):
+        dataset = build_transaction_dataset(seed=1, scale=0.15, num_small=120)
+        assert len(dataset.small_patterns) >= 1
+
+    def test_skinny_patterns_occur_in_enough_transactions(self):
+        dataset = build_transaction_dataset(
+            seed=2, scale=0.15, num_skinny=2, skinny_support=4
+        )
+        pattern = dataset.skinny_patterns[0]
+        containing = sum(
+            1 for graph in dataset.graphs if is_subgraph_isomorphic(pattern, graph)
+        )
+        assert containing >= 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_transaction_dataset(scale=1.5)

@@ -1,0 +1,124 @@
+"""Tests for gSpan-style minimum DFS codes."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.canonical import CanonicalCode, canonical_key, minimum_dfs_code
+from repro.graph.generators import random_skinny_pattern, random_tree_pattern
+from repro.graph.isomorphism import are_isomorphic
+from repro.graph.labeled_graph import LabeledGraph, build_graph
+
+
+class TestMinimumDFSCode:
+    def test_single_vertex(self):
+        graph = build_graph({0: "a"}, [])
+        code = minimum_dfs_code(graph)
+        assert code.code == ()
+        assert code.isolated_labels == ("a",)
+
+    def test_single_edge(self):
+        graph = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        code = minimum_dfs_code(graph)
+        assert len(code.code) == 1
+        # The smaller label must be the root of the canonical code.
+        (i, j, li, le, lj) = code.code[0]
+        assert (i, j) == (0, 1)
+        assert li == "a" and lj == "b"
+
+    def test_isomorphic_graphs_same_code(self, triangle_graph):
+        shuffled = build_graph(
+            {7: "c", 8: "a", 9: "b"}, [(7, 8), (8, 9), (7, 9)]
+        )
+        assert minimum_dfs_code(triangle_graph) == minimum_dfs_code(shuffled)
+
+    def test_non_isomorphic_graphs_different_code(self):
+        path = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2)])
+        triangle = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        assert minimum_dfs_code(path) != minimum_dfs_code(triangle)
+
+    def test_label_difference_changes_code(self):
+        one = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        two = build_graph({0: "a", 1: "c"}, [(0, 1)])
+        assert minimum_dfs_code(one) != minimum_dfs_code(two)
+
+    def test_edge_labels_distinguish(self):
+        one = LabeledGraph()
+        one.add_vertex(0, "a")
+        one.add_vertex(1, "a")
+        one.add_edge(0, 1, "x")
+        two = LabeledGraph()
+        two.add_vertex(0, "a")
+        two.add_vertex(1, "a")
+        two.add_edge(0, 1, "y")
+        assert minimum_dfs_code(one) != minimum_dfs_code(two)
+
+    def test_disconnected_components_sorted(self):
+        graph_a = build_graph(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (2, 3)]
+        )
+        graph_b = build_graph(
+            {0: "c", 1: "d", 2: "a", 3: "b"}, [(0, 1), (2, 3)]
+        )
+        assert minimum_dfs_code(graph_a) == minimum_dfs_code(graph_b)
+
+    def test_isolated_vertices_tracked(self):
+        one = build_graph({0: "a", 1: "b", 2: "z"}, [(0, 1)])
+        two = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        assert minimum_dfs_code(one) != minimum_dfs_code(two)
+
+    def test_canonical_key_hashable(self, triangle_graph):
+        key = canonical_key(triangle_graph)
+        assert hash(key) == hash(canonical_key(triangle_graph))
+
+    def test_codes_are_comparable(self):
+        small = minimum_dfs_code(build_graph({0: "a", 1: "b"}, [(0, 1)]))
+        assert isinstance(small, CanonicalCode)
+        assert not (small < small)
+
+
+class TestCanonicalCodeProperties:
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_code_invariant_under_relabeling(self, size, labels, seed, shuffle_seed):
+        tree = random_tree_pattern(size, labels, seed=seed)
+        rng = random.Random(shuffle_seed)
+        ids = list(tree.vertices())
+        targets = [i + 500 for i in ids]
+        rng.shuffle(targets)
+        renamed = tree.relabel_vertices(dict(zip(ids, targets)))
+        assert minimum_dfs_code(tree) == minimum_dfs_code(renamed)
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=2_000),
+        st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_code_equality_matches_isomorphism(self, size, seed_a, seed_b):
+        left = random_tree_pattern(size, 2, seed=seed_a)
+        right = random_tree_pattern(size, 2, seed=seed_b)
+        assert (minimum_dfs_code(left) == minimum_dfs_code(right)) == are_isomorphic(
+            left, right
+        )
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_skinny_patterns_roundtrip(self, backbone, skinniness, seed):
+        pattern = random_skinny_pattern(
+            backbone, skinniness, backbone + 1 + 2 * skinniness, 3, seed=seed
+        )
+        compacted, _ = pattern.compact()
+        assert minimum_dfs_code(pattern) == minimum_dfs_code(compacted)

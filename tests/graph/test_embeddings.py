@@ -1,0 +1,121 @@
+"""Tests for embedding bookkeeping and support measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.embeddings import (
+    Embedding,
+    EmbeddingList,
+    embedding_support,
+    embeddings_from_maps,
+    mni_support,
+    path_embedding,
+    transaction_support,
+)
+from repro.graph.isomorphism import find_subgraph_embeddings
+from repro.graph.labeled_graph import build_graph
+
+
+class TestEmbedding:
+    def test_from_dict_roundtrip(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert embedding.as_dict() == {0: 10, 1: 11}
+        assert embedding.graph_index == 0
+
+    def test_image_and_key(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11}, graph_index=3)
+        assert embedding.image() == frozenset({10, 11})
+        assert embedding.image_key() == (3, frozenset({10, 11}))
+
+    def test_target_of(self):
+        embedding = Embedding.from_dict({0: 10, 1: 11})
+        assert embedding.target_of(1) == 11
+        with pytest.raises(KeyError):
+            embedding.target_of(9)
+
+    def test_extended(self):
+        embedding = Embedding.from_dict({0: 10})
+        extended = embedding.extended(1, 20)
+        assert extended.as_dict() == {0: 10, 1: 20}
+        assert len(embedding) == 1  # original untouched
+        with pytest.raises(KeyError):
+            embedding.extended(0, 30)
+
+    def test_embeddings_are_hashable(self):
+        a = Embedding.from_dict({0: 1, 1: 2})
+        b = Embedding.from_dict({1: 2, 0: 1})
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestEmbeddingList:
+    def test_embedding_support_counts_distinct_images(self):
+        collection = EmbeddingList()
+        collection.add(Embedding.from_dict({0: 1, 1: 2}))
+        collection.add(Embedding.from_dict({0: 2, 1: 1}))  # same image set
+        collection.add(Embedding.from_dict({0: 3, 1: 4}))
+        assert len(collection) == 3
+        assert collection.embedding_support() == 2
+
+    def test_transaction_support(self):
+        collection = EmbeddingList()
+        collection.add(Embedding.from_dict({0: 1}, graph_index=0))
+        collection.add(Embedding.from_dict({0: 2}, graph_index=0))
+        collection.add(Embedding.from_dict({0: 1}, graph_index=4))
+        assert collection.transaction_support() == 2
+        assert collection.transactions() == {0, 4}
+
+    def test_deduplicated(self):
+        collection = EmbeddingList()
+        collection.add(Embedding.from_dict({0: 1, 1: 2}))
+        collection.add(Embedding.from_dict({0: 2, 1: 1}))
+        deduplicated = collection.deduplicated()
+        assert len(deduplicated) == 1
+
+    def test_images(self):
+        collection = embeddings_from_maps([{0: 5, 1: 6}], graph_index=2)
+        assert collection.images() == [frozenset({5, 6})]
+        assert list(collection)[0].graph_index == 2
+
+
+class TestSupportMeasures:
+    def test_mni_support_simple(self):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "b", 3: "a"}, [(0, 1), (0, 2), (3, 1)]
+        )
+        maps = find_subgraph_embeddings(pattern, graph)
+        embeddings = [Embedding.from_dict(m) for m in maps]
+        # Vertex 0 (label a) maps to {0, 3}; vertex 1 (label b) maps to {1, 2}.
+        assert mni_support(pattern, embeddings) == 2
+
+    def test_mni_support_empty(self):
+        pattern = build_graph({0: "a"}, [])
+        assert mni_support(pattern, []) == 0
+
+    def test_embedding_and_transaction_support_helpers(self):
+        embeddings = [
+            Embedding.from_dict({0: 1}, graph_index=0),
+            Embedding.from_dict({0: 1}, graph_index=1),
+            Embedding.from_dict({0: 2}, graph_index=1),
+        ]
+        assert transaction_support(embeddings) == 2
+        assert embedding_support(embeddings) == 3
+
+    def test_path_embedding_valid(self):
+        embedding = path_embedding([0, 1, 2], [10, 11, 12], graph_index=1)
+        assert embedding.as_dict() == {0: 10, 1: 11, 2: 12}
+        assert embedding.graph_index == 1
+
+    def test_path_embedding_length_mismatch(self):
+        with pytest.raises(ValueError):
+            path_embedding([0, 1], [10])
+
+    def test_path_embedding_duplicate_data_vertices(self):
+        with pytest.raises(ValueError):
+            path_embedding([0, 1, 2], [10, 11, 10])
+
+    def test_path_embedding_duplicate_pattern_vertices(self):
+        with pytest.raises(ValueError):
+            path_embedding([0, 1, 1], [10, 11, 12])

@@ -1,0 +1,198 @@
+"""Tests for random graph generators and pattern injection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    default_labels,
+    erdos_renyi_graph,
+    inject_pattern,
+    random_labeled_path,
+    random_skinny_pattern,
+    random_transaction_database,
+    random_tree_pattern,
+)
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.paths import diameter, distance_to_set, all_diameter_paths
+
+
+class TestErdosRenyi:
+    def test_vertex_count_and_labels(self):
+        graph = erdos_renyi_graph(50, 3, 4, seed=1)
+        assert graph.num_vertices() == 50
+        assert graph.labels_used() <= set(default_labels(4))
+
+    def test_deterministic_with_seed(self):
+        one = erdos_renyi_graph(40, 2.5, 3, seed=99)
+        two = erdos_renyi_graph(40, 2.5, 3, seed=99)
+        assert sorted(e.endpoints() for e in one.edges()) == sorted(
+            e.endpoints() for e in two.edges()
+        )
+        assert one.vertex_labels() == two.vertex_labels()
+
+    def test_different_seeds_differ(self):
+        one = erdos_renyi_graph(40, 2.5, 3, seed=1)
+        two = erdos_renyi_graph(40, 2.5, 3, seed=2)
+        assert sorted(e.endpoints() for e in one.edges()) != sorted(
+            e.endpoints() for e in two.edges()
+        )
+
+    def test_average_degree_roughly_matches(self):
+        graph = erdos_renyi_graph(2_000, 4.0, 5, seed=7)
+        average_degree = 2 * graph.num_edges() / graph.num_vertices()
+        assert 3.0 < average_degree < 5.0
+
+    def test_zero_vertices(self):
+        graph = erdos_renyi_graph(0, 3, 2, seed=1)
+        assert graph.num_vertices() == 0
+
+    def test_zero_degree(self):
+        graph = erdos_renyi_graph(10, 0, 2, seed=1)
+        assert graph.num_edges() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 2, 2)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, -1, 2)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 2, 0)
+
+    def test_custom_label_alphabet(self):
+        graph = erdos_renyi_graph(20, 2, 2, seed=3, labels=["x", "y", "z"])
+        assert graph.labels_used() <= {"x", "y", "z"}
+
+
+class TestPatternGenerators:
+    def test_random_labeled_path_shape(self):
+        path = random_labeled_path(5, 3, seed=1)
+        assert path.num_vertices() == 6
+        assert path.num_edges() == 5
+        assert diameter(path) == 5
+
+    def test_random_labeled_path_zero_length(self):
+        path = random_labeled_path(0, 3, seed=1)
+        assert path.num_vertices() == 1
+        assert path.num_edges() == 0
+
+    def test_random_labeled_path_negative_raises(self):
+        with pytest.raises(ValueError):
+            random_labeled_path(-1, 3)
+
+    def test_skinny_pattern_backbone_is_diameter(self):
+        pattern = random_skinny_pattern(10, 2, 18, 5, seed=11)
+        assert diameter(pattern) == 10
+        # Every vertex within distance 2 of some diameter path.
+        backbone = all_diameter_paths(pattern)[0]
+        levels = distance_to_set(pattern, backbone)
+        assert max(levels.values()) <= 2
+
+    def test_skinny_pattern_zero_skinniness_is_path(self):
+        pattern = random_skinny_pattern(6, 0, 7, 4, seed=5)
+        assert pattern.num_vertices() == 7
+        assert pattern.num_edges() == 6
+        assert diameter(pattern) == 6
+
+    def test_skinny_pattern_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_skinny_pattern(0, 1, 5, 2)
+        with pytest.raises(ValueError):
+            random_skinny_pattern(4, -1, 5, 2)
+        with pytest.raises(ValueError):
+            random_skinny_pattern(4, 1, 3, 2)
+        with pytest.raises(ValueError):
+            random_skinny_pattern(4, 3, 10, 2)  # 2*delta > backbone
+        with pytest.raises(ValueError):
+            random_skinny_pattern(4, 0, 8, 2)  # extras with delta = 0
+
+    def test_tree_pattern_is_tree(self):
+        tree = random_tree_pattern(9, 3, seed=2)
+        assert tree.num_vertices() == 9
+        assert tree.num_edges() == 8
+        assert tree.is_connected()
+
+    def test_tree_pattern_invalid(self):
+        with pytest.raises(ValueError):
+            random_tree_pattern(0, 2)
+
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_skinny_pattern_diameter_property(self, backbone, skinniness, seed):
+        if 2 * skinniness > backbone:
+            return
+        extra = 0 if skinniness == 0 else 2 * skinniness
+        pattern = random_skinny_pattern(
+            backbone, skinniness, backbone + 1 + extra, 4, seed=seed
+        )
+        assert diameter(pattern) == backbone
+
+
+class TestInjection:
+    def test_injection_adds_embeddings(self):
+        background = erdos_renyi_graph(60, 2, 6, seed=3)
+        pattern = random_labeled_path(4, 6, seed=4)
+        before = background.num_vertices()
+        maps = inject_pattern(background, pattern, copies=3, seed=5)
+        assert len(maps) == 3
+        assert background.num_vertices() == before + 3 * pattern.num_vertices()
+        assert is_subgraph_isomorphic(pattern, background)
+
+    def test_injection_maps_are_faithful(self):
+        background = erdos_renyi_graph(30, 1, 4, seed=1)
+        pattern = random_tree_pattern(5, 4, seed=2)
+        maps = inject_pattern(background, pattern, copies=2, seed=3)
+        for mapping in maps:
+            for edge in pattern.edges():
+                assert background.has_edge(mapping[edge.u], mapping[edge.v])
+            for vertex in pattern.vertices():
+                assert background.label_of(mapping[vertex]) == pattern.label_of(vertex)
+
+    def test_injection_into_empty_background(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        background = LabeledGraph()
+        pattern = random_labeled_path(2, 3, seed=1)
+        maps = inject_pattern(background, pattern, copies=2, seed=2)
+        assert len(maps) == 2
+        assert background.num_vertices() == 2 * 3
+
+    def test_injection_invalid_parameters(self):
+        background = erdos_renyi_graph(10, 1, 2, seed=1)
+        pattern = random_labeled_path(1, 2, seed=1)
+        with pytest.raises(ValueError):
+            inject_pattern(background, pattern, copies=-1)
+        with pytest.raises(ValueError):
+            inject_pattern(background, pattern, copies=1, bridge_probability=2.0)
+
+    def test_zero_copies(self):
+        background = erdos_renyi_graph(10, 1, 2, seed=1)
+        pattern = random_labeled_path(1, 2, seed=1)
+        before = background.num_vertices()
+        assert inject_pattern(background, pattern, copies=0) == []
+        assert background.num_vertices() == before
+
+
+class TestTransactionDatabase:
+    def test_database_shape(self):
+        database = random_transaction_database(5, 30, 2, 4, seed=9)
+        assert len(database) == 5
+        assert all(graph.num_vertices() == 30 for graph in database)
+
+    def test_database_deterministic(self):
+        first = random_transaction_database(3, 20, 2, 4, seed=1)
+        second = random_transaction_database(3, 20, 2, 4, seed=1)
+        for left, right in zip(first, second):
+            assert sorted(e.endpoints() for e in left.edges()) == sorted(
+                e.endpoints() for e in right.edges()
+            )
+
+    def test_database_invalid(self):
+        with pytest.raises(ValueError):
+            random_transaction_database(-1, 10, 2, 2)

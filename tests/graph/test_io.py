@@ -1,0 +1,78 @@
+"""Tests for LG / edge-list graph I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import graph_from_edge_list, read_lg, write_lg
+from repro.graph.isomorphism import are_isomorphic
+from repro.graph.labeled_graph import build_graph
+
+
+class TestLGFormat:
+    def test_roundtrip_single_graph(self, tmp_path, triangle_graph):
+        target = tmp_path / "one.lg"
+        write_lg(triangle_graph, target)
+        loaded = read_lg(target)
+        assert len(loaded) == 1
+        assert are_isomorphic(loaded[0], triangle_graph)
+
+    def test_roundtrip_multiple_graphs(self, tmp_path, triangle_graph, path_graph):
+        target = tmp_path / "many.lg"
+        write_lg([triangle_graph, path_graph], target)
+        loaded = read_lg(target)
+        assert len(loaded) == 2
+        assert are_isomorphic(loaded[0], triangle_graph)
+        assert are_isomorphic(loaded[1], path_graph)
+
+    def test_roundtrip_random_graph(self, tmp_path):
+        graph = erdos_renyi_graph(40, 2, 3, seed=5)
+        target = tmp_path / "random.lg"
+        write_lg(graph, target)
+        loaded = read_lg(target)[0]
+        assert loaded.num_vertices() == graph.num_vertices()
+        assert loaded.num_edges() == graph.num_edges()
+
+    def test_edge_labels_roundtrip(self, tmp_path):
+        graph = build_graph({0: "a", 1: "b"}, [])
+        graph.add_edge(0, 1, "rel")
+        target = tmp_path / "labeled.lg"
+        write_lg(graph, target)
+        loaded = read_lg(target)[0]
+        assert loaded.edge_label(0, 1) == "rel"
+
+    def test_malformed_vertex_line(self, tmp_path):
+        target = tmp_path / "bad.lg"
+        target.write_text("t # 0\nv 0\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_lg(target)
+
+    def test_vertex_before_transaction(self, tmp_path):
+        target = tmp_path / "bad2.lg"
+        target.write_text("v 0 a\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_lg(target)
+
+    def test_unknown_line(self, tmp_path):
+        target = tmp_path / "bad3.lg"
+        target.write_text("t # 0\nq nonsense\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_lg(target)
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        target = tmp_path / "ok.lg"
+        target.write_text("# comment\n\nt # 0\nv 0 a\nv 1 b\ne 0 1\n", encoding="utf-8")
+        loaded = read_lg(target)
+        assert loaded[0].num_edges() == 1
+
+
+class TestEdgeList:
+    def test_graph_from_edge_list(self):
+        graph = graph_from_edge_list(
+            [(0, "a", 1, "b"), (1, "b", 2, "c")], name="fixture"
+        )
+        assert graph.num_vertices() == 3
+        assert graph.num_edges() == 2
+        assert graph.label_of(2) == "c"
+        assert graph.name == "fixture"

@@ -1,0 +1,191 @@
+"""Unit and property tests for labeled (sub)graph isomorphism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_graph, random_tree_pattern
+from repro.graph.isomorphism import (
+    are_isomorphic,
+    count_embeddings,
+    find_automorphisms,
+    find_subgraph_embeddings,
+    is_subgraph_isomorphic,
+    iter_subgraph_embeddings,
+)
+from repro.graph.labeled_graph import build_graph
+
+
+class TestSubgraphEmbeddings:
+    def test_single_edge_in_path(self, path_graph):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        embeddings = find_subgraph_embeddings(pattern, path_graph)
+        # a-b occurs twice in a-b-c-b-a (vertices 0-1 and 3-4).
+        assert len(embeddings) == 2
+
+    def test_embeddings_are_valid_maps(self, path_graph):
+        pattern = build_graph({0: "b", 1: "c"}, [(0, 1)])
+        for mapping in find_subgraph_embeddings(pattern, path_graph):
+            assert path_graph.label_of(mapping[0]) == "b"
+            assert path_graph.label_of(mapping[1]) == "c"
+            assert path_graph.has_edge(mapping[0], mapping[1])
+
+    def test_triangle_in_triangle(self, triangle_graph):
+        assert is_subgraph_isomorphic(triangle_graph, triangle_graph)
+
+    def test_no_embedding_with_wrong_labels(self, triangle_graph):
+        pattern = build_graph({0: "a", 1: "z"}, [(0, 1)])
+        assert not is_subgraph_isomorphic(pattern, triangle_graph)
+
+    def test_pattern_larger_than_graph(self, triangle_graph):
+        pattern = build_graph(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        assert find_subgraph_embeddings(pattern, triangle_graph) == []
+
+    def test_distinct_images_deduplicates_automorphic_maps(self):
+        # Pattern a-b-a has an automorphism flipping the two 'a' vertices.
+        pattern = build_graph({0: "a", 1: "b", 2: "a"}, [(0, 1), (1, 2)])
+        graph = build_graph({10: "a", 11: "b", 12: "a"}, [(10, 11), (11, 12)])
+        distinct = find_subgraph_embeddings(pattern, graph, distinct_images=True)
+        all_maps = find_subgraph_embeddings(pattern, graph, distinct_images=False)
+        assert len(distinct) == 1
+        assert len(all_maps) == 2
+
+    def test_max_embeddings_caps_search(self, two_triangles_graph):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        capped = find_subgraph_embeddings(pattern, two_triangles_graph, max_embeddings=1)
+        assert len(capped) == 1
+
+    def test_count_embeddings(self, two_triangles_graph):
+        pattern = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (0, 2)])
+        assert count_embeddings(pattern, two_triangles_graph) == 2
+
+    def test_anchored_matching_restricts_results(self, two_triangles_graph):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        anchored = list(
+            iter_subgraph_embeddings(pattern, two_triangles_graph, anchors={0: 3})
+        )
+        assert anchored
+        assert all(mapping[0] == 3 for mapping in anchored)
+
+    def test_anchor_unknown_pattern_vertex_raises(self, triangle_graph):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        with pytest.raises(KeyError):
+            list(iter_subgraph_embeddings(pattern, triangle_graph, anchors={99: 0}))
+
+    def test_induced_matching_respects_non_edges(self):
+        # Pattern: path a-b-c (no a-c edge).  Graph: triangle a-b-c.
+        pattern = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        triangle = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (0, 2)])
+        assert find_subgraph_embeddings(pattern, triangle, induced=False)
+        assert not find_subgraph_embeddings(pattern, triangle, induced=True)
+
+    def test_empty_pattern_yields_nothing(self, triangle_graph):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        assert find_subgraph_embeddings(LabeledGraph(), triangle_graph) == []
+
+    def test_edge_labels_respected(self):
+        graph = build_graph({0: "a", 1: "b", 2: "b"}, [])
+        graph.add_edge(0, 1, "x")
+        graph.add_edge(0, 2, "y")
+        pattern = build_graph({0: "a", 1: "b"}, [])
+        pattern.add_edge(0, 1, "x")
+        embeddings = find_subgraph_embeddings(pattern, graph)
+        assert len(embeddings) == 1
+        assert embeddings[0][1] == 1
+
+
+class TestGraphIsomorphism:
+    def test_isomorphic_relabeled_ids(self, triangle_graph):
+        other = build_graph({10: "b", 20: "c", 30: "a"}, [(10, 20), (20, 30), (10, 30)])
+        assert are_isomorphic(triangle_graph, other)
+
+    def test_not_isomorphic_different_labels(self, triangle_graph):
+        other = build_graph({0: "a", 1: "b", 2: "d"}, [(0, 1), (1, 2), (0, 2)])
+        assert not are_isomorphic(triangle_graph, other)
+
+    def test_not_isomorphic_different_structure(self):
+        path = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2)])
+        triangle = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        assert not are_isomorphic(path, triangle)
+
+    def test_not_isomorphic_different_sizes(self, triangle_graph, path_graph):
+        assert not are_isomorphic(triangle_graph, path_graph)
+
+    def test_same_degree_sequence_different_structure(self):
+        # Two graphs on 6 'a' vertices, both 2-regular: one hexagon vs two triangles.
+        hexagon = build_graph(
+            {i: "a" for i in range(6)},
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        triangles = build_graph(
+            {i: "a" for i in range(6)},
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert not are_isomorphic(hexagon, triangles)
+
+    def test_automorphisms_of_symmetric_path(self):
+        pattern = build_graph({0: "a", 1: "b", 2: "a"}, [(0, 1), (1, 2)])
+        automorphisms = find_automorphisms(pattern)
+        assert len(automorphisms) == 2
+
+    def test_automorphisms_of_asymmetric_path(self):
+        pattern = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        automorphisms = find_automorphisms(pattern)
+        assert len(automorphisms) == 1
+
+
+@st.composite
+def random_small_tree(draw):
+    size = draw(st.integers(min_value=1, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    labels = draw(st.integers(min_value=1, max_value=3))
+    return random_tree_pattern(size, labels, seed=seed)
+
+
+class TestIsomorphismProperties:
+    @given(random_small_tree(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_isomorphism_invariant_under_relabeling(self, tree, seed):
+        rng = random.Random(seed)
+        ids = list(tree.vertices())
+        shuffled = ids[:]
+        rng.shuffle(shuffled)
+        renamed = tree.relabel_vertices(dict(zip(ids, [i + 100 for i in shuffled])))
+        assert are_isomorphic(tree, renamed)
+
+    @given(random_small_tree())
+    @settings(max_examples=40, deadline=None)
+    def test_pattern_embeds_in_itself(self, tree):
+        assert is_subgraph_isomorphic(tree, tree)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_subtree_embeds_in_supertree(self, size, seed):
+        tree = random_tree_pattern(size, 2, seed=seed)
+        leaf = max(tree.vertices(), key=lambda v: (tree.degree(v) == 1, -v))
+        # Remove one leaf to get a strict subgraph; it must still embed.
+        sub = tree.copy()
+        leaves = [v for v in sub.vertices() if sub.degree(v) == 1]
+        sub.remove_vertex(leaves[0])
+        if sub.num_vertices() > 0:
+            assert is_subgraph_isomorphic(sub, tree)
+
+    def test_embeddings_count_scales_with_copies(self):
+        rng = random.Random(7)
+        graph = erdos_renyi_graph(30, 1.5, 4, rng=rng)
+        pattern = build_graph({0: "L0", 1: "L1"}, [(0, 1)])
+        direct = count_embeddings(pattern, graph)
+        # Count by brute force over edges.
+        expected = sum(
+            1
+            for edge in graph.edges()
+            if {graph.label_of(edge.u), graph.label_of(edge.v)} == {"L0", "L1"}
+        )
+        assert direct == expected

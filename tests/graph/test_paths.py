@@ -1,0 +1,177 @@
+"""Tests for shortest paths, diameters and simple-path enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_graph, random_tree_pattern
+from repro.graph.labeled_graph import build_graph
+from repro.graph.paths import (
+    all_diameter_paths,
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    distance_to_set,
+    eccentricity,
+    enumerate_simple_paths,
+    is_simple_path,
+    path_labels,
+    shortest_path_length,
+    shortest_paths_between,
+    unique_simple_paths,
+)
+
+
+class TestBFS:
+    def test_distances_on_path(self, path_graph):
+        distances = bfs_distances(path_graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cutoff_limits_search(self, path_graph):
+        distances = bfs_distances(path_graph, 0, cutoff=2)
+        assert max(distances.values()) == 2
+        assert 4 not in distances
+
+    def test_missing_source_raises(self, path_graph):
+        with pytest.raises(KeyError):
+            bfs_distances(path_graph, 99)
+
+    def test_shortest_path_length(self, path_graph):
+        assert shortest_path_length(path_graph, 0, 4) == 4
+        assert shortest_path_length(path_graph, 2, 2) == 0
+
+    def test_shortest_path_length_disconnected(self, two_triangles_graph):
+        assert shortest_path_length(two_triangles_graph, 0, 3) is None
+
+    def test_all_pairs(self, triangle_graph):
+        distances = all_pairs_distances(triangle_graph)
+        assert distances[0][1] == 1
+        assert distances[0][2] == 1
+
+
+class TestDiameter:
+    def test_diameter_of_path(self, path_graph):
+        assert diameter(path_graph) == 4
+
+    def test_diameter_of_triangle(self, triangle_graph):
+        assert diameter(triangle_graph) == 1
+
+    def test_eccentricity(self, path_graph):
+        assert eccentricity(path_graph, 0) == 4
+        assert eccentricity(path_graph, 2) == 2
+
+    def test_diameter_disconnected_raises(self, two_triangles_graph):
+        with pytest.raises(ValueError):
+            diameter(two_triangles_graph)
+
+    def test_diameter_empty_raises(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        with pytest.raises(ValueError):
+            diameter(LabeledGraph())
+
+    def test_figure3_diameter_is_six(self, figure3_graph):
+        assert diameter(figure3_graph) == 6
+
+    def test_all_diameter_paths_on_path_graph(self, path_graph):
+        paths = all_diameter_paths(path_graph)
+        assert len(paths) == 1
+        assert paths[0] in ([0, 1, 2, 3, 4], [4, 3, 2, 1, 0])
+
+    def test_all_diameter_paths_have_diameter_length(self, figure3_graph):
+        d = diameter(figure3_graph)
+        for path in all_diameter_paths(figure3_graph):
+            assert len(path) == d + 1
+            assert is_simple_path(figure3_graph, path)
+
+    def test_distance_to_set_is_multi_source(self, figure3_graph):
+        backbone = [1, 2, 3, 4, 5, 6, 7]
+        levels = distance_to_set(figure3_graph, backbone)
+        assert levels[8] == 1
+        assert levels[9] == 2
+        assert levels[10] == 1
+        assert all(levels[v] == 0 for v in backbone)
+
+    def test_distance_to_set_missing_target_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            distance_to_set(triangle_graph, [0, 99])
+
+
+class TestSimplePathEnumeration:
+    def test_length_zero_paths_are_vertices(self, triangle_graph):
+        paths = list(enumerate_simple_paths(triangle_graph, 0))
+        assert sorted(p[0] for p in paths) == [0, 1, 2]
+
+    def test_negative_length_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            list(enumerate_simple_paths(triangle_graph, -1))
+
+    def test_paths_of_length_two_in_triangle(self, triangle_graph):
+        unique = unique_simple_paths(triangle_graph, 2)
+        assert len(unique) == 3
+
+    def test_unique_paths_deduplicate_orientations(self, path_graph):
+        unique = unique_simple_paths(path_graph, 4)
+        assert len(unique) == 1
+
+    def test_start_restriction(self, path_graph):
+        paths = list(enumerate_simple_paths(path_graph, 2, start=0))
+        assert all(path[0] == 0 for path in paths)
+        assert paths == [[0, 1, 2]]
+
+    def test_missing_start_raises(self, path_graph):
+        with pytest.raises(KeyError):
+            list(enumerate_simple_paths(path_graph, 1, start=42))
+
+    def test_path_labels(self, path_graph):
+        assert path_labels(path_graph, [0, 1, 2]) == ["a", "b", "c"]
+
+    def test_is_simple_path(self, path_graph):
+        assert is_simple_path(path_graph, [0, 1, 2])
+        assert not is_simple_path(path_graph, [0, 2])
+        assert not is_simple_path(path_graph, [0, 1, 0])
+        assert not is_simple_path(path_graph, [])
+
+    def test_shortest_paths_between(self, triangle_graph):
+        paths = shortest_paths_between(triangle_graph, 0, 2)
+        assert [0, 2] in paths
+        assert len(paths) == 1
+
+    def test_shortest_paths_between_multiple(self):
+        square = build_graph(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (1, 2), (2, 3), (3, 0)]
+        )
+        paths = shortest_paths_between(square, 0, 2)
+        assert len(paths) == 2
+
+    def test_shortest_paths_disconnected(self, two_triangles_graph):
+        assert shortest_paths_between(two_triangles_graph, 0, 3) == []
+
+
+class TestPathProperties:
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_diameter_matches_bruteforce(self, size, seed):
+        tree = random_tree_pattern(size, 2, seed=seed)
+        pairs = all_pairs_distances(tree)
+        brute = max(max(row.values()) for row in pairs.values())
+        assert diameter(tree) == brute
+
+    @given(st.integers(min_value=5, max_value=20), st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_distances_symmetric(self, size, seed):
+        graph = erdos_renyi_graph(size, 2.0, 3, seed=seed)
+        vertices = list(graph.vertices())
+        source, target = vertices[0], vertices[-1]
+        forward = bfs_distances(graph, source).get(target)
+        backward = bfs_distances(graph, target).get(source)
+        assert forward == backward
+
+    @given(st.integers(min_value=3, max_value=7), st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=20, deadline=None)
+    def test_enumerated_paths_are_simple(self, size, seed):
+        graph = erdos_renyi_graph(size, 2.0, 2, seed=seed)
+        for path in enumerate_simple_paths(graph, 2):
+            assert is_simple_path(graph, path)

@@ -20,6 +20,12 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_collection_modifyitems(items):
+    """Every test below benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Global scale factor applied to the paper's dataset sizes (see DESIGN.md).
 GID_SCALE = 0.30
 #: Scale for the Table 3 skinniness series.

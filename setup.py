@@ -1,0 +1,6 @@
+"""Compatibility shim: lets `pip install -e . --no-use-pep517` work on
+toolchains without the `wheel` package; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

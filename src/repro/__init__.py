@@ -40,16 +40,28 @@ from repro.core import (
     is_l_long_delta_skinny,
     mine_skinny_patterns,
 )
+from repro.core.database import EdgeDelta, GraphDelta
 from repro.graph import LabeledGraph
+from repro.index import DiskPatternStore, IndexMaintainer, MemoryPatternStore, PatternStore
+from repro.service import MineRequest, MineResponse, MiningService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DiamMine",
     "DirectMiner",
+    "DiskPatternStore",
+    "EdgeDelta",
+    "GraphDelta",
+    "IndexMaintainer",
     "LabeledGraph",
+    "MemoryPatternStore",
+    "MineRequest",
+    "MineResponse",
     "MiningContext",
     "MiningReport",
+    "MiningService",
+    "PatternStore",
     "SkinnyConstraintDriver",
     "SkinnyMine",
     "SkinnyPattern",

@@ -1,0 +1,335 @@
+"""``repro`` — the reproduction's command-line interface.
+
+Subcommands mirror the two-stage architecture:
+
+* ``repro index build``  — run Stage 1 offline and persist it to a disk store
+* ``repro index info``   — inspect a store (entries, sizes, build times)
+* ``repro mine``         — answer one mining request (warm store = no Stage 1)
+* ``repro serve-batch``  — answer a JSON file of batched requests
+
+Datasets are given with ``--data`` as either a path to an LG file (see
+:mod:`repro.graph.io`) or a generator spec:
+
+* ``synthetic:GID`` (Table-1 setting, GIDs 1-5), optionally
+  ``synthetic:GID:scale:seed`` — e.g. ``synthetic:1:0.3:7``;
+* ``demo`` — the small quickstart graph used in the examples.
+
+Exit codes: 0 on success, 2 on bad usage (argparse), 1 on runtime errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+
+PROG = "repro"
+
+
+# --------------------------------------------------------------------- #
+# dataset loading
+# --------------------------------------------------------------------- #
+def load_dataset(spec: str) -> List[LabeledGraph]:
+    """Resolve a ``--data`` spec to a list of graphs."""
+    if spec == "demo":
+        from repro.graph.generators import (
+            erdos_renyi_graph,
+            inject_pattern,
+            random_skinny_pattern,
+        )
+
+        background = erdos_renyi_graph(150, 1.5, 25, seed=1)
+        pattern = random_skinny_pattern(6, 1, 9, 25, seed=2)
+        inject_pattern(background, pattern, copies=3, seed=3)
+        return [background]
+    if spec.startswith("synthetic:"):
+        from repro.datasets.synthetic import build_gid_dataset
+
+        parts = spec.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(
+                f"bad synthetic spec {spec!r}; expected synthetic:GID[:scale[:seed]]"
+            )
+        gid = int(parts[1])
+        scale = float(parts[2]) if len(parts) > 2 else 0.3
+        seed = int(parts[3]) if len(parts) > 3 else 7
+        return [build_gid_dataset(gid, seed=seed, scale=scale).graph]
+    path = Path(spec)
+    if path.exists():
+        from repro.graph.io import read_lg
+
+        graphs = read_lg(path)
+        if not graphs:
+            raise ValueError(f"{spec}: LG file contains no graphs")
+        return graphs
+    raise ValueError(
+        f"--data {spec!r} is neither an existing LG file, 'demo', nor a synthetic: spec"
+    )
+
+
+def _parse_lengths(text: str) -> List[int]:
+    lengths: List[int] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "-" in chunk[1:]:
+            low, high = chunk.split("-", 1)
+            lengths.extend(range(int(low), int(high) + 1))
+        else:
+            lengths.append(int(chunk))
+    if not lengths:
+        raise ValueError(f"no lengths in {text!r}")
+    return sorted(set(lengths))
+
+
+def _pattern_payload(pattern) -> dict:
+    from repro.graph.io import graph_to_record
+
+    return {
+        "support": pattern.support,
+        "diameter_length": pattern.diameter_length,
+        "num_vertices": pattern.num_vertices,
+        "num_edges": pattern.num_edges,
+        "diameter_labels": list(pattern.diameter_labels()),
+        "graph": graph_to_record(pattern.graph),
+    }
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.index.store import DiskPatternStore
+    from repro.service.mining import MiningService
+
+    graphs = load_dataset(args.data)
+    store = DiskPatternStore(args.store)
+    service = MiningService(graphs, store=store)
+    lengths = _parse_lengths(args.lengths)
+    counts = service.precompute(
+        lengths,
+        min_support=args.min_support,
+        support_measure=args.support_measure,
+        processes=args.processes,
+    )
+    payload = {
+        "store": str(store.root),
+        "fingerprint": service.fingerprint,
+        "min_support": args.min_support,
+        "support_measure": args.support_measure,
+        "lengths": {str(length): counts[length] for length in sorted(counts)},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"index store : {store.root}")
+        print(f"fingerprint : {service.fingerprint[:16]}…")
+        for length in sorted(counts):
+            print(f"  l={length:<3d} -> {counts[length]} minimal pattern(s)")
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    from repro.index.store import DiskPatternStore
+
+    store = DiskPatternStore(args.store)
+    entries = store.info()
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"{store.root}: empty index store")
+        return 0
+    print(f"{store.root}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    for entry in entries:
+        print(
+            f"  [{entry['constraint_id']}] {json.dumps(entry['parameter'], sort_keys=True)}"
+            f" — {entry['num_patterns']} pattern(s),"
+            f" built in {entry['build_seconds']:.3f}s,"
+            f" {entry['size_bytes']} bytes"
+            f" (data {entry['fingerprint'][:12]}…)"
+        )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.index.store import DiskPatternStore
+    from repro.service.mining import MineRequest, MiningService
+
+    graphs = load_dataset(args.data)
+    store = DiskPatternStore(args.store) if args.store else None
+    service = MiningService(graphs, store=store)
+    request = MineRequest(
+        length=args.length,
+        delta=args.delta,
+        min_support=args.min_support,
+        top_k=args.top_k,
+        support_measure=args.support_measure,
+    )
+    response = service.mine(request)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": response.stats.to_dict(),
+                    "patterns": [_pattern_payload(p) for p in response.patterns],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    stats = response.stats
+    provenance = "warm index" if stats.served_from_store else "cold (Stage 1 computed)"
+    print(
+        f"{len(response.patterns)} pattern(s) for l={args.length} δ={args.delta} "
+        f"σ={args.min_support} [{provenance}]"
+    )
+    print(
+        f"stage 1: {stats.stage_one_seconds:.4f}s   stage 2: {stats.stage_two_seconds:.4f}s"
+        f"   total: {stats.total_seconds:.4f}s"
+    )
+    for rank, pattern in enumerate(response.patterns, start=1):
+        print(
+            f"  #{rank:<3d} support={pattern.support:<4d} |V|={pattern.num_vertices:<3d}"
+            f" |E|={pattern.num_edges:<3d} diameter={'-'.join(pattern.diameter_labels())}"
+        )
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.index.store import DiskPatternStore
+    from repro.service.mining import MineRequest, MiningService
+
+    graphs = load_dataset(args.data)
+    store = DiskPatternStore(args.store) if args.store else None
+    service = MiningService(graphs, store=store)
+    payload = json.loads(Path(args.requests).read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ValueError(f"{args.requests}: expected a JSON list of request objects")
+    requests = [MineRequest.from_dict(item) for item in payload]
+    responses = service.serve_batch(requests)
+    results = [
+        {
+            "stats": response.stats.to_dict(),
+            "num_patterns": len(response.patterns),
+            **(
+                {"patterns": [_pattern_payload(p) for p in response.patterns]}
+                if args.include_patterns
+                else {}
+            ),
+        }
+        for response in responses
+    ]
+    text = json.dumps(results, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(results)} response(s) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------- #
+def _add_data_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--data",
+        required=True,
+        help="LG file path, 'demo', or synthetic:GID[:scale[:seed]]",
+    )
+
+
+def _add_measure_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--support-measure",
+        default="embeddings",
+        choices=["embeddings", "transactions", "mni"],
+        help="support measure (default: embeddings)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="SkinnyMine reproduction: persistent pattern index + mining service",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    index_parser = subparsers.add_parser("index", help="manage the Stage-1 index store")
+    index_sub = index_parser.add_subparsers(dest="index_command", required=True)
+
+    build = index_sub.add_parser("build", help="precompute minimal patterns into a store")
+    _add_data_argument(build)
+    build.add_argument("--store", required=True, help="index store directory")
+    build.add_argument(
+        "--lengths", required=True, help="comma list / ranges, e.g. '4,6' or '3-6'"
+    )
+    build.add_argument("--min-support", type=int, default=2)
+    _add_measure_argument(build)
+    build.add_argument(
+        "--processes", type=int, default=None, help="parallel Stage-1 workers"
+    )
+    build.add_argument("--json", action="store_true", help="machine-readable output")
+    build.set_defaults(handler=_cmd_index_build)
+
+    info = index_sub.add_parser("info", help="inspect an index store")
+    info.add_argument("--store", required=True, help="index store directory")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+    info.set_defaults(handler=_cmd_index_info)
+
+    mine = subparsers.add_parser("mine", help="answer one mining request")
+    _add_data_argument(mine)
+    mine.add_argument("--store", default=None, help="index store directory (optional)")
+    mine.add_argument("--length", "-l", type=int, required=True)
+    mine.add_argument("--delta", "-d", type=int, required=True)
+    mine.add_argument("--min-support", type=int, default=2)
+    mine.add_argument("--top-k", type=int, default=None)
+    _add_measure_argument(mine)
+    mine.add_argument("--json", action="store_true", help="machine-readable output")
+    mine.set_defaults(handler=_cmd_mine)
+
+    batch = subparsers.add_parser("serve-batch", help="answer a JSON batch of requests")
+    _add_data_argument(batch)
+    batch.add_argument("--store", default=None, help="index store directory (optional)")
+    batch.add_argument(
+        "--requests", required=True, help="JSON file: list of request objects"
+    )
+    batch.add_argument(
+        "--output", default=None, help="write responses to this file instead of stdout"
+    )
+    batch.add_argument(
+        "--include-patterns",
+        action="store_true",
+        help="include full pattern graphs in the responses",
+    )
+    batch.set_defaults(handler=_cmd_serve_batch)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (ValueError, OSError, KeyError) as error:
+        print(f"{PROG}: error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,150 @@ class SupportMeasure(Enum):
     MNI = "mni"
 
 
+# --------------------------------------------------------------------- #
+# deltas: incremental edits to the data graph(s)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One edit to a data graph: add or remove a single undirected edge.
+
+    ``add`` operations may introduce new endpoints; supply ``label_u`` /
+    ``label_v`` for endpoints that do not exist yet (they are ignored for
+    endpoints already present).  ``remove`` operations keep the endpoint
+    vertices in the graph — a vertex losing its last edge becomes an isolated
+    labeled vertex, which is still valid data.
+    """
+
+    op: str  # "add" | "remove"
+    u: int
+    v: int
+    graph_index: int = 0
+    label_u: Optional[Label] = None
+    label_v: Optional[Label] = None
+    edge_label: Optional[Label] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "remove"):
+            raise ValueError(f"unknown delta op {self.op!r} (expected 'add' or 'remove')")
+
+    @classmethod
+    def add_edge(
+        cls,
+        u: int,
+        v: int,
+        graph_index: int = 0,
+        label_u: Optional[Label] = None,
+        label_v: Optional[Label] = None,
+        edge_label: Optional[Label] = None,
+    ) -> "EdgeDelta":
+        return cls("add", u, v, graph_index, label_u, label_v, edge_label)
+
+    @classmethod
+    def remove_edge(cls, u: int, v: int, graph_index: int = 0) -> "EdgeDelta":
+        return cls("remove", u, v, graph_index)
+
+
+@dataclass
+class GraphDelta:
+    """An ordered batch of :class:`EdgeDelta` operations."""
+
+    operations: List[EdgeDelta] = field(default_factory=list)
+
+    def add_edge(self, *args, **kwargs) -> "GraphDelta":
+        self.operations.append(EdgeDelta.add_edge(*args, **kwargs))
+        return self
+
+    def remove_edge(self, *args, **kwargs) -> "GraphDelta":
+        self.operations.append(EdgeDelta.remove_edge(*args, **kwargs))
+        return self
+
+    def touched_vertices(self, graph_index: int = 0) -> Set[int]:
+        touched: Set[int] = set()
+        for operation in self.operations:
+            if operation.graph_index == graph_index:
+                touched.update((operation.u, operation.v))
+        return touched
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+
+def validate_delta(
+    graphs: Sequence[LabeledGraph], operations: Sequence[EdgeDelta]
+) -> None:
+    """Check a whole batch against the data *before* mutating anything.
+
+    Applying a delta half-way and then raising would leave graphs, caches and
+    index fingerprints describing different states, so callers validate the
+    batch first.  The check simulates the sequential effect of the batch on
+    vertex/edge sets (an edge added by operation i may be removed by
+    operation j > i).
+    """
+    vertices: Dict[int, Set[int]] = {}
+    edges: Dict[int, Dict[FrozenSet[int], Optional[Label]]] = {}
+    for position, operation in enumerate(operations):
+        index = operation.graph_index
+        if not 0 <= index < len(graphs):
+            raise ValueError(
+                f"delta operation {position}: graph_index {index} out of range"
+            )
+        if index not in vertices:
+            graph = graphs[index]
+            vertices[index] = set(graph.vertices())
+            edges[index] = {
+                frozenset(edge.endpoints()): edge.label for edge in graph.edges()
+            }
+        edge = frozenset((operation.u, operation.v))
+        if operation.op == "add":
+            if operation.u == operation.v:
+                raise ValueError(
+                    f"delta operation {position}: self-loops are not allowed"
+                )
+            for vertex, label in (
+                (operation.u, operation.label_u),
+                (operation.v, operation.label_v),
+            ):
+                if vertex not in vertices[index] and label is None:
+                    raise ValueError(
+                        f"delta operation {position}: add_edge introduces vertex "
+                        f"{vertex} without a label"
+                    )
+                vertices[index].add(vertex)
+            if edge in edges[index] and edges[index][edge] != operation.edge_label:
+                raise ValueError(
+                    f"delta operation {position}: edge ({operation.u}, {operation.v}) "
+                    f"already has label {edges[index][edge]!r}, "
+                    f"cannot relabel to {operation.edge_label!r}"
+                )
+            edges[index][edge] = operation.edge_label
+        else:
+            if edge not in edges[index]:
+                raise KeyError(
+                    f"delta operation {position}: edge ({operation.u}, {operation.v}) "
+                    f"is not in graph {index}"
+                )
+            del edges[index][edge]
+
+
+def apply_edge_delta(graphs: Sequence[LabeledGraph], operation: EdgeDelta) -> None:
+    """Apply one :class:`EdgeDelta` to a graph list in place."""
+    graph = graphs[operation.graph_index]
+    if operation.op == "add":
+        for vertex, label in ((operation.u, operation.label_u), (operation.v, operation.label_v)):
+            if not graph.has_vertex(vertex):
+                if label is None:
+                    raise ValueError(
+                        f"add_edge delta introduces vertex {vertex} without a label"
+                    )
+                graph.add_vertex(vertex, label)
+        graph.add_edge(operation.u, operation.v, operation.edge_label)
+    else:
+        graph.remove_edge(operation.u, operation.v)
+
+
 @dataclass
 class MiningContext:
     """A data graph or graph database together with the support measure.
@@ -178,6 +322,32 @@ class MiningContext:
 
     def is_frequent(self, support: int) -> bool:
         return support >= self.min_support
+
+    # ------------------------------------------------------------------ #
+    # content identity and incremental edits
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content fingerprint of the data graph(s); keys index-store entries."""
+        from repro.graph.io import dataset_fingerprint
+
+        return dataset_fingerprint(self.graphs)
+
+    def apply_delta(self, delta: Union[GraphDelta, Iterable[EdgeDelta]]) -> None:
+        """Apply a batch of edge edits to the data in place.
+
+        The whole batch is validated before the first mutation, so a bad
+        operation raises with the data untouched.  Derived caches (the
+        per-graph label index) are invalidated; index stores keyed by the old
+        fingerprint must be repaired separately — see
+        :class:`repro.index.incremental.IndexMaintainer`.
+        """
+        operations = list(delta)
+        validate_delta(self.graphs, operations)
+        try:
+            for operation in operations:
+                apply_edge_delta(self.graphs, operation)
+        finally:
+            self._label_index.clear()
 
     def total_vertices(self) -> int:
         return sum(graph.num_vertices() for graph in self.graphs)

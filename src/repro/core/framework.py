@@ -27,8 +27,25 @@ This module provides:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.index.store import PatternStore, StoreKey
 
 from repro.core.database import MiningContext, SupportMeasure
 from repro.core.diameter import is_l_long_delta_skinny
@@ -207,25 +224,141 @@ class ConstraintDriver(Protocol):
         ...
 
 
-@dataclass
 class MinimalPatternIndex:
-    """The pre-computed index of minimal patterns keyed by constraint parameter."""
+    """The pre-computed index of minimal patterns keyed by constraint parameter.
 
-    entries: Dict[Hashable, List[object]] = field(default_factory=dict)
-    build_seconds: Dict[Hashable, float] = field(default_factory=dict)
+    Historically a plain in-memory dict; it is now a parameter-keyed view
+    over a pluggable :class:`repro.index.store.PatternStore` backend bound to
+    one ``(dataset fingerprint, constraint id)`` pair.  The default backend
+    is :class:`repro.index.store.MemoryPatternStore` (the old behaviour);
+    passing a :class:`repro.index.store.DiskPatternStore` makes the Stage-1
+    index survive the process — see :mod:`repro.service.mining` for the
+    request-serving front end built on top.
+    """
+
+    def __init__(
+        self,
+        backend: Optional["PatternStore"] = None,
+        fingerprint: str = "",
+        constraint_id: str = "generic",
+    ) -> None:
+        from repro.index.store import MemoryPatternStore
+
+        self._backend = backend if backend is not None else MemoryPatternStore()
+        self._fingerprint = fingerprint
+        self._constraint_id = constraint_id
+        # Parameters the portable codec cannot express (e.g. frozensets,
+        # custom hashables) are keyed through these two maps, preserving the
+        # historical any-Hashable API for in-process use.  The forward map is
+        # looked up by equality/hash, so two equal-but-distinct instances
+        # (whose reprs may differ, e.g. default object reprs) share one key.
+        # Caveat: these identities are in-process only — sharing unportable
+        # parameters across processes via a disk backend relies on repr being
+        # faithful (distinct parameters with identical reprs cannot be told
+        # apart by a reader that never saw the originals); use portable
+        # scalar/tuple/dict parameters for cross-process stores.
+        self._unportable_encoding: Dict[Hashable, str] = {}
+        self._unportable: Dict[str, Hashable] = {}
+
+    @property
+    def backend(self) -> "PatternStore":
+        return self._backend
+
+    def _key(self, parameter: Hashable) -> "StoreKey":
+        import json
+
+        from repro.index.store import StoreKey, encode_parameter
+
+        try:
+            encoded = encode_parameter(parameter)
+        except TypeError:
+            encoded = self._unportable_encoding.get(parameter)
+            if encoded is None:
+                encoded = json.dumps(
+                    {"__unportable__": repr(parameter)},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                if encoded in self._unportable:
+                    # Distinct parameters sharing a repr: disambiguate.
+                    encoded = json.dumps(
+                        {
+                            "__unportable__": repr(parameter),
+                            "__seq__": len(self._unportable),
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                self._unportable_encoding[parameter] = encoded
+                self._unportable[encoded] = parameter
+        return StoreKey(self._fingerprint, self._constraint_id, encoded)
+
+    def _parameter_of(self, key: "StoreKey") -> Hashable:
+        if key.parameter in self._unportable:
+            return self._unportable[key.parameter]
+        decoded = key.decoded_parameter()
+        if isinstance(decoded, dict):
+            if "__unportable__" in decoded and set(decoded) <= {"__unportable__", "__seq__"}:
+                # Written by another instance/process: the original object is
+                # unrecoverable; surface its repr (hashable) instead of a dict.
+                return decoded["__unportable__"]
+            # Portable dict parameters (e.g. the mining service's) are not
+            # hashable either; expose their canonical text form as the key.
+            return key.parameter
+        return decoded
+
+    def _own_keys(self) -> List["StoreKey"]:
+        return [
+            key
+            for key in self._backend.keys()
+            if key.fingerprint == self._fingerprint
+            and key.constraint_id == self._constraint_id
+        ]
 
     def store(self, parameter: Hashable, patterns: List[object], seconds: float) -> None:
-        self.entries[parameter] = patterns
-        self.build_seconds[parameter] = seconds
+        from repro.index.store import IndexEntry
+
+        self._backend.put(
+            IndexEntry(key=self._key(parameter), patterns=list(patterns), build_seconds=seconds)
+        )
 
     def get(self, parameter: Hashable) -> Optional[List[object]]:
-        return self.entries.get(parameter)
+        entry = self._backend.get(self._key(parameter))
+        return None if entry is None else entry.patterns
+
+    def build_seconds_for(self, parameter: Hashable) -> float:
+        entry = self._backend.get(self._key(parameter))
+        return 0.0 if entry is None else entry.build_seconds
+
+    @property
+    def entries(self) -> Mapping[Hashable, List[object]]:
+        """Read-only view: parameter → patterns for this index's entries.
+
+        Formerly a mutable dict field; writes must now go through
+        :meth:`store` (mutating this view raises ``TypeError``).
+        """
+        result: Dict[Hashable, List[object]] = {}
+        for key in self._own_keys():
+            entry = self._backend.get(key)
+            if entry is not None:
+                result[self._parameter_of(key)] = entry.patterns
+        return MappingProxyType(result)
+
+    @property
+    def build_seconds(self) -> Mapping[Hashable, float]:
+        """Read-only view: parameter → Stage-1 build time."""
+        result: Dict[Hashable, float] = {}
+        for key in self._own_keys():
+            entry = self._backend.get(key)
+            if entry is not None:
+                result[self._parameter_of(key)] = entry.build_seconds
+        return MappingProxyType(result)
 
     def parameters(self) -> List[Hashable]:
-        return sorted(self.entries, key=str)
+        return sorted((self._parameter_of(key) for key in self._own_keys()), key=str)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._own_keys())
 
 
 @dataclass
@@ -249,10 +382,16 @@ class DirectMiner:
         min_support: int,
         driver: ConstraintDriver,
         support_measure: Optional[SupportMeasure] = None,
+        store: Optional["PatternStore"] = None,
+        constraint_id: str = "generic",
     ) -> None:
         self._context = MiningContext(graphs, min_support, support_measure)
         self._driver = driver
-        self._index = MinimalPatternIndex()
+        self._index = MinimalPatternIndex(
+            backend=store,
+            fingerprint=self._context.fingerprint(),
+            constraint_id=constraint_id,
+        )
         self.last_report: Optional[DirectMiningReport] = None
 
     @property
@@ -277,7 +416,7 @@ class DirectMiner:
             self.precompute([parameter])
         minimal_patterns = self._index.get(parameter) or []
         stage_one_seconds = (
-            self._index.build_seconds.get(parameter, 0.0)
+            self._index.build_seconds_for(parameter)
             if served_from_index
             else time.perf_counter() - started
         )

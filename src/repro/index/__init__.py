@@ -1,0 +1,55 @@
+"""Persistent minimal-pattern index: store backends, codec, incremental repair.
+
+This package turns the paper's offline Stage 1 (Figure 2) into a durable
+subsystem:
+
+* :mod:`repro.index.store` — the abstract :class:`PatternStore` with
+  in-memory and on-disk (JSON-lines, versioned, atomic) backends, keyed by
+  ``(dataset fingerprint, constraint id, parameter)``;
+* :mod:`repro.index.codec` — lossless record serialisation for minimal
+  patterns and their embeddings;
+* :mod:`repro.index.incremental` — delta-driven repair so edge edits do not
+  force a full Stage-1 rebuild.
+"""
+
+from repro.index.codec import CodecError, decode_record, encode_record
+from repro.index.incremental import (
+    SKINNY_CONSTRAINT_ID,
+    IndexMaintainer,
+    RepairReport,
+    find_labeled_path_occurrences,
+    paths_through_edge,
+    repair_path_entry,
+)
+from repro.index.store import (
+    FORMAT_VERSION,
+    DiskPatternStore,
+    IndexEntry,
+    MemoryPatternStore,
+    PatternStore,
+    StoreFormatError,
+    StoreKey,
+    decode_parameter,
+    encode_parameter,
+)
+
+__all__ = [
+    "CodecError",
+    "DiskPatternStore",
+    "FORMAT_VERSION",
+    "IndexEntry",
+    "IndexMaintainer",
+    "MemoryPatternStore",
+    "PatternStore",
+    "RepairReport",
+    "SKINNY_CONSTRAINT_ID",
+    "StoreFormatError",
+    "StoreKey",
+    "decode_parameter",
+    "decode_record",
+    "encode_parameter",
+    "encode_record",
+    "find_labeled_path_occurrences",
+    "paths_through_edge",
+    "repair_path_entry",
+]

@@ -1,0 +1,89 @@
+"""JSON codec for the objects held by the pattern-index store.
+
+The persistent store (:mod:`repro.index.store`) serialises *minimal
+constraint-satisfying patterns together with their embeddings* — the paper's
+Stage-1 output.  Three record types are supported:
+
+* ``path`` — :class:`repro.core.patterns.PathPattern` (SkinnyMine's minimal
+  patterns: frequent length-l paths with their ordered occurrences);
+* ``skinny`` — :class:`repro.core.patterns.SkinnyPattern` (full mined
+  patterns, used by the service's result persistence);
+* ``graph`` — a bare :class:`repro.graph.labeled_graph.LabeledGraph`
+  (minimal patterns of generic constraints in the direct-mining framework).
+
+Records are plain dicts tagged with a ``"type"`` key so a JSON-lines file can
+mix them; decoding an unknown tag raises :class:`CodecError` rather than
+silently dropping data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.patterns import PathPattern, SkinnyPattern
+from repro.graph.embeddings import Embedding
+from repro.graph.io import graph_from_record, graph_to_record
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class CodecError(ValueError):
+    """Raised when a record cannot be encoded or decoded."""
+
+
+def encode_record(obj: object) -> Dict:
+    """Serialise one storable object to a tagged JSON-compatible dict."""
+    if isinstance(obj, PathPattern):
+        return {
+            "type": "path",
+            "labels": list(obj.labels),
+            "support": obj.support,
+            "embeddings": [
+                [graph_index, list(vertices)] for graph_index, vertices in obj.embeddings
+            ],
+        }
+    if isinstance(obj, SkinnyPattern):
+        return {
+            "type": "skinny",
+            "graph": graph_to_record(obj.graph),
+            "diameter": list(obj.diameter),
+            "support": obj.support,
+            "embeddings": [
+                [embedding.graph_index, [list(pair) for pair in embedding.mapping]]
+                for embedding in obj.embeddings
+            ],
+        }
+    if isinstance(obj, LabeledGraph):
+        return {"type": "graph", "graph": graph_to_record(obj)}
+    raise CodecError(f"cannot encode object of type {type(obj).__name__} for the index store")
+
+
+def decode_record(record: Dict) -> object:
+    """Rebuild a storable object from a tagged dict."""
+    kind = record.get("type")
+    if kind == "path":
+        return PathPattern(
+            labels=tuple(record["labels"]),
+            embeddings=tuple(
+                (graph_index, tuple(vertices))
+                for graph_index, vertices in record["embeddings"]
+            ),
+            support=record["support"],
+        )
+    if kind == "skinny":
+        return SkinnyPattern(
+            graph=graph_from_record(record["graph"]),
+            diameter=list(record["diameter"]),
+            embeddings=[
+                Embedding(
+                    mapping=tuple(tuple(pair) for pair in mapping),
+                    graph_index=graph_index,
+                )
+                for graph_index, mapping in record["embeddings"]
+            ],
+            support=record["support"],
+        )
+    if kind == "graph":
+        return graph_from_record(record["graph"])
+    raise CodecError(f"unknown index-store record type {kind!r}")
+
+

@@ -1,0 +1,374 @@
+"""Incremental maintenance of the pattern index under graph edits.
+
+Rebuilding Stage 1 after every data edit would repay the whole offline cost
+the index exists to amortise.  Following the dynamic-query-maintenance idea
+(Berkholz et al., *Answering FO+MOD queries under updates*), this module
+repairs only the index entries whose minimal-pattern embeddings touch an
+edge delta:
+
+* **remove_edge** — occurrences are only destroyed, never created: every
+  stored occurrence whose vertex sequence traverses the removed edge is
+  dropped, supports are recomputed, and patterns falling below σ are evicted.
+* **add_edge** — existing occurrences stay valid; the only *new* length-l
+  occurrences are simple paths through the new edge, which are enumerated
+  locally (DFS out of both endpoints).  They either extend an indexed
+  pattern's embedding list or — when a label sequence becomes frequent for
+  the first time — trigger a *targeted* count of exactly that label sequence,
+  never a full re-mine.
+
+Entries whose embeddings never touch the delta are migrated to the new
+dataset fingerprint untouched; entries with parameters the maintainer does
+not understand (including cap-truncated Stage-1 entries) are invalidated
+(deleted) so a cold rebuild stays correct.
+
+Exactness note: repair counts occurrences *exhaustively* (it matches
+``brute_force_frequent_paths``).  DiamMine with its default
+``prune_intermediate=True`` is heuristically pruned under embedding-count
+support (the measure is not anti-monotone — see its docstring), so on
+adversarial graphs a repaired entry may legitimately contain frequent paths
+a fresh pruned DiamMine run would miss.  Repair therefore never loses
+patterns relative to a rebuild; it can only be closer to ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.core.database import (
+    EdgeDelta,
+    GraphDelta,
+    MiningContext,
+    SupportMeasure,
+    apply_edge_delta,
+    validate_delta,
+)
+from repro.core.diammine import DirectedOccurrence, _occurrence_key
+from repro.core.orders import canonical_label_orientation
+from repro.core.patterns import PathPattern
+from repro.graph.io import dataset_fingerprint
+from repro.graph.labeled_graph import LabeledGraph, VertexId
+from repro.index.store import IndexEntry, PatternStore, StoreKey
+
+SKINNY_CONSTRAINT_ID = "skinny"
+
+
+# --------------------------------------------------------------------- #
+# local path enumeration around a delta edge
+# --------------------------------------------------------------------- #
+def paths_through_edge(
+    graph: LabeledGraph, u: VertexId, v: VertexId, length: int
+) -> List[Tuple[VertexId, ...]]:
+    """Every simple path with exactly ``length`` edges traversing edge ``{u, v}``.
+
+    The search is local: DFS of depth < ``length`` out of each endpoint, so
+    the cost depends on the delta edge's neighbourhood, not on |G|.  Each
+    undirected path is returned once (deduplicated across orientations).
+    """
+    if not graph.has_edge(u, v):
+        raise KeyError(f"edge ({u}, {v}) is not in the graph")
+
+    def arms(start: VertexId, blocked: Set[VertexId], depth: int) -> List[Tuple[VertexId, ...]]:
+        """Simple paths of ``depth`` edges ending at ``start`` avoiding ``blocked``."""
+        if depth == 0:
+            return [(start,)]
+        collected: List[Tuple[VertexId, ...]] = []
+        stack: List[Tuple[Tuple[VertexId, ...], Set[VertexId]]] = [((start,), {start} | blocked)]
+        while stack:
+            path, visited = stack.pop()
+            if len(path) == depth + 1:
+                collected.append(tuple(reversed(path)))
+                continue
+            for neighbor in graph.neighbors(path[-1]):
+                if neighbor not in visited:
+                    stack.append((path + (neighbor,), visited | {neighbor}))
+        return collected
+
+    seen: Set[Tuple[VertexId, ...]] = set()
+    results: List[Tuple[VertexId, ...]] = []
+    for head_len in range(length):
+        tail_len = length - 1 - head_len
+        for head in arms(u, {v}, head_len):
+            head_set = set(head)
+            for tail_path in arms(v, head_set, tail_len):
+                candidate = head + tuple(reversed(tail_path))
+                backward = tuple(reversed(candidate))
+                key = candidate if candidate <= backward else backward
+                if key not in seen:
+                    seen.add(key)
+                    results.append(candidate)
+    return results
+
+
+def find_labeled_path_occurrences(
+    context: MiningContext, labels: Tuple[str, ...]
+) -> List[DirectedOccurrence]:
+    """All occurrences of one specific label sequence, canonically oriented.
+
+    This is the targeted counterpart of a full DiamMine run: it enumerates
+    only paths matching ``labels`` (guided DFS from vertices carrying the
+    first label), which incremental repair uses to admit label sequences that
+    became frequent through an added edge.
+    """
+    canonical = canonical_label_orientation(labels)
+    occurrences: Dict[Tuple[int, Tuple[VertexId, ...]], DirectedOccurrence] = {}
+
+    def orient(graph_index: int, vertices: Tuple[VertexId, ...]) -> None:
+        occurrence = (graph_index, vertices)
+        occurrences.setdefault(_occurrence_key(occurrence), occurrence)
+
+    for direction in {canonical, tuple(reversed(canonical))}:
+        for graph_index in context.graph_indices():
+            graph = context.graph(graph_index)
+            starts = [
+                vertex
+                for vertex in graph.vertices()
+                if str(graph.label_of(vertex)) == direction[0]
+            ]
+            for start in starts:
+                stack: List[Tuple[VertexId, ...]] = [(start,)]
+                while stack:
+                    path = stack.pop()
+                    if len(path) == len(direction):
+                        forward = path if direction == canonical else tuple(reversed(path))
+                        orient(graph_index, forward)
+                        continue
+                    next_label = direction[len(path)]
+                    for neighbor in graph.neighbors(path[-1]):
+                        if neighbor in path:
+                            continue
+                        if str(graph.label_of(neighbor)) == next_label:
+                            stack.append(path + (neighbor,))
+    return sorted(occurrences.values())
+
+
+# --------------------------------------------------------------------- #
+# per-entry repair
+# --------------------------------------------------------------------- #
+def _occurrence_uses_edge(
+    occurrence: DirectedOccurrence, operation: EdgeDelta
+) -> bool:
+    graph_index, vertices = occurrence
+    if graph_index != operation.graph_index:
+        return False
+    edge = frozenset((operation.u, operation.v))
+    return any(
+        frozenset((a, b)) == edge for a, b in zip(vertices, vertices[1:])
+    )
+
+
+@dataclass
+class EntryRepair:
+    """Outcome of repairing one entry against one operation."""
+
+    patterns: List[PathPattern]
+    changed: bool
+    patterns_dropped: int = 0
+    patterns_added: int = 0
+
+
+def repair_path_entry(
+    patterns: Sequence[PathPattern],
+    operation: EdgeDelta,
+    context: MiningContext,
+    length: int,
+) -> EntryRepair:
+    """Repair one Stage-1 entry (frequent length-``length`` paths) for one edit.
+
+    ``context`` must already reflect the data *after* the operation.
+    """
+    if operation.op == "remove":
+        kept: List[PathPattern] = []
+        changed = False
+        dropped = 0
+        for pattern in patterns:
+            surviving = tuple(
+                occurrence
+                for occurrence in pattern.embeddings
+                if not _occurrence_uses_edge(occurrence, operation)
+            )
+            if len(surviving) == len(pattern.embeddings):
+                kept.append(pattern)
+                continue
+            changed = True
+            support = context.support_of_path_occurrences(surviving)
+            if context.is_frequent(support):
+                kept.append(
+                    PathPattern(pattern.labels, tuple(sorted(surviving)), support)
+                )
+            else:
+                dropped += 1
+        return EntryRepair(kept, changed, patterns_dropped=dropped)
+
+    # "add": new occurrences can only run through the new edge.
+    graph = context.graph(operation.graph_index)
+    new_paths = paths_through_edge(graph, operation.u, operation.v, length)
+    if not new_paths:
+        return EntryRepair(list(patterns), False)
+
+    by_labels: Dict[Tuple[str, ...], List[DirectedOccurrence]] = {}
+    for vertices in new_paths:
+        labels = tuple(str(graph.label_of(vertex)) for vertex in vertices)
+        canonical = canonical_label_orientation(labels)
+        oriented = vertices if labels == canonical else tuple(reversed(vertices))
+        by_labels.setdefault(canonical, []).append((operation.graph_index, oriented))
+
+    indexed: Dict[Tuple[str, ...], PathPattern] = {
+        pattern.labels: pattern for pattern in patterns
+    }
+    changed = False
+    added = 0
+    for labels, occurrences in by_labels.items():
+        existing = indexed.get(labels)
+        if existing is not None:
+            merged: Dict = {
+                _occurrence_key(occurrence): occurrence
+                for occurrence in existing.embeddings
+            }
+            before = len(merged)
+            for occurrence in occurrences:
+                merged.setdefault(_occurrence_key(occurrence), occurrence)
+            if len(merged) == before:
+                continue
+            support = context.support_of_path_occurrences(merged.values())
+            indexed[labels] = PathPattern(
+                labels, tuple(sorted(merged.values())), support
+            )
+            changed = True
+        else:
+            # A label sequence not in the index was infrequent before the
+            # edit; count exactly this sequence (targeted, not a re-mine).
+            all_occurrences = find_labeled_path_occurrences(context, labels)
+            support = context.support_of_path_occurrences(all_occurrences)
+            if context.is_frequent(support):
+                indexed[labels] = PathPattern(
+                    labels, tuple(sorted(all_occurrences)), support
+                )
+                changed = True
+                added += 1
+    repaired = [indexed[labels] for labels in sorted(indexed)]
+    return EntryRepair(repaired, changed, patterns_added=added)
+
+
+# --------------------------------------------------------------------- #
+# store-level maintenance
+# --------------------------------------------------------------------- #
+@dataclass
+class RepairReport:
+    """What an :class:`IndexMaintainer.apply_delta` call did."""
+
+    old_fingerprint: str = ""
+    new_fingerprint: str = ""
+    operations: int = 0
+    entries_seen: int = 0
+    entries_migrated: int = 0
+    entries_repaired: int = 0
+    entries_invalidated: int = 0
+    patterns_dropped: int = 0
+    patterns_added: int = 0
+
+
+class IndexMaintainer:
+    """Keeps a :class:`PatternStore` consistent with an evolving dataset.
+
+    The maintainer owns the coupling between data edits and index identity:
+    every operation re-fingerprints the dataset and re-keys the surviving
+    entries, so a stale index can never satisfy a lookup for the new data.
+    """
+
+    def __init__(self, store: PatternStore, constraint_id: str = SKINNY_CONSTRAINT_ID) -> None:
+        self._store = store
+        self._constraint_id = constraint_id
+
+    def apply_delta(
+        self,
+        graphs: Sequence[LabeledGraph],
+        delta: Union[GraphDelta, Sequence[EdgeDelta]],
+    ) -> RepairReport:
+        """Apply edits to ``graphs`` in place and repair the store's entries.
+
+        The whole batch is validated before the first mutation (a bad
+        operation raises with graphs and store untouched).  Entries are read
+        once, repaired in memory across all operations, and written back once
+        under the final fingerprint — one disk write per surviving entry per
+        batch, however many operations the delta holds.
+        """
+        operations = list(delta)
+        old_fingerprint = dataset_fingerprint(graphs)
+        report = RepairReport(
+            old_fingerprint=old_fingerprint,
+            new_fingerprint=old_fingerprint,
+            operations=len(operations),
+        )
+        if not operations:
+            return report
+        validate_delta(graphs, operations)
+
+        stale_keys = [
+            key
+            for key in self._store.keys()
+            if key.fingerprint == old_fingerprint
+            and key.constraint_id == self._constraint_id
+        ]
+        live: List[Dict] = []  # key, entry, length/σ/measure, patterns, changed
+        for key in stale_keys:
+            entry = self._store.get(key)
+            if entry is None:
+                continue
+            report.entries_seen += 1
+            parameter = key.decoded_parameter()
+            try:
+                if set(parameter) != {"length", "min_support", "support_measure"}:
+                    # Extra keys (e.g. a max_paths_per_length cap marking a
+                    # deliberately truncated entry) change the entry's
+                    # semantics in ways repair cannot honour.
+                    raise ValueError("unknown parameter keys")
+                record = {
+                    "key": key,
+                    "entry": entry,
+                    "length": int(parameter["length"]),
+                    "min_support": int(parameter["min_support"]),
+                    "measure": SupportMeasure(parameter["support_measure"]),
+                    "patterns": entry.patterns,
+                    "changed": False,
+                }
+            except (TypeError, KeyError, ValueError):
+                # Unknown parameter scheme: invalidate so a rebuild stays correct.
+                report.entries_invalidated += 1
+                self._store.delete(key)
+                continue
+            live.append(record)
+
+        for operation in operations:
+            apply_edge_delta(graphs, operation)
+            for record in live:
+                context = MiningContext(
+                    list(graphs), record["min_support"], record["measure"]
+                )
+                repair = repair_path_entry(
+                    record["patterns"], operation, context, record["length"]
+                )
+                record["patterns"] = repair.patterns
+                record["changed"] = record["changed"] or repair.changed
+                report.patterns_dropped += repair.patterns_dropped
+                report.patterns_added += repair.patterns_added
+
+        new_fingerprint = dataset_fingerprint(graphs)
+        report.new_fingerprint = new_fingerprint
+        for record in live:
+            key = record["key"]
+            entry = record["entry"]
+            if record["changed"]:
+                report.entries_repaired += 1
+            else:
+                report.entries_migrated += 1
+            self._store.delete(key)
+            self._store.put(
+                IndexEntry(
+                    key=StoreKey(new_fingerprint, key.constraint_id, key.parameter),
+                    patterns=record["patterns"],
+                    build_seconds=entry.build_seconds,
+                    created_at=entry.created_at,
+                )
+            )
+        return report

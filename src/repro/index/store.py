@@ -1,0 +1,346 @@
+"""Persistent pattern-index store: Stage-1 results keyed by dataset content.
+
+The paper's direct-mining architecture (Figure 2) pre-computes the *minimal
+constraint-satisfying patterns* offline and serves every mining request from
+that index.  This module makes the index a real subsystem instead of a plain
+in-memory dict:
+
+* :class:`StoreKey` — entries are keyed by ``(dataset fingerprint,
+  constraint id, canonical parameter)``.  The fingerprint hashes graph
+  *content* (see :func:`repro.graph.io.dataset_fingerprint`), so an index on
+  disk can never silently be served for the wrong data.
+* :class:`PatternStore` — the abstract interface; :class:`MemoryPatternStore`
+  and :class:`DiskPatternStore` are the two backends.  The disk backend
+  writes one JSON-lines file per entry with a versioned header line and
+  atomic replace-on-write, and keeps a decoded read cache.
+* ``encode_parameter`` / ``decode_parameter`` — canonical, reversible text
+  encoding of constraint parameters (tuples such as SkinnyMine's ``(l, δ)``
+  survive the JSON round-trip).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Union
+from urllib.parse import quote
+
+from repro.index.codec import decode_record, encode_record
+
+FORMAT_NAME = "repro-pattern-index"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class StoreFormatError(ValueError):
+    """Raised when an on-disk index file is corrupt or from an unknown version."""
+
+
+# --------------------------------------------------------------------- #
+# parameter encoding
+# --------------------------------------------------------------------- #
+def _tag_parameter(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": [_tag_parameter(item) for item in value]}
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            raise TypeError("parameter dicts may not use the reserved key '__tuple__'")
+        if not all(isinstance(key, str) for key in value):
+            raise TypeError("parameter dict keys must be strings")
+        return {key: _tag_parameter(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"constraint parameter {value!r} is not encodable; use scalars, tuples and dicts"
+    )
+
+
+def _untag_parameter(value):
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_untag_parameter(item) for item in value["__tuple__"])
+        return {key: _untag_parameter(item) for key, item in value.items()}
+    return value
+
+
+def encode_parameter(parameter: Hashable) -> str:
+    """Canonical text form of a constraint parameter (reversible)."""
+    return json.dumps(_tag_parameter(parameter), sort_keys=True, separators=(",", ":"))
+
+
+def decode_parameter(text: str) -> Hashable:
+    """Inverse of :func:`encode_parameter`."""
+    return _untag_parameter(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+# keys and entries
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StoreKey:
+    """Identity of one index entry: which data, which constraint, which parameter."""
+
+    fingerprint: str
+    constraint_id: str
+    parameter: str  # canonical text from encode_parameter
+
+    @classmethod
+    def make(cls, fingerprint: str, constraint_id: str, parameter: Hashable) -> "StoreKey":
+        return cls(fingerprint, constraint_id, encode_parameter(parameter))
+
+    def decoded_parameter(self) -> Hashable:
+        return decode_parameter(self.parameter)
+
+
+@dataclass
+class IndexEntry:
+    """One stored Stage-1 result: minimal patterns plus build accounting."""
+
+    key: StoreKey
+    patterns: List[object]
+    build_seconds: float = 0.0
+    created_at: float = field(default_factory=time.time)
+
+
+# --------------------------------------------------------------------- #
+# the abstract store
+# --------------------------------------------------------------------- #
+class PatternStore(ABC):
+    """Interface shared by the in-memory and on-disk index backends."""
+
+    @abstractmethod
+    def get(self, key: StoreKey) -> Optional[IndexEntry]:
+        """Return the entry for ``key`` or ``None``."""
+
+    @abstractmethod
+    def put(self, entry: IndexEntry) -> None:
+        """Insert or replace an entry."""
+
+    @abstractmethod
+    def delete(self, key: StoreKey) -> bool:
+        """Remove an entry; return whether it existed."""
+
+    @abstractmethod
+    def keys(self) -> List[StoreKey]:
+        """All entry keys currently stored."""
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> None:
+        for key in self.keys():
+            self.delete(key)
+
+    def info(self) -> List[Dict]:
+        """Per-entry metadata (for ``repro index info`` and tests)."""
+        summaries: List[Dict] = []
+        for key in sorted(self.keys(), key=lambda k: (k.fingerprint, k.constraint_id, k.parameter)):
+            entry = self.get(key)
+            if entry is None:
+                continue
+            summaries.append(
+                {
+                    "fingerprint": key.fingerprint,
+                    "constraint_id": key.constraint_id,
+                    "parameter": key.decoded_parameter(),
+                    "num_patterns": len(entry.patterns),
+                    "build_seconds": entry.build_seconds,
+                    "created_at": entry.created_at,
+                }
+            )
+        return summaries
+
+
+class MemoryPatternStore(PatternStore):
+    """Process-local dict backend (the seed repo's behaviour, now pluggable)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[StoreKey, IndexEntry] = {}
+
+    def get(self, key: StoreKey) -> Optional[IndexEntry]:
+        return self._entries.get(key)
+
+    def put(self, entry: IndexEntry) -> None:
+        self._entries[entry.key] = entry
+
+    def delete(self, key: StoreKey) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> List[StoreKey]:
+        return list(self._entries)
+
+
+class DiskPatternStore(PatternStore):
+    """JSON-lines disk backend with versioned headers and atomic writes.
+
+    Layout: ``<root>/<fingerprint>/<constraint_id>/<param-digest>.jsonl``.
+    The first line of each file is a header record carrying the format name,
+    version and the full key; subsequent lines are one encoded pattern each
+    (see :mod:`repro.index.codec`).  Writes land in a temporary file in the
+    same directory and are published with ``os.replace``, so readers never
+    observe a half-written entry.  Decoded entries are cached in memory until
+    invalidated by ``put``/``delete``.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._cache: Dict[StoreKey, IndexEntry] = {}
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -------------------------------------------------------------- #
+    # paths
+    # -------------------------------------------------------------- #
+    def _path_for(self, key: StoreKey) -> Path:
+        param_digest = hashlib.sha256(key.parameter.encode("utf-8")).hexdigest()[:24]
+        # An empty fingerprint (allowed by MinimalPatternIndex's default) or a
+        # path-hostile one must still occupy exactly one directory level, or
+        # keys()/info() globbing would miss the entry.
+        fingerprint_dir = quote(key.fingerprint, safe="-_.") or "_no-fingerprint"
+        constraint_dir = quote(key.constraint_id, safe="-_.") or "_no-constraint"
+        return self._root / fingerprint_dir / constraint_dir / f"{param_digest}.jsonl"
+
+    # -------------------------------------------------------------- #
+    # PatternStore interface
+    # -------------------------------------------------------------- #
+    def get(self, key: StoreKey) -> Optional[IndexEntry]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        entry = self._read_entry(path, expected_key=key)
+        self._cache[key] = entry
+        return entry
+
+    def put(self, entry: IndexEntry) -> None:
+        path = self._path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "fingerprint": entry.key.fingerprint,
+            "constraint_id": entry.key.constraint_id,
+            "parameter": entry.key.parameter,
+            "num_patterns": len(entry.patterns),
+            "build_seconds": entry.build_seconds,
+            "created_at": entry.created_at,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(encode_record(pattern), sort_keys=True) for pattern in entry.patterns
+        )
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+        self._cache[entry.key] = entry
+
+    def delete(self, key: StoreKey) -> bool:
+        self._cache.pop(key, None)
+        path = self._path_for(key)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def keys(self) -> List[StoreKey]:
+        found: List[StoreKey] = []
+        for path in sorted(self._root.glob("*/*/*.jsonl")):
+            header = self._read_header(path)
+            found.append(
+                StoreKey(header["fingerprint"], header["constraint_id"], header["parameter"])
+            )
+        return found
+
+    # -------------------------------------------------------------- #
+    # file parsing
+    # -------------------------------------------------------------- #
+    def _read_header(self, path: Path) -> Dict:
+        with path.open("r", encoding="utf-8") as handle:
+            first = handle.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as error:
+            raise StoreFormatError(f"{path}: header is not valid JSON") from error
+        if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+            raise StoreFormatError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"{path}: format version {header.get('version')!r} is not supported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        return header
+
+    def _read_entry(self, path: Path, expected_key: Optional[StoreKey] = None) -> IndexEntry:
+        header = self._read_header(path)
+        key = StoreKey(header["fingerprint"], header["constraint_id"], header["parameter"])
+        if expected_key is not None and key != expected_key:
+            raise StoreFormatError(
+                f"{path}: header key {key} does not match requested {expected_key}"
+            )
+        patterns: List[object] = []
+        with path.open("r", encoding="utf-8") as handle:
+            handle.readline()  # header, already validated
+            for line_number, line in enumerate(handle, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    patterns.append(decode_record(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, ValueError) as error:
+                    raise StoreFormatError(
+                        f"{path}:{line_number}: corrupt pattern record ({error})"
+                    ) from error
+        if len(patterns) != header.get("num_patterns", len(patterns)):
+            raise StoreFormatError(
+                f"{path}: truncated entry — header promises {header['num_patterns']} "
+                f"patterns, file holds {len(patterns)}"
+            )
+        return IndexEntry(
+            key=key,
+            patterns=patterns,
+            build_seconds=header.get("build_seconds", 0.0),
+            created_at=header.get("created_at", 0.0),
+        )
+
+    def info(self) -> List[Dict]:
+        summaries: List[Dict] = []
+        for path in sorted(self._root.glob("*/*/*.jsonl")):
+            header = self._read_header(path)
+            summaries.append(
+                {
+                    "fingerprint": header["fingerprint"],
+                    "constraint_id": header["constraint_id"],
+                    "parameter": decode_parameter(header["parameter"]),
+                    "num_patterns": header["num_patterns"],
+                    "build_seconds": header["build_seconds"],
+                    "created_at": header["created_at"],
+                    "size_bytes": path.stat().st_size,
+                    "path": str(path),
+                }
+            )
+        return summaries

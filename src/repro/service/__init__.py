@@ -1,0 +1,15 @@
+"""Request-serving front end over the persistent pattern index.
+
+:class:`MiningService` answers batched :class:`MineRequest` objects from the
+Stage-1 store (see :mod:`repro.index`), with a result cache, per-request
+timing stats, parallel precompute and incremental index maintenance.
+"""
+
+from repro.service.mining import (
+    MineRequest,
+    MineResponse,
+    MiningService,
+    RequestStats,
+)
+
+__all__ = ["MineRequest", "MineResponse", "MiningService", "RequestStats"]

@@ -1,0 +1,39 @@
+"""Multiprocessing workers for parallel Stage-1 precompute.
+
+``multiprocessing`` needs picklable module-level callables; the data graphs
+are shipped once per worker through the pool initializer (not once per task),
+so precomputing many parameters amortises the transfer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.database import MiningContext, SupportMeasure
+from repro.core.diammine import DiamMine
+from repro.core.patterns import PathPattern
+from repro.graph.labeled_graph import LabeledGraph
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def init_worker(
+    graphs: Sequence[LabeledGraph],
+    min_support: int,
+    support_measure_value: str,
+    max_paths_per_length: Optional[int],
+) -> None:
+    """Pool initializer: build the worker-local mining context once."""
+    context = MiningContext(
+        list(graphs), min_support, SupportMeasure(support_measure_value)
+    )
+    _WORKER_STATE["miner"] = DiamMine(context, max_paths_per_length=max_paths_per_length)
+
+
+def mine_length(length: int) -> Tuple[int, List[PathPattern], float]:
+    """Mine the frequent length-``length`` paths in this worker's context."""
+    miner = _WORKER_STATE["miner"]
+    started = time.perf_counter()
+    patterns = miner.mine(length)
+    return length, patterns, time.perf_counter() - started

@@ -147,3 +147,70 @@ class TestDirectMiner:
         assert index.get("missing") is None
         assert index.parameters() == ["k"]
         assert len(index) == 1
+
+    def test_minimal_pattern_index_accepts_any_hashable_parameter(self):
+        # The historical API keyed entries by arbitrary Hashable values; the
+        # store-backed index must keep that working for in-process backends.
+        from repro.core.framework import MinimalPatternIndex
+
+        index = MinimalPatternIndex()
+        parameter = frozenset({1, 2})
+        index.store(parameter, ["y"], 0.25)
+        assert index.get(parameter) == ["y"]
+        assert index.build_seconds_for(parameter) == 0.25
+        assert index.parameters() == [parameter]
+        assert index.entries == {parameter: ["y"]}
+
+    def test_unportable_parameters_match_by_equality_not_repr(self):
+        # Equal-but-distinct instances whose reprs differ (default object
+        # repr embeds id()) must resolve to the same index entry, as the old
+        # dict-backed index guaranteed.
+        from repro.core.framework import MinimalPatternIndex
+
+        class Param:
+            def __init__(self, value):
+                self.value = value
+
+            def __eq__(self, other):
+                return isinstance(other, Param) and other.value == self.value
+
+            def __hash__(self):
+                return hash(("Param", self.value))
+
+        index = MinimalPatternIndex()
+        index.store(Param(1), ["entry"], 0.1)
+        assert index.get(Param(1)) == ["entry"]
+        assert index.get(Param(2)) is None
+        index.store(Param(2), ["other"], 0.2)
+        assert len(index) == 2
+
+    def test_unportable_parameter_readable_from_second_instance(self, tmp_path):
+        # Another process/instance reading the same store can't rebuild the
+        # original object; it must see a hashable repr stand-in, not crash.
+        from repro.core.framework import MinimalPatternIndex
+        from repro.index.store import DiskPatternStore
+
+        writer = MinimalPatternIndex(backend=DiskPatternStore(tmp_path), fingerprint="f")
+        writer.store(frozenset({1, 2}), [], 0.1)
+        reader = MinimalPatternIndex(backend=DiskPatternStore(tmp_path), fingerprint="f")
+        assert reader.parameters() == [repr(frozenset({1, 2}))]
+        assert reader.entries == {repr(frozenset({1, 2})): []}
+
+    def test_direct_miner_with_disk_store(self, tmp_path):
+        from repro.index.store import DiskPatternStore
+
+        background, _ = self.build_data()
+        store = DiskPatternStore(tmp_path)
+        first = DirectMiner(
+            background, min_support=2, driver=SkinnyConstraintDriver(), store=store
+        )
+        first.precompute([(5, 1)])
+        # A second miner over the same directory sees the Stage-1 entry.
+        second = DirectMiner(
+            background,
+            min_support=2,
+            driver=SkinnyConstraintDriver(),
+            store=DiskPatternStore(tmp_path),
+        )
+        second.mine((5, 1))
+        assert second.last_report.served_from_index

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.graph.generators import erdos_renyi_graph
@@ -65,6 +67,132 @@ class TestLGFormat:
         target.write_text("# comment\n\nt # 0\nv 0 a\nv 1 b\ne 0 1\n", encoding="utf-8")
         loaded = read_lg(target)
         assert loaded[0].num_edges() == 1
+
+
+class TestLGEdgeCases:
+    """Regression tests: these inputs used to round-trip lossily."""
+
+    def test_isolated_labeled_vertices_roundtrip(self, tmp_path):
+        graph = build_graph({0: "a", 1: "b", 2: "lonely", 3: "alone"}, [(0, 1)])
+        target = tmp_path / "isolated.lg"
+        write_lg(graph, target)
+        loaded = read_lg(target)[0]
+        assert loaded.vertex_labels() == {0: "a", 1: "b", 2: "lonely", 3: "alone"}
+        assert loaded.num_edges() == 1
+
+    def test_gspan_trailing_sentinel_ignored(self, tmp_path):
+        target = tmp_path / "sentinel.lg"
+        target.write_text("t # 0\nv 0 a\nv 1 b\ne 0 1\nt # -1\n", encoding="utf-8")
+        loaded = read_lg(target)
+        assert len(loaded) == 1
+        assert loaded[0].num_vertices() == 2
+
+    def test_real_empty_graph_preserved(self, tmp_path):
+        target = tmp_path / "empty-mid.lg"
+        target.write_text("t # 0\nv 0 a\nt # 1\nt # 2\nv 0 b\n", encoding="utf-8")
+        loaded = read_lg(target)
+        assert [g.num_vertices() for g in loaded] == [1, 0, 1]
+
+    def test_labels_with_whitespace_roundtrip(self, tmp_path):
+        graph = build_graph({0: "has space", 1: "tab\there"}, [])
+        graph.add_edge(0, 1, "edge label")
+        target = tmp_path / "spaces.lg"
+        write_lg(graph, target)
+        loaded = read_lg(target)[0]
+        assert loaded.vertex_labels() == {0: "has space", 1: "tab\there"}
+        assert loaded.edge_label(0, 1) == "edge label"
+
+    def test_percent_in_label_roundtrip(self, tmp_path):
+        graph = build_graph({0: "50%", 1: "b"}, [(0, 1)])
+        target = tmp_path / "percent.lg"
+        write_lg(graph, target)
+        loaded = read_lg(target)[0]
+        assert loaded.label_of(0) == "50%"
+
+    def test_legacy_percent_labels_load_verbatim(self, tmp_path):
+        # Files from older writers / third-party tools may contain labels with
+        # percent-looking text; only the writer's own escapes are decoded.
+        target = tmp_path / "legacy.lg"
+        target.write_text("t # 0\nv 0 %41\nv 1 C%3A\ne 0 1\n", encoding="utf-8")
+        loaded = read_lg(target)[0]
+        assert loaded.label_of(0) == "%41"
+        assert loaded.label_of(1) == "C%3A"
+
+    def test_escaped_percent_roundtrips_through_file_text(self, tmp_path):
+        graph = build_graph({0: "%20", 1: "b"}, [(0, 1)])
+        target = tmp_path / "tricky.lg"
+        write_lg(graph, target)
+        assert "%2520" in target.read_text(encoding="utf-8")
+        assert read_lg(target)[0].label_of(0) == "%20"
+
+    def test_empty_string_label_rejected(self, tmp_path):
+        graph = build_graph({0: "", 1: "b"}, [(0, 1)])
+        with pytest.raises(ValueError):
+            write_lg(graph, tmp_path / "bad.lg")
+
+    def test_multigraph_with_isolated_vertices_roundtrip(self, tmp_path):
+        first = build_graph({0: "a", 5: "solo"}, [])
+        second = build_graph({0: "x", 1: "y", 2: "z"}, [(0, 1)])
+        target = tmp_path / "multi.lg"
+        write_lg([first, second], target)
+        loaded = read_lg(target)
+        assert len(loaded) == 2
+        assert loaded[0].num_vertices() == 2 and loaded[0].num_edges() == 0
+        assert loaded[1].num_vertices() == 3 and loaded[1].num_edges() == 1
+
+
+class TestJSONRecords:
+    def test_graph_record_roundtrip_exact(self, figure3_graph):
+        from repro.graph.io import graph_from_record, graph_to_record
+
+        record = graph_to_record(figure3_graph)
+        back = graph_from_record(json.loads(json.dumps(record)))
+        assert back.vertex_labels() == figure3_graph.vertex_labels()
+        assert {(e.u, e.v, e.label) for e in back.edges()} == {
+            (e.u, e.v, e.label) for e in figure3_graph.edges()
+        }
+        assert back.name == figure3_graph.name
+
+    def test_non_json_label_rejected(self):
+        from repro.graph.io import graph_to_record
+
+        graph = build_graph({0: ("tuple", "label"), 1: "b"}, [(0, 1)])
+        with pytest.raises(TypeError):
+            graph_to_record(graph)
+
+
+class TestFingerprints:
+    def test_insertion_order_does_not_matter(self):
+        from repro.graph.io import graph_fingerprint
+        from repro.graph.labeled_graph import LabeledGraph
+
+        forward = LabeledGraph()
+        forward.add_vertex(0, "a")
+        forward.add_vertex(1, "b")
+        forward.add_edge(0, 1)
+        backward = LabeledGraph(name="other-name")
+        backward.add_vertex(1, "b")
+        backward.add_vertex(0, "a")
+        backward.add_edge(1, 0)
+        assert graph_fingerprint(forward) == graph_fingerprint(backward)
+
+    def test_any_edit_changes_fingerprint(self, figure3_graph):
+        from repro.graph.io import graph_fingerprint
+
+        original = graph_fingerprint(figure3_graph)
+        edited = figure3_graph.copy()
+        edited.remove_edge(1, 2)
+        assert graph_fingerprint(edited) != original
+        edited.add_edge(1, 2)
+        assert graph_fingerprint(edited) == original
+
+    def test_dataset_fingerprint_is_order_sensitive(self, triangle_graph, path_graph):
+        from repro.graph.io import dataset_fingerprint
+
+        assert dataset_fingerprint([triangle_graph, path_graph]) != dataset_fingerprint(
+            [path_graph, triangle_graph]
+        )
+        assert dataset_fingerprint(triangle_graph) == dataset_fingerprint([triangle_graph])
 
 
 class TestEdgeList:

@@ -1,0 +1,256 @@
+"""Tests for incremental index maintenance under edge deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import EdgeDelta, GraphDelta, MiningContext
+from repro.core.diammine import DiamMine, brute_force_frequent_paths
+from repro.graph.io import dataset_fingerprint
+from repro.graph.labeled_graph import build_graph
+from repro.graph.paths import unique_simple_paths
+from repro.index.incremental import (
+    IndexMaintainer,
+    find_labeled_path_occurrences,
+    paths_through_edge,
+)
+from repro.index.store import IndexEntry, MemoryPatternStore, StoreKey
+
+
+def normalised(patterns):
+    return sorted(
+        (p.labels, p.support, tuple(sorted(p.embeddings))) for p in patterns
+    )
+
+
+def seeded_store(graph, length, min_support):
+    """A store holding one freshly mined entry for ``graph``."""
+    store = MemoryPatternStore()
+    context = MiningContext(graph, min_support)
+    patterns = DiamMine(context).mine(length)
+    parameter = {
+        "length": length,
+        "min_support": min_support,
+        "support_measure": context.support_measure.value,
+    }
+    key = StoreKey.make(dataset_fingerprint([graph]), "skinny", parameter)
+    store.put(IndexEntry(key=key, patterns=patterns, build_seconds=0.1))
+    return store, key, parameter
+
+
+@pytest.fixture
+def data_graph():
+    # Two injected a-b-c-d chains plus background edges.
+    return build_graph(
+        {
+            0: "a", 1: "b", 2: "c", 3: "d",
+            10: "a", 11: "b", 12: "c", 13: "d",
+            20: "x", 21: "y", 22: "a", 23: "b",
+        },
+        [
+            (0, 1), (1, 2), (2, 3),
+            (10, 11), (11, 12), (12, 13),
+            (20, 21), (21, 22), (22, 23),
+            (3, 20),
+        ],
+    )
+
+
+class TestPathsThroughEdge:
+    def test_matches_brute_force(self, data_graph):
+        for length in (1, 2, 3):
+            expected = {
+                tuple(path)
+                for path in unique_simple_paths(data_graph, length)
+                if any(
+                    {a, b} == {2, 3} for a, b in zip(path, path[1:])
+                )
+            }
+            found = {
+                min(p, tuple(reversed(p)))
+                for p in paths_through_edge(data_graph, 2, 3, length)
+            }
+            assert found == expected
+
+    def test_missing_edge_rejected(self, data_graph):
+        with pytest.raises(KeyError):
+            paths_through_edge(data_graph, 0, 13, 2)
+
+
+class TestFindLabeledPathOccurrences:
+    def test_counts_match_brute_force(self, data_graph):
+        context = MiningContext(data_graph, 1)
+        for pattern in brute_force_frequent_paths(context, 2):
+            found = find_labeled_path_occurrences(context, pattern.labels)
+            assert tuple(sorted(found)) == pattern.embeddings
+
+
+class TestRepairRemove:
+    def test_removal_matches_rebuild(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 3, 1)
+        maintainer = IndexMaintainer(store)
+        graphs = [data_graph]
+        report = maintainer.apply_delta(graphs, [EdgeDelta.remove_edge(2, 3)])
+        assert report.entries_repaired == 1
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        repaired = store.get(new_key).patterns
+        truth = brute_force_frequent_paths(MiningContext(data_graph, 1), 3)
+        assert normalised(repaired) == normalised(truth)
+
+    def test_support_drop_evicts_pattern(self):
+        # "a-b" occurs twice; σ=2 keeps it only while both embeddings live.
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "a", 3: "b"}, [(0, 1), (2, 3)]
+        )
+        store, key, parameter = seeded_store(graph, 1, 2)
+        assert len(store.get(key).patterns) == 1
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta([graph], [EdgeDelta.remove_edge(0, 1)])
+        assert report.patterns_dropped == 1
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        assert store.get(new_key).patterns == []
+
+
+class TestRepairAdd:
+    def test_added_edge_matches_rebuild(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        graphs = [data_graph]
+        report = maintainer.apply_delta(
+            graphs, [EdgeDelta.add_edge(13, 20)]
+        )
+        assert report.entries_repaired == 1
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        repaired = store.get(new_key).patterns
+        truth = brute_force_frequent_paths(MiningContext(data_graph, 1), 2)
+        assert normalised(repaired) == normalised(truth)
+
+    def test_new_vertex_via_delta(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta(
+            [data_graph], [EdgeDelta.add_edge(0, 99, label_v="z")]
+        )
+        assert data_graph.has_vertex(99)
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        repaired = store.get(new_key).patterns
+        truth = brute_force_frequent_paths(MiningContext(data_graph, 1), 2)
+        assert normalised(repaired) == normalised(truth)
+
+    def test_newly_frequent_pattern_admitted_under_sigma_two(self):
+        # One a-b-c chain exists; adding a second makes the path frequent at σ=2.
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "c", 10: "a", 11: "b", 12: "c"},
+            [(0, 1), (1, 2), (10, 11)],
+        )
+        store, key, parameter = seeded_store(graph, 2, 2)
+        assert store.get(key).patterns == []
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta([graph], [EdgeDelta.add_edge(11, 12)])
+        assert report.patterns_added == 1
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        repaired = store.get(new_key).patterns
+        truth = brute_force_frequent_paths(MiningContext(graph, 2), 2)
+        assert normalised(repaired) == normalised(truth)
+        assert repaired[0].labels == ("a", "b", "c")
+
+
+class TestMaintainerBookkeeping:
+    def test_untouched_entry_is_migrated_not_repaired(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 1, 1)
+        maintainer = IndexMaintainer(store)
+        # Removing edge (20, 21) touches x-y only; a single-edge entry mined at
+        # σ=1 holds that embedding, so instead edit an edge seen by no l=1 path:
+        # add a brand-new component.
+        report = maintainer.apply_delta(
+            [data_graph], [EdgeDelta.add_edge(50, 51, label_u="q", label_v="q")]
+        )
+        # "q-q" becomes a new frequent single edge at σ=1 → entry is repaired;
+        # check the books balance either way.
+        assert report.entries_seen == 1
+        assert report.entries_repaired + report.entries_migrated == 1
+        truth = brute_force_frequent_paths(MiningContext(data_graph, 1), 1)
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        assert normalised(store.get(new_key).patterns) == normalised(truth)
+
+    def test_old_fingerprint_keys_are_purged(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta([data_graph], [EdgeDelta.remove_edge(21, 22)])
+        assert store.get(key) is None
+        assert len(store.keys()) == 1
+        assert store.keys()[0].fingerprint == report.new_fingerprint
+
+    def test_cap_truncated_entries_are_invalidated_not_repaired(self, data_graph):
+        # Entries carrying extra parameter keys (here a Stage-1 cap) are
+        # deliberately incomplete; repair must invalidate, never "complete" them.
+        store = MemoryPatternStore()
+        key = StoreKey.make(
+            dataset_fingerprint([data_graph]),
+            "skinny",
+            {
+                "length": 2,
+                "min_support": 1,
+                "support_measure": "embeddings",
+                "max_paths_per_length": 1,
+            },
+        )
+        store.put(IndexEntry(key=key, patterns=[], build_seconds=0.0))
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta([data_graph], [EdgeDelta.remove_edge(21, 22)])
+        assert report.entries_invalidated == 1
+        assert report.entries_repaired == 0
+        assert store.keys() == []
+
+    def test_unknown_parameter_scheme_is_invalidated(self, data_graph):
+        store = MemoryPatternStore()
+        key = StoreKey.make(dataset_fingerprint([data_graph]), "skinny", (3, 1))
+        store.put(IndexEntry(key=key, patterns=[], build_seconds=0.0))
+        maintainer = IndexMaintainer(store)
+        report = maintainer.apply_delta([data_graph], [EdgeDelta.remove_edge(21, 22)])
+        assert report.entries_invalidated == 1
+        assert store.keys() == []
+
+    def test_invalid_batch_rejected_before_any_mutation(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        fingerprint_before = dataset_fingerprint([data_graph])
+        edges_before = {e.endpoints() for e in data_graph.edges()}
+        # Second operation is invalid (edge does not exist): nothing may apply.
+        delta = GraphDelta().remove_edge(2, 3).remove_edge(0, 13)
+        with pytest.raises(KeyError):
+            maintainer.apply_delta([data_graph], delta)
+        assert {e.endpoints() for e in data_graph.edges()} == edges_before
+        assert dataset_fingerprint([data_graph]) == fingerprint_before
+        assert store.keys() == [key]
+
+    def test_edge_relabel_conflict_rejected_upfront(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        edges_before = {e.endpoints() for e in data_graph.edges()}
+        # (2, 3) exists unlabeled; re-adding it with a label is a relabel.
+        delta = GraphDelta().remove_edge(0, 1).add_edge(2, 3, edge_label="x")
+        with pytest.raises(ValueError):
+            maintainer.apply_delta([data_graph], delta)
+        assert {e.endpoints() for e in data_graph.edges()} == edges_before
+
+    def test_add_without_label_for_new_vertex_rejected_upfront(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        edges_before = {e.endpoints() for e in data_graph.edges()}
+        delta = GraphDelta().remove_edge(0, 1).add_edge(0, 999)  # 999 has no label
+        with pytest.raises(ValueError):
+            maintainer.apply_delta([data_graph], delta)
+        assert {e.endpoints() for e in data_graph.edges()} == edges_before
+
+    def test_batched_delta_applies_in_order(self, data_graph):
+        store, key, parameter = seeded_store(data_graph, 2, 1)
+        maintainer = IndexMaintainer(store)
+        delta = GraphDelta().remove_edge(2, 3).add_edge(2, 3)
+        report = maintainer.apply_delta([data_graph], delta)
+        assert report.operations == 2
+        # Net effect is the identity; the entry must match a rebuild exactly.
+        new_key = StoreKey.make(report.new_fingerprint, "skinny", parameter)
+        truth = brute_force_frequent_paths(MiningContext(data_graph, 1), 2)
+        assert normalised(store.get(new_key).patterns) == normalised(truth)
+        assert report.new_fingerprint == report.old_fingerprint

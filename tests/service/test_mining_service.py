@@ -1,0 +1,205 @@
+"""Tests for the MiningService request/response front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import EdgeDelta, SupportMeasure
+from repro.core.skinnymine import SkinnyMine
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_skinny_pattern
+from repro.index.store import DiskPatternStore, MemoryPatternStore
+from repro.service.mining import MineRequest, MiningService
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    background = erdos_renyi_graph(120, 1.4, 25, seed=41)
+    pattern = random_skinny_pattern(5, 1, 8, 25, seed=43)
+    inject_pattern(background, pattern, copies=3, seed=47)
+    return background
+
+
+REQUEST = MineRequest(length=5, delta=1, min_support=2)
+
+
+class TestMineRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MineRequest(length=0, delta=1, min_support=2)
+        with pytest.raises(ValueError):
+            MineRequest(length=2, delta=-1, min_support=2)
+        with pytest.raises(ValueError):
+            MineRequest(length=2, delta=1, min_support=0)
+        with pytest.raises(ValueError):
+            MineRequest(length=2, delta=1, min_support=2, top_k=0)
+        with pytest.raises(ValueError):
+            MineRequest(length=2, delta=1, min_support=2, support_measure="bogus")
+
+    def test_cache_key_is_canonical(self):
+        a = MineRequest(length=5, delta=1, min_support=2)
+        b = MineRequest(length=5, delta=1, min_support=2)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != MineRequest(length=5, delta=2, min_support=2).cache_key()
+
+    def test_stage_one_parameter_ignores_delta_and_top_k(self):
+        a = MineRequest(length=5, delta=1, min_support=2, top_k=3)
+        b = MineRequest(length=5, delta=2, min_support=2)
+        assert a.stage_one_parameter() == b.stage_one_parameter()
+
+    def test_from_dict_accepts_sigma_alias(self):
+        request = MineRequest.from_dict({"length": 4, "delta": 1, "sigma": 3})
+        assert request.min_support == 3
+
+    def test_measure_enum_accepted(self):
+        request = MineRequest(
+            length=2, delta=0, min_support=1, support_measure=SupportMeasure.MNI
+        )
+        assert request.support_measure == "mni"
+
+
+class TestServing:
+    def test_matches_skinnymine(self, data_graph):
+        service = MiningService(data_graph)
+        response = service.mine(REQUEST)
+        reference = SkinnyMine(data_graph, min_support=2).mine(5, 1)
+        assert {p.canonical_form() for p in response.patterns} == {
+            p.canonical_form() for p in reference
+        }
+        assert response.stats.num_minimal_patterns >= 1
+        assert not response.stats.served_from_store
+
+    def test_repeated_request_hits_result_cache(self, data_graph):
+        service = MiningService(data_graph)
+        first = service.mine(REQUEST)
+        second = service.mine(REQUEST)
+        assert second.stats.result_cache_hit
+        assert {p.canonical_form() for p in second.patterns} == {
+            p.canonical_form() for p in first.patterns
+        }
+        assert len(service.stats_log) == 2
+
+    def test_warm_disk_store_skips_stage_one(self, data_graph, tmp_path, monkeypatch):
+        store = DiskPatternStore(tmp_path / "idx")
+        MiningService(data_graph, store=store).mine(REQUEST)
+        reference = SkinnyMine(data_graph, min_support=2).mine(5, 1)
+
+        # A fresh service over the same directory must never re-run DiamMine.
+        import repro.core.diammine as diammine
+
+        def explode(self, length):  # pragma: no cover - only on regression
+            raise AssertionError("Stage 1 was recomputed despite a warm store")
+
+        monkeypatch.setattr(diammine.DiamMine, "mine", explode)
+        warm = MiningService(data_graph, store=DiskPatternStore(tmp_path / "idx"))
+        response = warm.mine(REQUEST)
+        assert response.stats.served_from_store
+        assert not response.stats.result_cache_hit
+        assert {p.canonical_form() for p in response.patterns} == {
+            p.canonical_form() for p in reference
+        }
+
+    def test_cache_hit_does_not_claim_store_provenance(self, data_graph):
+        service = MiningService(data_graph)
+        service.mine(REQUEST)
+        second = service.mine(REQUEST)
+        assert second.stats.result_cache_hit
+        assert not second.stats.served_from_store
+
+    def test_capped_store_entries_not_served_to_uncapped_service(
+        self, data_graph, tmp_path
+    ):
+        store_root = tmp_path / "idx"
+        capped = MiningService(
+            data_graph, store=DiskPatternStore(store_root), max_paths_per_length=1
+        )
+        capped.mine(REQUEST)
+        # An uncapped service over the same store must treat the truncated
+        # entry as a miss and compute the complete Stage 1 itself.
+        uncapped = MiningService(data_graph, store=DiskPatternStore(store_root))
+        response = uncapped.mine(REQUEST)
+        assert not response.stats.served_from_store
+        reference = SkinnyMine(data_graph, min_support=2).mine(5, 1)
+        assert {p.canonical_form() for p in response.patterns} == {
+            p.canonical_form() for p in reference
+        }
+
+    def test_store_miss_on_different_data(self, data_graph, tmp_path):
+        store = DiskPatternStore(tmp_path / "idx")
+        MiningService(data_graph, store=store).mine(REQUEST)
+        other = erdos_renyi_graph(60, 1.2, 9, seed=5)
+        service = MiningService(other, store=DiskPatternStore(tmp_path / "idx"))
+        response = service.mine(MineRequest(length=2, delta=1, min_support=2))
+        assert not response.stats.served_from_store
+
+    def test_top_k_truncates_by_support(self, data_graph):
+        service = MiningService(data_graph)
+        full = service.mine(REQUEST)
+        top = service.mine(
+            MineRequest(length=5, delta=1, min_support=2, top_k=2)
+        )
+        assert len(top.patterns) == min(2, len(full.patterns))
+        supports = [p.support for p in full.patterns]
+        assert [p.support for p in top.patterns] == sorted(supports, reverse=True)[: len(top.patterns)]
+
+    def test_serve_batch_preserves_order_and_caches_duplicates(self, data_graph):
+        service = MiningService(data_graph)
+        requests = [REQUEST, MineRequest(length=4, delta=1, min_support=2), REQUEST]
+        responses = service.serve_batch(requests)
+        assert [r.request for r in responses] == requests
+        assert responses[2].stats.result_cache_hit
+        assert not responses[1].stats.result_cache_hit
+
+
+class TestPrecompute:
+    def test_serial_and_parallel_agree(self, data_graph):
+        serial = MiningService(data_graph).precompute([3, 4], min_support=2)
+        parallel = MiningService(data_graph).precompute(
+            [3, 4], min_support=2, processes=2
+        )
+        assert serial == parallel
+        assert set(serial) == {3, 4}
+
+    def test_precompute_is_idempotent(self, data_graph, tmp_path):
+        store = DiskPatternStore(tmp_path)
+        service = MiningService(data_graph, store=store)
+        first = service.precompute([3], min_support=2)
+        before = store.get(store.keys()[0]).created_at
+        second = service.precompute([3], min_support=2)
+        assert first == second
+        assert store.get(store.keys()[0]).created_at == before
+
+    def test_precomputed_store_feeds_requests(self, data_graph):
+        store = MemoryPatternStore()
+        service = MiningService(data_graph, store=store)
+        service.precompute([5], min_support=2)
+        response = service.mine(REQUEST)
+        assert response.stats.served_from_store
+
+
+class TestDeltas:
+    def test_apply_delta_keeps_responses_consistent(self, data_graph):
+        graph = data_graph.copy()
+        service = MiningService(graph)
+        service.mine(REQUEST)
+        edge = next(iter(graph.edges()))
+        report = service.apply_delta([EdgeDelta.remove_edge(edge.u, edge.v)])
+        assert report.operations == 1
+        assert service.fingerprint == report.new_fingerprint
+        response = service.mine(REQUEST)
+        assert not response.stats.result_cache_hit  # cache was invalidated
+        reference = SkinnyMine(graph, min_support=2).mine(5, 1)
+        assert {p.canonical_form() for p in response.patterns} == {
+            p.canonical_form() for p in reference
+        }
+
+    def test_apply_delta_repairs_store_in_place(self, data_graph, tmp_path):
+        graph = data_graph.copy()
+        store = DiskPatternStore(tmp_path)
+        service = MiningService(graph, store=store)
+        service.mine(REQUEST)
+        edge = next(iter(graph.edges()))
+        report = service.apply_delta([EdgeDelta.remove_edge(edge.u, edge.v)])
+        assert report.entries_seen == 1
+        # The repaired entry now serves the new fingerprint from disk.
+        response = service.mine(REQUEST)
+        assert response.stats.served_from_store

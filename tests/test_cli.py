@@ -1,0 +1,202 @@
+"""Tests for the ``python -m repro`` command-line interface (in-process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_lengths, load_dataset, main
+from repro.graph.io import write_lg
+from repro.graph.labeled_graph import build_graph
+
+
+@pytest.fixture
+def lg_file(tmp_path):
+    """A small LG dataset with two injected a-b-c-d chains."""
+    graph = build_graph(
+        {
+            0: "a", 1: "b", 2: "c", 3: "d",
+            10: "a", 11: "b", 12: "c", 13: "d",
+            20: "x", 21: "y",
+        },
+        [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12), (12, 13), (20, 21), (3, 20)],
+    )
+    path = tmp_path / "data.lg"
+    write_lg(graph, path)
+    return path
+
+
+class TestHelpers:
+    def test_parse_lengths(self):
+        assert _parse_lengths("4,6") == [4, 6]
+        assert _parse_lengths("3-5") == [3, 4, 5]
+        assert _parse_lengths("5,3-4,5") == [3, 4, 5]
+        with pytest.raises(ValueError):
+            _parse_lengths(",")
+
+    def test_load_dataset_demo(self):
+        (graph,) = load_dataset("demo")
+        assert graph.num_vertices() > 0
+
+    def test_load_dataset_bad_spec(self):
+        with pytest.raises(ValueError):
+            load_dataset("/nonexistent/path.lg")
+
+    def test_load_dataset_synthetic(self):
+        (graph,) = load_dataset("synthetic:1:0.1:3")
+        assert graph.num_vertices() >= 60
+
+
+class TestIndexCommands:
+    def test_build_then_info(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "index", "build",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "--lengths", "2,3",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        built = json.loads(capsys.readouterr().out)
+        assert set(built["lengths"]) == {"2", "3"}
+        assert built["lengths"]["3"] >= 1  # the a-b-c-d chain occurs twice
+
+        assert main(["index", "info", "--store", str(store), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        assert all(entry["constraint_id"] == "skinny" for entry in entries)
+
+    def test_info_empty_store(self, tmp_path, capsys):
+        assert main(["index", "info", "--store", str(tmp_path / "empty")]) == 0
+        assert "empty index store" in capsys.readouterr().out
+
+
+class TestMineCommand:
+    def test_mine_warm_after_build(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main(
+            [
+                "index", "build",
+                "--data", str(lg_file),
+                "--store", str(store),
+                "--lengths", "3",
+                "--min-support", "2",
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "-l", "3",
+                    "-d", "1",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["served_from_store"] is True
+        assert payload["stats"]["num_minimal_patterns"] >= 1
+        assert payload["patterns"], "expected at least one mined pattern"
+        assert all(p["support"] >= 2 for p in payload["patterns"])
+
+    def test_mine_persists_to_fresh_store(self, lg_file, tmp_path, capsys):
+        # Regression: an empty DiskPatternStore is falsy; `mine --store` must
+        # still use (and warm) it rather than falling back to memory.
+        store = tmp_path / "fresh-store"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "-l", "3",
+                    "-d", "0",
+                    "--min-support", "2",
+                ]
+            )
+            == 0
+        )
+        assert "cold" in capsys.readouterr().out
+        assert list(store.rglob("*.jsonl")), "Stage-1 entry was not persisted"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "-l", "3",
+                    "-d", "0",
+                    "--min-support", "2",
+                ]
+            )
+            == 0
+        )
+        assert "warm index" in capsys.readouterr().out
+
+    def test_mine_without_store(self, lg_file, capsys):
+        assert (
+            main(
+                ["mine", "--data", str(lg_file), "-l", "3", "-d", "0", "--min-support", "2"]
+            )
+            == 0
+        )
+        assert "cold" in capsys.readouterr().out
+
+
+class TestServeBatch:
+    def test_batch_responses(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(
+            json.dumps(
+                [
+                    {"length": 3, "delta": 1, "min_support": 2},
+                    {"length": 3, "delta": 1, "min_support": 2, "top_k": 1},
+                ]
+            ),
+            encoding="utf-8",
+        )
+        output = tmp_path / "responses.json"
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data", str(lg_file),
+                    "--requests", str(requests),
+                    "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        results = json.loads(output.read_text(encoding="utf-8"))
+        assert len(results) == 2
+        assert results[1]["num_patterns"] <= 1
+        assert "patterns" not in results[0]
+
+    def test_batch_rejects_non_list(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text("{}", encoding="utf-8")
+        assert (
+            main(
+                ["serve-batch", "--data", str(lg_file), "--requests", str(requests)]
+            )
+            == 1
+        )
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_bad_data_spec_returns_one(self, capsys):
+        assert main(["mine", "--data", "nope.lg", "-l", "2", "-d", "0"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""Facade overhead: MiningEngine.run vs calling SkinnyMine directly, warm Stage 1.
+
+The unified query API routes every request through constraint lookup, schema
+validation, store-key construction and result ranking.  All of that must be
+noise next to the actual Stage-2 growth work, or the redesign would tax the
+hot path.  This benchmark times the same warm-index skinny request both ways:
+
+* **direct** — ``SkinnyMine.mine(l, δ)`` with the diameter index already
+  pre-computed (Stage 1 in memory, zero store involvement);
+* **engine** — ``MiningEngine.run(Query(...))`` over a warm
+  ``MemoryPatternStore`` with the result cache disabled, so every call pays
+  dispatch + store lookup + growth + ranking.
+
+Acceptance: the engine's best-of-N latency is within 5% of the direct call's
+(the assertion allows a small absolute epsilon so sub-millisecond timer
+jitter cannot fail the run on an otherwise idle machine).  The measured
+numbers are recorded to ``BENCH_engine.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import GID_SCALE, MIN_SUPPORT, run_once
+
+from repro.api import MiningEngine, Query
+from repro.core.skinnymine import SkinnyMine
+from repro.datasets.synthetic import build_gid_dataset
+
+DELTA = 1
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.05  # the facade may cost at most 5% extra latency
+JITTER_EPSILON_SECONDS = 0.0005
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+
+def _timed(callable_, rounds):
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        samples.append(time.perf_counter() - started)
+    return result, samples
+
+
+def _sweep():
+    dataset = build_gid_dataset(1, seed=7, scale=GID_SCALE)
+    graph = dataset.graph
+    length = dataset.setting.long_pattern_diameter
+
+    miner = SkinnyMine(graph, min_support=MIN_SUPPORT)
+    miner.precompute([length])  # warm Stage 1, like the engine's warm store
+    direct_result, direct_samples = _timed(
+        lambda: miner.mine(length, DELTA), ROUNDS
+    )
+
+    engine = MiningEngine(graph, result_cache_size=0)  # no result-cache shortcuts
+    query = Query(
+        "skinny", {"length": length, "delta": DELTA}, min_support=MIN_SUPPORT
+    )
+    engine.run(query)  # warm the Stage-1 store entry
+    engine_result, engine_samples = _timed(lambda: engine.run(query), ROUNDS)
+
+    assert engine_result.stats.served_from_store
+    assert not engine_result.stats.result_cache_hit
+    assert {p.canonical_form() for p in engine_result.patterns} == {
+        p.canonical_form() for p in direct_result
+    }
+
+    return {
+        "dataset": "GID 1",
+        "length": length,
+        "delta": DELTA,
+        "min_support": MIN_SUPPORT,
+        "rounds": ROUNDS,
+        "num_patterns": len(direct_result),
+        "direct_best_seconds": min(direct_samples),
+        "direct_median_seconds": statistics.median(direct_samples),
+        "engine_best_seconds": min(engine_samples),
+        "engine_median_seconds": statistics.median(engine_samples),
+        "overhead_ratio_best": min(engine_samples) / min(direct_samples),
+    }
+
+
+def test_engine_dispatch_overhead_under_5_percent(benchmark):
+    result = run_once(benchmark, _sweep)
+
+    BASELINE_PATH.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\nengine dispatch overhead (GID 1, l={result['length']}, δ={DELTA}, "
+        f"{result['num_patterns']} patterns): "
+        f"direct best {result['direct_best_seconds'] * 1000:.3f} ms, "
+        f"engine best {result['engine_best_seconds'] * 1000:.3f} ms, "
+        f"ratio {result['overhead_ratio_best']:.3f}"
+    )
+
+    budget = (
+        result["direct_best_seconds"] * (1 + OVERHEAD_BUDGET)
+        + JITTER_EPSILON_SECONDS
+    )
+    assert result["engine_best_seconds"] <= budget, result

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import tempfile
 
-from repro import EdgeDelta, MineRequest, MiningService
+from repro import EdgeDelta, MineRequest, MiningService, Query
 from repro.graph.generators import (
     erdos_renyi_graph,
     inject_pattern,
@@ -47,11 +47,13 @@ def main() -> None:
     for length, count in sorted(counts.items()):
         print(f"  l={length}: {count} minimal pattern(s)")
 
-    # 2. Online: batched requests; repeats hit the result cache.
+    # 2. Online: batched requests; repeats hit the result cache.  Generic
+    #    Query objects and legacy MineRequest shims mix freely in one batch
+    #    (MineRequest is the deprecated spelling of the skinny Query).
     requests = [
-        MineRequest(length=6, delta=1, min_support=2, top_k=5),
+        Query("skinny", {"length": 6, "delta": 1}, min_support=2, top_k=5),
         MineRequest(length=5, delta=1, min_support=2),
-        MineRequest(length=6, delta=1, min_support=2, top_k=5),  # duplicate
+        Query("skinny", {"length": 6, "delta": 1}, min_support=2, top_k=5),  # duplicate
     ]
     for response in service.serve_batch(requests):
         stats = response.stats
@@ -60,8 +62,9 @@ def main() -> None:
             if stats.result_cache_hit
             else ("warm index" if stats.served_from_store else "cold")
         )
+        params = dict(response.query.params)
         print(
-            f"l={response.request.length} δ={response.request.delta}: "
+            f"l={params['length']} δ={params['delta']}: "
             f"{len(response.patterns)} pattern(s) in {stats.total_seconds:.4f}s [{source}]"
         )
 

@@ -7,6 +7,9 @@ The package provides:
   isomorphism, canonical codes, generators, I/O);
 * :mod:`repro.core` — the paper's contribution: the SkinnyMine miner for
   l-long δ-skinny patterns and the generic direct-mining framework;
+* :mod:`repro.api` — the unified constraint-plugin query surface: a
+  constraint registry and the :class:`MiningEngine` facade serving generic
+  :class:`Query` objects for any registered constraint;
 * :mod:`repro.baselines` — reimplementations of the systems the paper
   compares against (gSpan, MoSS, SpiderMine, SUBDUE, SEuS, ORIGAMI);
 * :mod:`repro.datasets` — synthetic workloads reproducing the paper's
@@ -26,6 +29,17 @@ Quickstart
 True
 """
 
+from repro.api import (
+    MiningEngine,
+    ParameterError,
+    Query,
+    QueryError,
+    Result,
+    UnknownConstraintError,
+    available_constraints,
+    get_constraint,
+    register_constraint,
+)
 from repro.core import (
     DiamMine,
     DirectMiner,
@@ -45,7 +59,35 @@ from repro.graph import LabeledGraph
 from repro.index import DiskPatternStore, IndexMaintainer, MemoryPatternStore, PatternStore
 from repro.service import MineRequest, MineResponse, MiningService
 
-__version__ = "1.1.0"
+
+def _detect_version() -> str:
+    """Single-source the package version.
+
+    The source of truth is ``[project] version`` in ``pyproject.toml``.  A
+    source-tree checkout reads it directly (guarded by the project name so an
+    unrelated pyproject two directories up is never trusted); installed
+    copies fall back to the metadata that was generated from the very same
+    field at build time.
+    """
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.is_file():
+        text = pyproject.read_text(encoding="utf-8")
+        if re.search(r'^name\s*=\s*"repro-skinnymine"', text, flags=re.MULTILINE):
+            match = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+            if match:
+                return match.group(1)
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro-skinnymine")
+    except Exception:  # pragma: no cover - no metadata, no source tree
+        return "0.0.0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "DiamMine",
@@ -59,16 +101,25 @@ __all__ = [
     "MineRequest",
     "MineResponse",
     "MiningContext",
+    "MiningEngine",
     "MiningReport",
     "MiningService",
+    "ParameterError",
     "PatternStore",
+    "Query",
+    "QueryError",
+    "Result",
     "SkinnyConstraintDriver",
     "SkinnyMine",
     "SkinnyPattern",
     "SupportMeasure",
+    "UnknownConstraintError",
+    "available_constraints",
     "canonical_diameter",
+    "get_constraint",
     "is_delta_skinny",
     "is_l_long_delta_skinny",
     "mine_skinny_patterns",
+    "register_constraint",
     "__version__",
 ]

@@ -11,7 +11,7 @@ baseline results (:class:`repro.baselines.common.MinedPattern`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.graph.isomorphism import are_isomorphic, is_subgraph_isomorphic
 from repro.graph.labeled_graph import LabeledGraph

@@ -1,0 +1,339 @@
+"""The :class:`MiningEngine` facade: one entry point, any registered constraint.
+
+The engine owns the machinery that used to be welded to the skinny constraint
+inside ``MiningService``:
+
+* **Stage 1** — minimal constraint-satisfying patterns are looked up in a
+  :class:`repro.index.store.PatternStore` under
+  ``StoreKey(dataset fingerprint, constraint id, stage-one parameter)``; a
+  miss runs the constraint's driver and persists the result.  Different
+  constraints coexist in one store directory because ``constraint_id`` is now
+  a load-bearing part of the key, not a constant.
+* **Stage 2** — the driver grows each minimal pattern under the constraint;
+  results are optionally deduplicated (overlapping clusters), ranked and
+  ``top_k``-truncated.
+* A canonical-key LRU **result cache** makes repeated queries O(1), and
+  every query appends a :class:`~repro.api.query.QueryStats` to ``stats_log``.
+* **apply_delta** routes data edits through
+  :class:`repro.index.incremental.IndexMaintainer`: path-indexed constraints
+  (``skinny``, ``path``) are repaired in place, other constraints' stale
+  entries are invalidated so a cold rebuild stays correct.
+
+:class:`repro.service.mining.MiningService` subclasses this engine and layers
+the legacy skinny-specific API (``MineRequest``, length-based ``precompute``
+with multiprocessing) on top.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.query import Query, QueryStats, Result
+from repro.api.registry import ConstraintSpec, constraint_specs, get_constraint
+from repro.core.database import EdgeDelta, GraphDelta, MiningContext, SupportMeasure
+from repro.core.patterns import SkinnyPattern
+from repro.graph.io import dataset_fingerprint
+from repro.graph.labeled_graph import LabeledGraph
+from repro.index.incremental import IndexMaintainer, RepairReport
+from repro.index.store import IndexEntry, MemoryPatternStore, PatternStore, StoreKey
+
+
+class MiningEngine:
+    """Serve :class:`Query` objects for any registered constraint.
+
+    Parameters
+    ----------
+    graphs:
+        The data graph (single-graph setting) or graph database.  The engine
+        owns these objects: data edits must go through :meth:`apply_delta`.
+    store:
+        Stage-1 index backend; defaults to a process-local
+        :class:`MemoryPatternStore`.  Pass a
+        :class:`repro.index.store.DiskPatternStore` to share the offline
+        stage across processes and runs.
+    result_cache_size:
+        Number of complete results kept in the LRU result cache.
+    max_paths_per_length / max_patterns_per_diameter:
+        Optional safety caps forwarded to constraint drivers that honour them
+        (Stage-1 path caps for ``skinny``/``path``, per-cluster growth caps
+        for ``skinny``/``diam-le``).  Engaged Stage-1 caps become part of the
+        store key so truncated entries are never served to uncapped engines.
+    """
+
+    def __init__(
+        self,
+        graphs: Union[LabeledGraph, Sequence[LabeledGraph]],
+        store: Optional[PatternStore] = None,
+        result_cache_size: int = 128,
+        max_paths_per_length: Optional[int] = None,
+        max_patterns_per_diameter: Optional[int] = None,
+    ) -> None:
+        self._graphs: List[LabeledGraph] = (
+            [graphs] if isinstance(graphs, LabeledGraph) else list(graphs)
+        )
+        if not self._graphs:
+            raise ValueError(f"{type(self).__name__} requires at least one data graph")
+        self._store = store if store is not None else MemoryPatternStore()
+        self._fingerprint = dataset_fingerprint(self._graphs)
+        self._result_cache: "OrderedDict[str, List[SkinnyPattern]]" = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self._contexts: Dict[tuple, MiningContext] = {}
+        self._caps: Dict[str, Optional[int]] = {
+            "max_paths_per_length": max_paths_per_length,
+            "max_patterns_per_diameter": max_patterns_per_diameter,
+        }
+        self.stats_log: List[QueryStats] = []
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> PatternStore:
+        return self._store
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def graphs(self) -> List[LabeledGraph]:
+        return self._graphs
+
+    def _context(self, min_support: int, measure: SupportMeasure) -> MiningContext:
+        key = (min_support, measure.value)
+        context = self._contexts.get(key)
+        if context is None:
+            context = MiningContext(self._graphs, min_support, measure)
+            self._contexts[key] = context
+        return context
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: the persistent index
+    # ------------------------------------------------------------------ #
+    def _stage_one_key(self, spec: ConstraintSpec, query: Query) -> StoreKey:
+        parameter = spec.stage_one_parameter(
+            query.params, query.min_support, query.support_measure, self._caps
+        )
+        return StoreKey.make(self._fingerprint, spec.constraint_id, parameter)
+
+    def _stage_one(self, spec: ConstraintSpec, query: Query) -> Tuple[list, bool, float]:
+        """Fetch (or build and persist) the query's Stage-1 entry.
+
+        Returns ``(minimal_patterns, served_from_store, seconds)`` where
+        ``seconds`` is the wall-clock cost paid by *this* call.
+        """
+        key = self._stage_one_key(spec, query)
+        started = time.perf_counter()
+        entry = self._store.get(key)
+        if entry is not None:
+            return entry.patterns, True, time.perf_counter() - started
+        context = self._context(query.min_support, query.measure)
+        driver = spec.make_driver(query.params, self._caps, True)
+        minimal = driver.mine_minimal(context, spec.driver_parameter(query.params))
+        seconds = time.perf_counter() - started
+        self._store.put(IndexEntry(key=key, patterns=list(minimal), build_seconds=seconds))
+        return minimal, False, seconds
+
+    def precompute_queries(
+        self, queries: Iterable[Query], processes: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Warm the Stage-1 store for a batch of queries; returns a summary row each.
+
+        ``processes > 1`` distributes cold entries over a ``multiprocessing``
+        pool (the graphs are shipped to each worker once); entries already in
+        the store are never recomputed, and queries sharing a Stage-1 key are
+        mined once.  Works for any registered constraint — the workers
+        resolve drivers from the registry.
+        """
+        query_list = list(queries)
+        summaries: List[Optional[Dict[str, object]]] = [None] * len(query_list)
+
+        def summary(spec, query, num_patterns, served, seconds):
+            return {
+                "constraint_id": spec.constraint_id,
+                "parameter": spec.stage_one_parameter(
+                    query.params, query.min_support, query.support_measure, self._caps
+                ),
+                "num_patterns": num_patterns,
+                "served_from_store": served,
+                "seconds": seconds,
+            }
+
+        cold: "OrderedDict[StoreKey, List[int]]" = OrderedDict()
+        for slot, query in enumerate(query_list):
+            spec = get_constraint(query.constraint_id)
+            key = self._stage_one_key(spec, query)
+            entry = None if key in cold else self._store.get(key)
+            if entry is not None:
+                summaries[slot] = summary(spec, query, len(entry.patterns), True, 0.0)
+            else:
+                cold.setdefault(key, []).append(slot)
+
+        def record(key: StoreKey, patterns: List[object], seconds: float) -> None:
+            self._store.put(
+                IndexEntry(key=key, patterns=list(patterns), build_seconds=seconds)
+            )
+            for slot in cold[key]:
+                query = query_list[slot]
+                spec = get_constraint(query.constraint_id)
+                summaries[slot] = summary(spec, query, len(patterns), False, seconds)
+
+        if processes is not None and processes > 1 and len(cold) > 1:
+            import multiprocessing
+
+            from repro.api.workers import init_worker, mine_stage_one
+
+            tasks = []
+            keys = list(cold)
+            for task_index, key in enumerate(keys):
+                query = query_list[cold[key][0]]
+                tasks.append(
+                    (
+                        task_index,
+                        query.constraint_id,
+                        dict(query.params),
+                        query.min_support,
+                        query.support_measure,
+                    )
+                )
+            with multiprocessing.Pool(
+                processes=min(processes, len(tasks)),
+                initializer=init_worker,
+                initargs=(self._graphs, self._caps),
+            ) as pool:
+                for task_index, patterns, seconds in pool.imap_unordered(
+                    mine_stage_one, tasks
+                ):
+                    record(keys[task_index], patterns, seconds)
+        else:
+            for key in cold:
+                query = query_list[cold[key][0]]
+                spec = get_constraint(query.constraint_id)
+                patterns, _, seconds = self._stage_one(spec, query)
+                for slot in cold[key]:
+                    extra = query_list[slot]
+                    extra_spec = get_constraint(extra.constraint_id)
+                    summaries[slot] = summary(
+                        extra_spec, extra, len(patterns), False, seconds
+                    )
+        return summaries
+
+    # ------------------------------------------------------------------ #
+    # Stage 2 + query serving
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _deduplicated(patterns: List[SkinnyPattern]) -> List[SkinnyPattern]:
+        """Collapse isomorphic results reached from different minimal patterns."""
+        best: Dict[tuple, SkinnyPattern] = {}
+        order: List[tuple] = []
+        for pattern in patterns:
+            key = pattern.canonical_form()
+            kept = best.get(key)
+            if kept is None:
+                best[key] = pattern
+                order.append(key)
+            elif pattern.support > kept.support:
+                best[key] = pattern
+        return [best[key] for key in order]
+
+    @staticmethod
+    def _ranked(patterns: List[SkinnyPattern], top_k: Optional[int]) -> List[SkinnyPattern]:
+        ranked = sorted(
+            patterns,
+            key=lambda pattern: (
+                -pattern.support,
+                pattern.num_edges,
+                pattern.diameter_labels(),
+            ),
+        )
+        return ranked if top_k is None else ranked[:top_k]
+
+    def run(self, query: Query) -> Result:
+        """Serve one query (result cache → warm index → cold compute)."""
+        key = query.cache_key()
+        started = time.perf_counter()
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self._result_cache.move_to_end(key)
+            stats = QueryStats(
+                request_key=key,
+                total_seconds=time.perf_counter() - started,
+                served_from_store=False,  # the store was never consulted
+                result_cache_hit=True,
+                num_patterns=len(cached),
+            )
+            self.stats_log.append(stats)
+            return Result(query=query, patterns=list(cached), stats=stats)
+
+        spec = get_constraint(query.constraint_id)
+        minimal, from_store, stage_one = self._stage_one(spec, query)
+        context = self._context(query.min_support, query.measure)
+        driver = spec.make_driver(query.params, self._caps, query.include_minimal)
+        parameter = spec.driver_parameter(query.params)
+        stage_two_start = time.perf_counter()
+        patterns: List[SkinnyPattern] = []
+        for minimal_pattern in minimal:
+            patterns.extend(driver.grow(context, minimal_pattern, parameter))
+        if spec.deduplicate:
+            patterns = self._deduplicated(patterns)
+        patterns = self._ranked(patterns, query.top_k)
+        stage_two = time.perf_counter() - stage_two_start
+
+        stats = QueryStats(
+            request_key=key,
+            stage_one_seconds=stage_one,
+            stage_two_seconds=stage_two,
+            total_seconds=time.perf_counter() - started,
+            served_from_store=from_store,
+            result_cache_hit=False,
+            num_minimal_patterns=len(minimal),
+            num_patterns=len(patterns),
+        )
+        self.stats_log.append(stats)
+        self._result_cache[key] = list(patterns)
+        while len(self._result_cache) > self._result_cache_size:
+            self._result_cache.popitem(last=False)
+        return Result(query=query, patterns=patterns, stats=stats)
+
+    def run_batch(self, queries: Sequence[Query]) -> List[Result]:
+        """Serve a batch in order; duplicate queries hit the result cache."""
+        return [self.run(query) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self, delta: Union[GraphDelta, Sequence[EdgeDelta]]
+    ) -> RepairReport:
+        """Edit the data and repair (not rebuild) the Stage-1 index.
+
+        Entries of path-indexed constraints are repaired through
+        :class:`IndexMaintainer`; stale entries of every other registered
+        constraint are invalidated, since their Stage-1 semantics have no
+        incremental repair rule yet.  Even if the repair fails part-way, the
+        ``finally`` block re-keys the engine to whatever the graphs now
+        contain and drops the result/context caches, so stale answers are
+        never served.
+        """
+        specs = constraint_specs()
+        repairable = [spec.constraint_id for spec in specs if spec.path_indexed]
+        invalidatable = {spec.constraint_id for spec in specs if not spec.path_indexed}
+        maintainer = IndexMaintainer(self._store, repairable)
+        try:
+            report = maintainer.apply_delta(self._graphs, delta)
+            for key in list(self._store.keys()):
+                if (
+                    key.fingerprint == report.old_fingerprint
+                    and key.fingerprint != report.new_fingerprint
+                    and key.constraint_id in invalidatable
+                ):
+                    self._store.delete(key)
+                    report.entries_seen += 1
+                    report.entries_invalidated += 1
+            return report
+        finally:
+            self._fingerprint = dataset_fingerprint(self._graphs)
+            self._result_cache.clear()
+            self._contexts.clear()

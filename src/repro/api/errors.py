@@ -1,0 +1,63 @@
+"""Typed errors raised by the unified query API.
+
+Every error is a :class:`ValueError` subclass so pre-existing callers (and
+the CLI's catch-all) keep working, while new callers can discriminate:
+
+* :class:`QueryError` — base class for anything wrong with a query;
+* :class:`MalformedQueryError` — the payload is not even query-shaped
+  (wrong container type, missing mandatory envelope fields);
+* :class:`UnknownConstraintError` — the constraint id is not registered;
+* :class:`ParameterError` — the constraint id is fine but its parameters are
+  not, refined into missing / unexpected / wrong-type / out-of-range.
+
+Raising these (rather than ``KeyError``/``TypeError`` escaping from dict
+access) is part of the API contract: malformed wire payloads must fail with
+a message naming the constraint and the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class QueryError(ValueError):
+    """Base class: a query (or query payload) is invalid."""
+
+
+class MalformedQueryError(QueryError):
+    """The payload is not a query object at all (wrong shape or envelope)."""
+
+
+class UnknownConstraintError(QueryError):
+    """The requested constraint id has no registered :class:`ConstraintSpec`."""
+
+    def __init__(self, constraint_id: str, known: Iterable[str] = ()) -> None:
+        self.constraint_id = constraint_id
+        known_ids = sorted(known)
+        hint = f" (registered: {', '.join(known_ids)})" if known_ids else ""
+        super().__init__(f"unknown constraint id {constraint_id!r}{hint}")
+
+
+class ParameterError(QueryError):
+    """A constraint parameter is missing, unexpected, mistyped or out of range."""
+
+    def __init__(self, constraint_id: str, message: str, parameter: Optional[str] = None) -> None:
+        self.constraint_id = constraint_id
+        self.parameter = parameter
+        super().__init__(f"constraint {constraint_id!r}: {message}")
+
+
+class MissingParameterError(ParameterError):
+    """A required constraint parameter was not supplied."""
+
+
+class UnexpectedParameterError(ParameterError):
+    """The query carries parameters the constraint does not declare."""
+
+
+class ParameterTypeError(ParameterError):
+    """A constraint parameter has the wrong type."""
+
+
+class ParameterValueError(ParameterError):
+    """A constraint parameter is of the right type but out of range."""

@@ -1,0 +1,254 @@
+"""The generic wire format: :class:`Query` in, :class:`Result` out.
+
+A :class:`Query` names a registered constraint, carries that constraint's
+parameters (validated against its :class:`~repro.api.registry.ParamSpec`
+schema at construction time), and the request-level knobs every constraint
+shares: support threshold, support measure, ``top_k`` truncation and whether
+minimal patterns appear in the result.  It replaces the skinny-specific
+``MineRequest(l, δ, σ)`` as the canonical request object across in-process
+calls, ``MiningService.serve_batch``, the pattern store and the CLI; the old
+class survives as a deprecation shim (see :mod:`repro.service.mining`).
+
+``to_dict``/``from_dict`` define the JSON envelope::
+
+    {"constraint": "diam-le", "params": {"k": 2}, "min_support": 2,
+     "top_k": 10, "support_measure": "embeddings", "include_minimal": true}
+
+Malformed payloads raise typed :class:`~repro.api.errors.QueryError`
+subclasses — never a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional
+
+from repro.api.errors import MalformedQueryError, QueryError
+from repro.api.registry import get_constraint
+from repro.core.database import SupportMeasure
+from repro.core.patterns import SkinnyPattern
+
+_ENVELOPE_FIELDS = {
+    "constraint",
+    "params",
+    "min_support",
+    "sigma",  # historical alias for min_support
+    "top_k",
+    "support_measure",
+    "include_minimal",
+}
+
+
+@dataclass(frozen=True, eq=True)
+class Query:
+    """One mining request against a registered constraint.
+
+    ``params`` is validated (and normalised: defaults filled in, order
+    canonicalised) against the constraint's schema in ``__post_init__``, so a
+    constructed ``Query`` is always well-formed.  Like the ``MineRequest`` it
+    replaces, a Query is a hashable frozen value object: ``params`` is
+    exposed through a read-only mapping view, so a validated query can never
+    drift out of sync with its ``cache_key()`` or Stage-1 store key.
+    """
+
+    constraint_id: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    min_support: int = 1
+    top_k: Optional[int] = None
+    support_measure: str = SupportMeasure.EMBEDDINGS.value
+    include_minimal: bool = True
+
+    def __post_init__(self) -> None:
+        spec = get_constraint(self.constraint_id)
+        object.__setattr__(
+            self, "params", MappingProxyType(spec.validate_params(self.params))
+        )
+        if not isinstance(self.min_support, int) or isinstance(self.min_support, bool):
+            raise QueryError(f"min_support must be an integer, got {self.min_support!r}")
+        if self.min_support < 1:
+            raise QueryError("min_support must be at least 1")
+        if self.top_k is not None:
+            try:
+                coerced = int(self.top_k)
+            except (TypeError, ValueError) as error:
+                raise QueryError(f"top_k must be an integer, got {self.top_k!r}") from error
+            if coerced < 1:
+                raise QueryError("top_k must be positive when given")
+            object.__setattr__(self, "top_k", coerced)
+        try:
+            measure = SupportMeasure(self.support_measure)
+        except ValueError as error:
+            raise QueryError(
+                f"unknown support measure {self.support_measure!r} "
+                f"(expected one of {[m.value for m in SupportMeasure]})"
+            ) from error
+        object.__setattr__(self, "support_measure", measure.value)
+        object.__setattr__(self, "include_minimal", bool(self.include_minimal))
+
+    def __hash__(self) -> int:
+        # The generated dataclass hash would choke on the params mapping;
+        # hash the same canonical identity the result cache keys on.
+        return hash(
+            (
+                self.constraint_id,
+                tuple(sorted(self.params.items())),
+                self.min_support,
+                self.top_k,
+                self.support_measure,
+                self.include_minimal,
+            )
+        )
+
+    @property
+    def measure(self) -> SupportMeasure:
+        return SupportMeasure(self.support_measure)
+
+    def cache_key(self) -> str:
+        """Canonical identity of the query (the result-cache key)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "constraint": self.constraint_id,
+            "params": dict(self.params),
+            "min_support": self.min_support,
+            "top_k": self.top_k,
+            "support_measure": self.support_measure,
+            "include_minimal": self.include_minimal,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Query":
+        """Parse the JSON envelope; typed errors on any malformation."""
+        if not isinstance(payload, Mapping):
+            raise MalformedQueryError(f"query payload must be an object, got {payload!r}")
+        if "constraint" not in payload:
+            raise MalformedQueryError(
+                f"query payload {dict(payload)!r} is missing the 'constraint' field"
+            )
+        unknown = sorted(set(payload) - _ENVELOPE_FIELDS)
+        if unknown:
+            raise MalformedQueryError(
+                f"query payload has unknown field(s): {', '.join(unknown)} "
+                "(constraint parameters belong under 'params')"
+            )
+        constraint_id = payload["constraint"]
+        if not isinstance(constraint_id, str):
+            raise MalformedQueryError(f"'constraint' must be a string, got {constraint_id!r}")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise MalformedQueryError(f"'params' must be an object, got {params!r}")
+        min_support = payload.get("min_support", payload.get("sigma", 1))
+        if not isinstance(min_support, int) or isinstance(min_support, bool):
+            raise MalformedQueryError(f"'min_support' must be an integer, got {min_support!r}")
+        return cls(
+            constraint_id=constraint_id,
+            params=params,
+            min_support=min_support,
+            top_k=payload.get("top_k"),
+            support_measure=payload.get(
+                "support_measure", SupportMeasure.EMBEDDINGS.value
+            ),
+            include_minimal=bool(payload.get("include_minimal", True)),
+        )
+
+
+def query_from_payload(payload: Mapping[str, object]) -> Query:
+    """Accept either the Query envelope or a legacy ``MineRequest`` payload.
+
+    Payloads carrying a ``constraint`` field follow the new format; payloads
+    shaped like the pre-redesign ``{"length": l, "delta": d, ...}`` wire
+    format are converted to an equivalent skinny :class:`Query` with a
+    :class:`DeprecationWarning`.
+    """
+    if not isinstance(payload, Mapping):
+        raise MalformedQueryError(f"request payload must be an object, got {payload!r}")
+    if "constraint" in payload:
+        return Query.from_dict(payload)
+    if "length" in payload and "delta" in payload:
+        warnings.warn(
+            "skinny-only request payloads ({'length', 'delta', ...}) are deprecated; "
+            "use {'constraint': 'skinny', 'params': {'length': ..., 'delta': ...}, ...}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        envelope = {
+            key: payload[key]
+            for key in ("min_support", "top_k", "support_measure", "include_minimal")
+            if key in payload
+        }
+        if "sigma" in payload and "min_support" not in envelope:
+            envelope["min_support"] = payload["sigma"]
+        for name in ("length", "delta"):
+            if not isinstance(payload[name], int) or isinstance(payload[name], bool):
+                raise MalformedQueryError(
+                    f"legacy payload field {name!r} must be an integer, got {payload[name]!r}"
+                )
+        return Query(
+            constraint_id="skinny",
+            params={"length": payload["length"], "delta": payload["delta"]},
+            **envelope,
+        )
+    raise MalformedQueryError(
+        f"request payload {dict(payload)!r} is neither a Query envelope "
+        "(needs 'constraint') nor a legacy mine request (needs 'length' and 'delta')"
+    )
+
+
+@dataclass
+class QueryStats:
+    """Per-query timing and provenance accounting."""
+
+    request_key: str
+    stage_one_seconds: float = 0.0
+    stage_two_seconds: float = 0.0
+    total_seconds: float = 0.0
+    served_from_store: bool = False
+    result_cache_hit: bool = False
+    num_minimal_patterns: int = 0
+    num_patterns: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "request": json.loads(self.request_key),
+            "stage_one_seconds": self.stage_one_seconds,
+            "stage_two_seconds": self.stage_two_seconds,
+            "total_seconds": self.total_seconds,
+            "served_from_store": self.served_from_store,
+            "result_cache_hit": self.result_cache_hit,
+            "num_minimal_patterns": self.num_minimal_patterns,
+            "num_patterns": self.num_patterns,
+        }
+
+
+@dataclass
+class Result:
+    """Patterns plus the stats of the query that produced them."""
+
+    query: Query
+    patterns: List[SkinnyPattern]
+    stats: QueryStats
+
+    def to_dict(self, include_patterns: bool = False) -> Dict[str, object]:
+        from repro.graph.io import graph_to_record
+
+        payload: Dict[str, object] = {
+            "stats": self.stats.to_dict(),
+            "num_patterns": len(self.patterns),
+        }
+        if include_patterns:
+            payload["patterns"] = [
+                {
+                    "support": pattern.support,
+                    "diameter_length": pattern.diameter_length,
+                    "num_vertices": pattern.num_vertices,
+                    "num_edges": pattern.num_edges,
+                    "diameter_labels": list(pattern.diameter_labels()),
+                    "graph": graph_to_record(pattern.graph),
+                }
+                for pattern in self.patterns
+            ]
+        return payload

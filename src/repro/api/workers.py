@@ -1,0 +1,55 @@
+"""Multiprocessing workers for parallel Stage-1 precompute, any constraint.
+
+``multiprocessing`` needs picklable module-level callables; the data graphs
+are shipped once per worker through the pool initializer (not once per
+task), so precomputing many Stage-1 entries amortises the transfer.  Each
+task names a registered constraint and its validated parameters; the worker
+resolves the spec from its own registry (inherited via fork on POSIX —
+constraints registered at runtime are visible to the pool there; under a
+``spawn`` start method only the built-ins re-register) and runs the
+constraint's ``mine_minimal``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def init_worker(graphs: Sequence[LabeledGraph], caps: Mapping[str, Optional[int]]) -> None:
+    """Pool initializer: stash the data graphs and engine caps once."""
+    _WORKER_STATE["graphs"] = list(graphs)
+    _WORKER_STATE["caps"] = dict(caps)
+
+
+def _worker_context(min_support: int, measure_value: str):
+    """One MiningContext per (σ, measure) per worker, so its per-graph label
+    index is derived once however many tasks the worker processes."""
+    from repro.core.database import MiningContext, SupportMeasure
+
+    contexts = _WORKER_STATE.setdefault("contexts", {})
+    key = (min_support, measure_value)
+    if key not in contexts:
+        contexts[key] = MiningContext(
+            list(_WORKER_STATE["graphs"]), min_support, SupportMeasure(measure_value)
+        )
+    return contexts[key]
+
+
+def mine_stage_one(
+    task: Tuple[int, str, Dict[str, object], int, str]
+) -> Tuple[int, List[object], float]:
+    """Mine one Stage-1 entry: ``(slot, constraint_id, params, σ, measure)``."""
+    from repro.api.registry import get_constraint
+
+    slot, constraint_id, params, min_support, measure_value = task
+    spec = get_constraint(constraint_id)
+    context = _worker_context(min_support, measure_value)
+    started = time.perf_counter()
+    driver = spec.make_driver(params, _WORKER_STATE["caps"], True)
+    patterns = driver.mine_minimal(context, spec.driver_parameter(params))
+    return slot, list(patterns), time.perf_counter() - started

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.common import MinedPattern
 from repro.core.database import MiningContext, SupportMeasure

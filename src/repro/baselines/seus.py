@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Sequence, Set, Tuple, Union
 
 from repro.baselines.common import MinedPattern
 from repro.core.database import MiningContext, SupportMeasure

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Sequence, Tuple, Union
 
 from repro.baselines.common import IsomorphismRegistry, MinedPattern
 from repro.core.database import MiningContext, SupportMeasure

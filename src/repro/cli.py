@@ -1,11 +1,22 @@
 """``repro`` — the reproduction's command-line interface.
 
-Subcommands mirror the two-stage architecture:
+Subcommands mirror the two-stage architecture, now served through the
+unified constraint-plugin API (:mod:`repro.api`):
 
-* ``repro index build``  — run Stage 1 offline and persist it to a disk store
-* ``repro index info``   — inspect a store (entries, sizes, build times)
-* ``repro mine``         — answer one mining request (warm store = no Stage 1)
-* ``repro serve-batch``  — answer a JSON file of batched requests
+* ``repro constraints``   — list the registered constraints and their schemas
+* ``repro index build``   — run Stage 1 offline and persist it to a disk store
+* ``repro index info``    — inspect a store (entries, sizes, build times)
+* ``repro mine``          — answer one query (warm store = no Stage 1)
+* ``repro serve-batch``   — answer a JSON file of batched queries
+
+Every mining command takes ``--constraint <id>`` (default ``skinny``) and
+constraint parameters as repeatable ``--param name=value`` flags; ``-l`` and
+``-d`` remain as conveniences for the ``length``/``delta`` parameters of the
+built-in constraints::
+
+    repro mine --data demo --constraint skinny  -l 6 -d 1 --min-support 2
+    repro mine --data demo --constraint path    --param length=4 --min-support 2
+    repro mine --data demo --constraint diam-le --param k=2 --min-support 2
 
 Datasets are given with ``--data`` as either a path to an LG file (see
 :mod:`repro.graph.io`) or a generator spec:
@@ -14,7 +25,9 @@ Datasets are given with ``--data`` as either a path to an LG file (see
   ``synthetic:GID:scale:seed`` — e.g. ``synthetic:1:0.3:7``;
 * ``demo`` — the small quickstart graph used in the examples.
 
-Exit codes: 0 on success, 2 on bad usage (argparse), 1 on runtime errors.
+Exit codes: 0 on success, 2 on bad usage (argparse), 1 on runtime errors —
+including typed query errors (unknown constraint, missing/extra/mistyped
+parameters), which are reported on stderr with the offending field named.
 """
 
 from __future__ import annotations
@@ -23,7 +36,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.graph.labeled_graph import LabeledGraph
 
@@ -87,50 +100,138 @@ def _parse_lengths(text: str) -> List[int]:
     return sorted(set(lengths))
 
 
-def _pattern_payload(pattern) -> dict:
-    from repro.graph.io import graph_to_record
+def _collect_params(args: argparse.Namespace) -> Dict[str, object]:
+    """Constraint parameters from ``--param name=value`` plus ``-l``/``-d``.
 
-    return {
-        "support": pattern.support,
-        "diameter_length": pattern.diameter_length,
-        "num_vertices": pattern.num_vertices,
-        "num_edges": pattern.num_edges,
-        "diameter_labels": list(pattern.diameter_labels()),
-        "graph": graph_to_record(pattern.graph),
-    }
+    Values are parsed as JSON when possible (so ``k=2`` is the integer 2)
+    and kept as strings otherwise; the Query layer validates types.
+    """
+    params: Dict[str, object] = {}
+    for item in args.param or []:
+        name, separator, raw = item.partition("=")
+        if not separator or not name:
+            raise ValueError(f"--param expects name=value, got {item!r}")
+        try:
+            params[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[name] = raw
+    if getattr(args, "length", None) is not None:
+        params.setdefault("length", args.length)
+    if getattr(args, "delta", None) is not None:
+        params.setdefault("delta", args.delta)
+    return params
+
+
+def _format_params(params: Dict[str, object]) -> str:
+    return " ".join(f"{name}={value}" for name, value in sorted(params.items()))
 
 
 # --------------------------------------------------------------------- #
 # subcommand implementations
 # --------------------------------------------------------------------- #
-def _cmd_index_build(args: argparse.Namespace) -> int:
-    from repro.index.store import DiskPatternStore
-    from repro.service.mining import MiningService
+def _cmd_constraints(args: argparse.Namespace) -> int:
+    from repro.api import constraint_specs
 
+    specs = constraint_specs()
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2, sort_keys=True))
+        return 0
+    for spec in specs:
+        print(f"{spec.constraint_id}: {spec.description}")
+        for param in spec.params:
+            default = "" if param.required else f" (default {param.default})"
+            bound = f", >= {param.minimum}" if param.minimum is not None else ""
+            kind = "required" if param.required else "optional"
+            print(
+                f"  --param {param.name}=<{param.type.__name__}>"
+                f"  [{kind}{bound}]{default}  {param.doc}"
+            )
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.api import MiningEngine, Query, get_constraint
+    from repro.index.store import DiskPatternStore
+
+    spec = get_constraint(args.constraint)
     graphs = load_dataset(args.data)
     store = DiskPatternStore(args.store)
-    service = MiningService(graphs, store=store)
-    lengths = _parse_lengths(args.lengths)
-    counts = service.precompute(
-        lengths,
-        min_support=args.min_support,
-        support_measure=args.support_measure,
-        processes=args.processes,
+    length_keyed = any(
+        param.name == "length" and param.stage_one for param in spec.params
     )
-    payload = {
+
+    payload: Dict[str, object] = {
         "store": str(store.root),
-        "fingerprint": service.fingerprint,
+        "constraint": spec.constraint_id,
         "min_support": args.min_support,
         "support_measure": args.support_measure,
-        "lengths": {str(length): counts[length] for length in sorted(counts)},
     }
+    if length_keyed:
+        if not args.lengths:
+            raise ValueError(
+                f"constraint {spec.constraint_id!r} indexes Stage 1 by length; "
+                "pass --lengths"
+            )
+        lengths = _parse_lengths(args.lengths)
+        engine = MiningEngine(graphs, store=store)
+        # Required growth-only params (e.g. skinny's δ, which Stage 1
+        # ignores) may come from --param; absent ones default to their
+        # minimum so the query validates.  Stage-one params are never
+        # fabricated — a made-up value would silently key the store — so a
+        # missing one surfaces as the usual MissingParameterError.
+        base = _collect_params(args)
+        for param in spec.params:
+            if (
+                param.required
+                and not param.stage_one
+                and param.name not in base
+            ):
+                base[param.name] = param.minimum if param.minimum is not None else 0
+        queries = [
+            Query(
+                constraint_id=spec.constraint_id,
+                params={**base, "length": length},
+                min_support=args.min_support,
+                support_measure=args.support_measure,
+            )
+            for length in lengths
+        ]
+        summaries = engine.precompute_queries(queries, processes=args.processes)
+        counts = {
+            length: summary["num_patterns"]
+            for length, summary in zip(lengths, summaries)
+        }
+        fingerprint = engine.fingerprint
+        payload["fingerprint"] = fingerprint
+        payload["lengths"] = {str(length): counts[length] for length in sorted(counts)}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"index store : {store.root}")
+            print(f"constraint  : {spec.constraint_id}")
+            print(f"fingerprint : {fingerprint[:16]}…")
+            for length in sorted(counts):
+                print(f"  l={length:<3d} -> {counts[length]} minimal pattern(s)")
+        return 0
+
+    engine = MiningEngine(graphs, store=store)
+    params = _collect_params(args)
+    query = Query(
+        constraint_id=spec.constraint_id,
+        params=params,
+        min_support=args.min_support,
+        support_measure=args.support_measure,
+    )
+    (summary,) = engine.precompute_queries([query])
+    payload["fingerprint"] = engine.fingerprint
+    payload["num_patterns"] = summary["num_patterns"]
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"index store : {store.root}")
-        print(f"fingerprint : {service.fingerprint[:16]}…")
-        for length in sorted(counts):
-            print(f"  l={length:<3d} -> {counts[length]} minimal pattern(s)")
+        print(f"constraint  : {spec.constraint_id}")
+        print(f"fingerprint : {engine.fingerprint[:16]}…")
+        print(f"  {summary['num_patterns']} minimal pattern(s)")
     return 0
 
 
@@ -158,43 +259,38 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.api import MiningEngine, Query
     from repro.index.store import DiskPatternStore
-    from repro.service.mining import MineRequest, MiningService
 
     graphs = load_dataset(args.data)
     store = DiskPatternStore(args.store) if args.store else None
-    service = MiningService(graphs, store=store)
-    request = MineRequest(
-        length=args.length,
-        delta=args.delta,
+    engine = MiningEngine(graphs, store=store)
+    query = Query(
+        constraint_id=args.constraint,
+        params=_collect_params(args),
         min_support=args.min_support,
         top_k=args.top_k,
         support_measure=args.support_measure,
     )
-    response = service.mine(request)
+    result = engine.run(query)
     if args.json:
         print(
             json.dumps(
-                {
-                    "stats": response.stats.to_dict(),
-                    "patterns": [_pattern_payload(p) for p in response.patterns],
-                },
-                indent=2,
-                sort_keys=True,
+                result.to_dict(include_patterns=True), indent=2, sort_keys=True
             )
         )
         return 0
-    stats = response.stats
+    stats = result.stats
     provenance = "warm index" if stats.served_from_store else "cold (Stage 1 computed)"
     print(
-        f"{len(response.patterns)} pattern(s) for l={args.length} δ={args.delta} "
-        f"σ={args.min_support} [{provenance}]"
+        f"{len(result.patterns)} pattern(s) for constraint={query.constraint_id} "
+        f"{_format_params(dict(query.params))} σ={query.min_support} [{provenance}]"
     )
     print(
         f"stage 1: {stats.stage_one_seconds:.4f}s   stage 2: {stats.stage_two_seconds:.4f}s"
         f"   total: {stats.total_seconds:.4f}s"
     )
-    for rank, pattern in enumerate(response.patterns, start=1):
+    for rank, pattern in enumerate(result.patterns, start=1):
         print(
             f"  #{rank:<3d} support={pattern.support:<4d} |V|={pattern.num_vertices:<3d}"
             f" |E|={pattern.num_edges:<3d} diameter={'-'.join(pattern.diameter_labels())}"
@@ -203,27 +299,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.api import MiningEngine, query_from_payload
     from repro.index.store import DiskPatternStore
-    from repro.service.mining import MineRequest, MiningService
 
     graphs = load_dataset(args.data)
     store = DiskPatternStore(args.store) if args.store else None
-    service = MiningService(graphs, store=store)
+    engine = MiningEngine(graphs, store=store)
     payload = json.loads(Path(args.requests).read_text(encoding="utf-8"))
     if not isinstance(payload, list):
         raise ValueError(f"{args.requests}: expected a JSON list of request objects")
-    requests = [MineRequest.from_dict(item) for item in payload]
-    responses = service.serve_batch(requests)
+    queries = [query_from_payload(item) for item in payload]
+    responses = engine.run_batch(queries)
     results = [
-        {
-            "stats": response.stats.to_dict(),
-            "num_patterns": len(response.patterns),
-            **(
-                {"patterns": [_pattern_payload(p) for p in response.patterns]}
-                if args.include_patterns
-                else {}
-            ),
-        }
+        response.to_dict(include_patterns=args.include_patterns)
         for response in responses
     ]
     text = json.dumps(results, indent=2, sort_keys=True)
@@ -255,12 +343,40 @@ def _add_measure_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--constraint",
+        default="skinny",
+        help="registered constraint id (see `repro constraints`; default: skinny)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="constraint parameter (repeatable), e.g. --param k=2",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog=PROG,
-        description="SkinnyMine reproduction: persistent pattern index + mining service",
+        description=(
+            "SkinnyMine reproduction: persistent pattern index + constraint-"
+            "plugin mining engine"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"{PROG} {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    constraints = subparsers.add_parser(
+        "constraints", help="list registered constraints and their parameters"
+    )
+    constraints.add_argument("--json", action="store_true", help="machine-readable output")
+    constraints.set_defaults(handler=_cmd_constraints)
 
     index_parser = subparsers.add_parser("index", help="manage the Stage-1 index store")
     index_sub = index_parser.add_subparsers(dest="index_command", required=True)
@@ -268,8 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
     build = index_sub.add_parser("build", help="precompute minimal patterns into a store")
     _add_data_argument(build)
     build.add_argument("--store", required=True, help="index store directory")
+    _add_constraint_arguments(build)
     build.add_argument(
-        "--lengths", required=True, help="comma list / ranges, e.g. '4,6' or '3-6'"
+        "--lengths",
+        default=None,
+        help="comma list / ranges, e.g. '4,6' or '3-6' (length-indexed constraints)",
     )
     build.add_argument("--min-support", type=int, default=2)
     _add_measure_argument(build)
@@ -284,22 +403,31 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", action="store_true", help="machine-readable output")
     info.set_defaults(handler=_cmd_index_info)
 
-    mine = subparsers.add_parser("mine", help="answer one mining request")
+    mine = subparsers.add_parser("mine", help="answer one mining query")
     _add_data_argument(mine)
     mine.add_argument("--store", default=None, help="index store directory (optional)")
-    mine.add_argument("--length", "-l", type=int, required=True)
-    mine.add_argument("--delta", "-d", type=int, required=True)
+    _add_constraint_arguments(mine)
+    mine.add_argument(
+        "--length", "-l", type=int, default=None,
+        help="shorthand for --param length=N",
+    )
+    mine.add_argument(
+        "--delta", "-d", type=int, default=None,
+        help="shorthand for --param delta=N",
+    )
     mine.add_argument("--min-support", type=int, default=2)
     mine.add_argument("--top-k", type=int, default=None)
     _add_measure_argument(mine)
     mine.add_argument("--json", action="store_true", help="machine-readable output")
     mine.set_defaults(handler=_cmd_mine)
 
-    batch = subparsers.add_parser("serve-batch", help="answer a JSON batch of requests")
+    batch = subparsers.add_parser("serve-batch", help="answer a JSON batch of queries")
     _add_data_argument(batch)
     batch.add_argument("--store", default=None, help="index store directory (optional)")
     batch.add_argument(
-        "--requests", required=True, help="JSON file: list of request objects"
+        "--requests",
+        required=True,
+        help="JSON file: list of Query envelopes (or legacy mine-request objects)",
     )
     batch.add_argument(
         "--output", default=None, help="write responses to this file instead of stdout"

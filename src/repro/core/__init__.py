@@ -25,16 +25,20 @@ from repro.core.diameter import (
 )
 from repro.core.diammine import DiamMine, brute_force_frequent_paths, mine_frequent_paths
 from repro.core.framework import (
+    BoundedDiameterDriver,
     ContinuityReport,
     DirectMiner,
     DirectMiningReport,
     MinimalPatternIndex,
+    PathConstraintDriver,
     ReducibilityReport,
     SkinnyConstraintDriver,
+    bounded_diameter_constraint,
     check_continuity,
     check_reducibility,
     max_degree_constraint,
     min_size_constraint,
+    path_shape_constraint,
     skinny_constraint,
     uniform_degree_constraint,
 )
@@ -55,16 +59,20 @@ __all__ = [
     "DiamMine",
     "brute_force_frequent_paths",
     "mine_frequent_paths",
+    "BoundedDiameterDriver",
     "ContinuityReport",
     "DirectMiner",
     "DirectMiningReport",
     "MinimalPatternIndex",
+    "PathConstraintDriver",
     "ReducibilityReport",
     "SkinnyConstraintDriver",
+    "bounded_diameter_constraint",
     "check_continuity",
     "check_reducibility",
     "max_degree_constraint",
     "min_size_constraint",
+    "path_shape_constraint",
     "skinny_constraint",
     "uniform_degree_constraint",
     "LevelGrower",

@@ -24,7 +24,7 @@ support is counted).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.database import MiningContext, SupportMeasure
 from repro.core.orders import canonical_label_orientation

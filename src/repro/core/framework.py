@@ -202,6 +202,51 @@ def min_size_constraint(min_edges: int) -> ConstraintPredicate:
     return predicate
 
 
+def path_shape_constraint(length: int) -> ConstraintPredicate:
+    """The l-long path constraint: the pattern *is* a simple path of ``length`` edges.
+
+    Reducible (the minimal patterns are exactly the l-paths — every strict
+    subpattern is a shorter path) and trivially continuous (every satisfying
+    pattern is minimal).  This is the degenerate δ=0 corner of the skinny
+    family, served as its own constraint because its Stage 2 is the identity.
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        if pattern.num_edges() != length or pattern.num_vertices() != length + 1:
+            return False
+        if not pattern.is_connected():
+            return False
+        degrees = sorted(pattern.degree(vertex) for vertex in pattern.vertices())
+        # A connected tree with max degree 2 and two leaves is a simple path.
+        return degrees[-1] <= 2 and degrees[0] == 1
+
+    return predicate
+
+
+def bounded_diameter_constraint(maximum: int) -> ConstraintPredicate:
+    """The bounded-diameter constraint diam(P) ≤ K (connected, at least one edge).
+
+    Reducible: single-edge patterns (diameter 1) qualify, and so do the
+    odd/even cycles whose every one-edge-deleted subpath exceeds K — the
+    reducibility check on an explicit universe surfaces both kinds of
+    minimal pattern.  Continuity holds relative to that minimal set: deleting
+    a non-cycle pattern's pendant edge keeps the diameter bounded.
+    """
+    if maximum < 1:
+        raise ValueError("maximum diameter must be at least 1")
+
+    def predicate(pattern: LabeledGraph) -> bool:
+        from repro.graph.paths import diameter as graph_diameter
+
+        if pattern.num_edges() < 1 or not pattern.is_connected():
+            return False
+        return graph_diameter(pattern) <= maximum
+
+    return predicate
+
+
 # --------------------------------------------------------------------- #
 # the generic two-stage driver
 # --------------------------------------------------------------------- #
@@ -272,6 +317,16 @@ class MinimalPatternIndex:
         try:
             encoded = encode_parameter(parameter)
         except TypeError:
+            import warnings
+
+            warnings.warn(
+                "keying a MinimalPatternIndex by an unportable (repr-encoded) "
+                "parameter is deprecated; use scalar/tuple/dict parameters or "
+                "the Query API (repro.api) so entries stay portable across "
+                "processes",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             encoded = self._unportable_encoding.get(parameter)
             if encoded is None:
                 encoded = json.dumps(
@@ -487,4 +542,204 @@ class SkinnyConstraintDriver:
                 break
             results.extend(state.to_pattern() for state in next_frontier)
             frontier = next_frontier
+        return results
+
+
+class PathConstraintDriver:
+    """Driver for the l-long path constraint (``path_shape_constraint``).
+
+    The constraint parameter is the path length ``l``.  Minimal patterns are
+    the frequent length-``l`` paths (DiamMine — exactly Stage 1 of
+    SkinnyMine), and because every strict super-pattern of a path is not a
+    path, Stage 2 is the identity: each minimal pattern is its own cluster's
+    only member.
+    """
+
+    def __init__(
+        self,
+        max_paths_per_length: Optional[int] = None,
+        include_minimal: bool = True,
+    ) -> None:
+        self._max_paths_per_length = max_paths_per_length
+        self._include_minimal = include_minimal
+
+    def mine_minimal(self, context: MiningContext, parameter: int) -> List[object]:
+        from repro.core.diammine import DiamMine
+
+        return DiamMine(
+            context, max_paths_per_length=self._max_paths_per_length
+        ).mine(int(parameter))
+
+    def grow(
+        self, context: MiningContext, minimal: object, parameter: int
+    ) -> List[SkinnyPattern]:
+        from repro.core.patterns import initial_state_from_path
+
+        if not self._include_minimal:
+            return []
+        return [initial_state_from_path(minimal).to_pattern()]
+
+
+class BoundedDiameterDriver:
+    """Driver for the bounded-diameter constraint diam(P) ≤ K.
+
+    The constraint parameter is the bound ``K``.  Minimal patterns are the
+    frequent single-edge patterns (diameter 1 — the size-1 minimal
+    constraint-satisfying patterns); Stage 2 grows each by
+    embedding-joined extensions (attach a data neighbour as a new pattern
+    vertex, or close an edge between two mapped vertices), keeping only
+    frequent extensions whose diameter stays within the bound.
+
+    Completeness caveats, both documented rather than hidden: (1) cycle-shaped
+    minimal patterns (e.g. a 2K-cycle, whose every one-edge-deleted subpath
+    violates the bound) are not generated, matching the constraint-preserving
+    growth recipe which never routes through violating intermediates; and
+    (2) embedding-count support is not anti-monotone, so frequency pruning of
+    intermediates is heuristic — the same trade DiamMine makes
+    (``prune_intermediate``).  Clusters grown from different seed edges can
+    overlap; the engine deduplicates by canonical form.
+    """
+
+    def __init__(
+        self,
+        max_edges: Optional[int] = None,
+        max_patterns: Optional[int] = None,
+        include_minimal: bool = True,
+    ) -> None:
+        self._max_edges = max_edges
+        self._max_patterns = max_patterns
+        self._include_minimal = include_minimal
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: frequent single-edge patterns
+    # ------------------------------------------------------------------ #
+    def mine_minimal(self, context: MiningContext, parameter: Hashable) -> List[object]:
+        from repro.graph.embeddings import Embedding
+
+        by_shape: Dict[Tuple[str, str, str], List] = {}
+        labels_of: Dict[Tuple[str, str, str], Tuple[object, object, object]] = {}
+        for graph_index in context.graph_indices():
+            graph = context.graph(graph_index)
+            for edge in graph.edges():
+                label_u = graph.label_of(edge.u)
+                label_v = graph.label_of(edge.v)
+                orientations = []
+                if str(label_u) <= str(label_v):
+                    orientations.append((label_u, label_v, edge.u, edge.v))
+                if str(label_v) <= str(label_u):
+                    orientations.append((label_v, label_u, edge.v, edge.u))
+                for first, second, u, v in orientations:
+                    shape = (str(first), str(second), str(edge.label))
+                    labels_of.setdefault(shape, (first, second, edge.label))
+                    by_shape.setdefault(shape, []).append(
+                        Embedding.from_dict({0: u, 1: v}, graph_index)
+                    )
+        minimal: List[object] = []
+        for shape in sorted(by_shape):
+            first, second, edge_label = labels_of[shape]
+            pattern = LabeledGraph(name=f"edge-{shape[0]}-{shape[1]}")
+            pattern.add_vertex(0, first)
+            pattern.add_vertex(1, second)
+            pattern.add_edge(0, 1, edge_label)
+            embeddings = by_shape[shape]
+            support = context.support_of_embeddings(embeddings, pattern)
+            if context.is_frequent(support):
+                minimal.append(SkinnyPattern(pattern, [0, 1], embeddings, support))
+        return minimal
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: constraint-preserving growth
+    # ------------------------------------------------------------------ #
+    def _extensions(self, context, graph, embeddings):
+        """Pattern-level extension ops joined across the embedding list.
+
+        Yields ``(new_graph, new_embeddings)`` pairs for every distinct
+        one-edge extension supported by at least one embedding: either a new
+        pendant pattern vertex mapped to an unused data neighbour, or a
+        closing edge between two already-mapped pattern vertices.
+        """
+        pattern_edges = {frozenset(edge.endpoints()) for edge in graph.edges()}
+        new_vertex_ops: Dict[Tuple, List] = {}
+        new_vertex_labels: Dict[Tuple, Tuple[object, object]] = {}
+        close_edge_ops: Dict[Tuple, List] = {}
+        close_edge_labels: Dict[Tuple, object] = {}
+        for embedding in embeddings:
+            data = context.graph(embedding.graph_index)
+            mapping = embedding.as_dict()
+            inverse = {target: source for source, target in mapping.items()}
+            for pattern_vertex, data_vertex in mapping.items():
+                for neighbor in data.neighbors(data_vertex):
+                    edge_label = data.edge_label(data_vertex, neighbor)
+                    mapped = inverse.get(neighbor)
+                    if mapped is None:
+                        label = data.label_of(neighbor)
+                        op = (pattern_vertex, str(label), str(edge_label))
+                        new_vertex_labels.setdefault(op, (label, edge_label))
+                        new_vertex_ops.setdefault(op, []).append((embedding, neighbor))
+                    elif (
+                        pattern_vertex < mapped
+                        and frozenset((pattern_vertex, mapped)) not in pattern_edges
+                    ):
+                        op = (pattern_vertex, mapped, str(edge_label))
+                        close_edge_labels.setdefault(op, edge_label)
+                        close_edge_ops.setdefault(op, []).append(embedding)
+
+        new_id = max(graph.vertices()) + 1
+        for op in sorted(new_vertex_ops):
+            anchor = op[0]
+            label, edge_label = new_vertex_labels[op]
+            extended = graph.copy()
+            extended.add_vertex(new_id, label)
+            extended.add_edge(anchor, new_id, edge_label)
+            yield extended, [
+                embedding.extended(new_id, data_vertex)
+                for embedding, data_vertex in new_vertex_ops[op]
+            ]
+        for op in sorted(close_edge_ops):
+            u, v = op[0], op[1]
+            extended = graph.copy()
+            extended.add_edge(u, v, close_edge_labels[op])
+            yield extended, list(close_edge_ops[op])
+
+    def grow(
+        self, context: MiningContext, minimal: object, parameter: Hashable
+    ) -> List[SkinnyPattern]:
+        from repro.core.diameter import canonical_diameter
+        from repro.graph.paths import diameter as graph_diameter
+
+        bound = int(parameter)
+        results: List[SkinnyPattern] = []
+        seen = {canonical_key(minimal.graph)}
+        if self._include_minimal:
+            results.append(minimal)
+            if self._max_patterns is not None and len(results) >= self._max_patterns:
+                return results
+        frontier = [(minimal.graph, list(minimal.embeddings))]
+        while frontier:
+            graph, embeddings = frontier.pop()
+            if self._max_edges is not None and graph.num_edges() >= self._max_edges:
+                continue
+            for extended, extended_embeddings in self._extensions(
+                context, graph, embeddings
+            ):
+                key = canonical_key(extended)
+                if key in seen:
+                    continue
+                seen.add(key)
+                support = context.support_of_embeddings(extended_embeddings, extended)
+                if not context.is_frequent(support):
+                    continue
+                if graph_diameter(extended) > bound:
+                    continue
+                results.append(
+                    SkinnyPattern(
+                        extended,
+                        canonical_diameter(extended),
+                        extended_embeddings,
+                        support,
+                    )
+                )
+                frontier.append((extended, extended_embeddings))
+                if self._max_patterns is not None and len(results) >= self._max_patterns:
+                    return results
         return results

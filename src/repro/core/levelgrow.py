@@ -25,7 +25,7 @@ paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.constraints import (
     admissible_existing_edge,
@@ -38,7 +38,7 @@ from repro.core.patterns import GrowthState
 from repro.graph.canonical import wl_signature
 from repro.graph.embeddings import Embedding
 from repro.graph.isomorphism import are_isomorphic
-from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+from repro.graph.labeled_graph import LabeledGraph, VertexId
 
 
 class PatternRegistry:

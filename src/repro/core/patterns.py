@@ -21,12 +21,12 @@ smaller physical ids) favour the stored diameter automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.orders import canonical_label_orientation
 from repro.graph.canonical import canonical_key
 from repro.graph.embeddings import Embedding
-from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
+from repro.graph.labeled_graph import LabeledGraph, VertexId
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ instead of re-matching from scratch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 

@@ -274,11 +274,23 @@ class IndexMaintainer:
     The maintainer owns the coupling between data edits and index identity:
     every operation re-fingerprints the dataset and re-keys the surviving
     entries, so a stale index can never satisfy a lookup for the new data.
+
+    ``constraint_id`` may be a single id or a sequence of ids: every named
+    constraint whose Stage-1 entries are frequent-path records (the skinny
+    constraint and the l-long path constraint of :mod:`repro.api`) is
+    repaired under the same rules, since their entries share the
+    ``{length, min_support, support_measure}`` parameter scheme.
     """
 
-    def __init__(self, store: PatternStore, constraint_id: str = SKINNY_CONSTRAINT_ID) -> None:
+    def __init__(
+        self,
+        store: PatternStore,
+        constraint_id: Union[str, Sequence[str]] = SKINNY_CONSTRAINT_ID,
+    ) -> None:
         self._store = store
-        self._constraint_id = constraint_id
+        self._constraint_ids: Tuple[str, ...] = (
+            (constraint_id,) if isinstance(constraint_id, str) else tuple(constraint_id)
+        )
 
     def apply_delta(
         self,
@@ -308,7 +320,7 @@ class IndexMaintainer:
             key
             for key in self._store.keys()
             if key.fingerprint == old_fingerprint
-            and key.constraint_id == self._constraint_id
+            and key.constraint_id in self._constraint_ids
         ]
         live: List[Dict] = []  # key, entry, length/σ/measure, patterns, changed
         for key in stale_keys:

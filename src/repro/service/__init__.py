@@ -1,8 +1,11 @@
 """Request-serving front end over the persistent pattern index.
 
-:class:`MiningService` answers batched :class:`MineRequest` objects from the
-Stage-1 store (see :mod:`repro.index`), with a result cache, per-request
-timing stats, parallel precompute and incremental index maintenance.
+:class:`MiningService` answers batched requests — generic
+:class:`repro.api.Query` objects or legacy :class:`MineRequest` shims — from
+the Stage-1 store (see :mod:`repro.index`), with a result cache, per-request
+timing stats, parallel precompute and incremental index maintenance.  The
+constraint-generic machinery lives in :class:`repro.api.MiningEngine`, which
+the service subclasses.
 """
 
 from repro.service.mining import (

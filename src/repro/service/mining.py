@@ -1,22 +1,22 @@
-"""The mining service: a stable request/response front end over the index.
+"""The mining service: the batched front end over the generic engine.
 
-Instead of ad-hoc calls into :class:`repro.core.skinnymine.SkinnyMine`, the
-service accepts batched :class:`MineRequest` objects — the query-language
-framing that SIGNAL-style industrial process-query systems argue for — and
-answers them from the persistent Stage-1 index:
+Since the unified query API landed, the serving machinery (store-backed
+Stage 1, driver-dispatched Stage 2, result cache, per-request stats, delta
+repair) lives in :class:`repro.api.MiningEngine` and works for *any*
+registered constraint.  :class:`MiningService` subclasses the engine and
+keeps the historical skinny-specific surface alive:
 
-* **Stage 1** (minimal patterns) is looked up in a
-  :class:`repro.index.store.PatternStore` keyed by the dataset fingerprint;
-  a miss triggers DiamMine and persists the result, so a warm store answers
-  every later request with *zero* Stage-1 recomputation, across processes.
-* **Stage 2** (constraint-preserving growth) runs per request; complete
-  responses are kept in a canonical-key LRU result cache, so repeating a
-  request is O(1).
-* ``precompute`` parallelises cold Stage-1 builds across parameters with
-  ``multiprocessing``.
-* ``apply_delta`` routes data edits through
-  :class:`repro.index.incremental.IndexMaintainer`, repairing the store
-  instead of rebuilding it.
+* :class:`MineRequest` — the pre-redesign wire object ``(l, δ, σ, …)``; it
+  now converts to ``Query("skinny", {"length": l, "delta": δ}, …)`` via
+  :meth:`MineRequest.to_query`, and :meth:`MineRequest.from_dict` emits a
+  :class:`DeprecationWarning` steering callers to the Query envelope.
+* :meth:`MiningService.mine` / :meth:`MiningService.serve_batch` — accept
+  both :class:`MineRequest` and :class:`repro.api.Query` objects and answer
+  with :class:`MineResponse` (a :class:`repro.api.Result` that remembers the
+  original request object).
+* :meth:`MiningService.precompute` — the length-batched skinny Stage-1
+  precompute, now a thin wrapper over the engine's constraint-generic
+  ``precompute_queries`` (which owns the ``multiprocessing`` pool).
 
 Every request is timed; ``stats_log`` keeps per-request accounting in the
 shape the paper's scalability figures report (Stage-1 / Stage-2 split).
@@ -24,21 +24,18 @@ shape the paper's scalability figures report (Stage-1 / Stage-2 split).
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.core.database import EdgeDelta, GraphDelta, MiningContext, SupportMeasure
-from repro.core.diammine import DiamMine
-from repro.core.framework import SkinnyConstraintDriver
-from repro.core.patterns import PathPattern, SkinnyPattern
-from repro.graph.io import dataset_fingerprint
-from repro.graph.labeled_graph import LabeledGraph
-from repro.index.incremental import SKINNY_CONSTRAINT_ID, IndexMaintainer, RepairReport
-from repro.index.store import IndexEntry, MemoryPatternStore, PatternStore, StoreKey
+from repro.api.engine import MiningEngine
+from repro.api.query import Query, QueryStats, Result
+from repro.api.registry import get_constraint
+from repro.core.database import SupportMeasure
+from repro.index.incremental import SKINNY_CONSTRAINT_ID
+
+#: Historical name re-exported for callers that imported it from here.
+RequestStats = QueryStats
 
 
 # --------------------------------------------------------------------- #
@@ -46,7 +43,11 @@ from repro.index.store import IndexEntry, MemoryPatternStore, PatternStore, Stor
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class MineRequest:
-    """One mining request: all ``l``-long ``δ``-skinny patterns with support ≥ σ.
+    """One skinny mining request: all ``l``-long ``δ``-skinny patterns with support ≥ σ.
+
+    Deprecation shim: new code should build
+    ``Query("skinny", {"length": l, "delta": d}, ...)`` directly — this class
+    remains so pre-redesign callers and stored payloads keep working.
 
     ``top_k`` truncates the response to the K highest-support patterns;
     ``include_minimal`` keeps the bare canonical diameters in the result
@@ -83,20 +84,20 @@ class MineRequest:
     def measure(self) -> SupportMeasure:
         return SupportMeasure(self.support_measure)
 
+    def to_query(self) -> Query:
+        """The equivalent generic :class:`Query` (the migration path)."""
+        return Query(
+            constraint_id=SKINNY_CONSTRAINT_ID,
+            params={"length": self.length, "delta": self.delta},
+            min_support=self.min_support,
+            top_k=self.top_k,
+            support_measure=self.support_measure,
+            include_minimal=self.include_minimal,
+        )
+
     def cache_key(self) -> str:
         """Canonical identity of the request (the result-cache key)."""
-        return json.dumps(
-            {
-                "length": self.length,
-                "delta": self.delta,
-                "min_support": self.min_support,
-                "top_k": self.top_k,
-                "support_measure": self.support_measure,
-                "include_minimal": self.include_minimal,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        return self.to_query().cache_key()
 
     def stage_one_parameter(self) -> Dict[str, object]:
         """The Stage-1 index parameter (δ and top_k do not affect Stage 1)."""
@@ -108,6 +109,13 @@ class MineRequest:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "MineRequest":
+        warnings.warn(
+            "MineRequest.from_dict and its skinny-only payload format are "
+            "deprecated; use repro.api.Query.from_dict with a 'constraint' "
+            "field (repro.api.query_from_payload accepts both formats)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not isinstance(payload, dict):
             raise ValueError(f"mine request must be an object, got {payload!r}")
         missing = [field_name for field_name in ("length", "delta") if field_name not in payload]
@@ -128,45 +136,28 @@ class MineRequest:
 
 
 @dataclass
-class RequestStats:
-    """Per-request timing and provenance accounting."""
+class MineResponse(Result):
+    """A :class:`Result` that also remembers the request object it answered.
 
-    request_key: str
-    stage_one_seconds: float = 0.0
-    stage_two_seconds: float = 0.0
-    total_seconds: float = 0.0
-    served_from_store: bool = False
-    result_cache_hit: bool = False
-    num_minimal_patterns: int = 0
-    num_patterns: int = 0
+    ``request`` is whatever was handed to :meth:`MiningService.mine` — a
+    legacy :class:`MineRequest` or a :class:`Query` — so batched callers can
+    correlate responses positionally or by identity.
+    """
 
-    def to_dict(self) -> Dict:
-        return {
-            "request": json.loads(self.request_key),
-            "stage_one_seconds": self.stage_one_seconds,
-            "stage_two_seconds": self.stage_two_seconds,
-            "total_seconds": self.total_seconds,
-            "served_from_store": self.served_from_store,
-            "result_cache_hit": self.result_cache_hit,
-            "num_minimal_patterns": self.num_minimal_patterns,
-            "num_patterns": self.num_patterns,
-        }
-
-
-@dataclass
-class MineResponse:
-    """Patterns plus the stats of the call that produced them."""
-
-    request: MineRequest
-    patterns: List[SkinnyPattern]
-    stats: RequestStats
+    request: Union[MineRequest, Query, None] = None
 
 
 # --------------------------------------------------------------------- #
 # the service
 # --------------------------------------------------------------------- #
-class MiningService:
-    """Serve batched skinny-pattern mining requests from a persistent index.
+class MiningService(MiningEngine):
+    """Serve batched mining requests from a persistent index.
+
+    A thin, backwards-compatible layer over :class:`repro.api.MiningEngine`:
+    everything the engine serves (any registered constraint via
+    :meth:`run`/:meth:`run_batch`) is available here, plus the historical
+    skinny-specific conveniences (:class:`MineRequest` handling and the
+    parallel length-batched :meth:`precompute`).
 
     Parameters
     ----------
@@ -175,77 +166,15 @@ class MiningService:
         owns these objects: data edits must go through :meth:`apply_delta`.
     store:
         Stage-1 index backend; defaults to a process-local
-        :class:`MemoryPatternStore`.  Pass a
+        :class:`repro.index.store.MemoryPatternStore`.  Pass a
         :class:`repro.index.store.DiskPatternStore` to share the offline
         stage across processes and runs.
     result_cache_size:
         Number of complete responses kept in the LRU result cache.
     """
 
-    def __init__(
-        self,
-        graphs: Union[LabeledGraph, Sequence[LabeledGraph]],
-        store: Optional[PatternStore] = None,
-        result_cache_size: int = 128,
-        max_paths_per_length: Optional[int] = None,
-        max_patterns_per_diameter: Optional[int] = None,
-    ) -> None:
-        self._graphs: List[LabeledGraph] = (
-            [graphs] if isinstance(graphs, LabeledGraph) else list(graphs)
-        )
-        if not self._graphs:
-            raise ValueError("MiningService requires at least one data graph")
-        self._store = store if store is not None else MemoryPatternStore()
-        self._fingerprint = dataset_fingerprint(self._graphs)
-        self._result_cache: "OrderedDict[str, List[SkinnyPattern]]" = OrderedDict()
-        self._result_cache_size = result_cache_size
-        self._contexts: Dict[tuple, MiningContext] = {}
-        self._max_paths_per_length = max_paths_per_length
-        self._max_patterns_per_diameter = max_patterns_per_diameter
-        self.stats_log: List[RequestStats] = []
-
     # ------------------------------------------------------------------ #
-    # introspection
-    # ------------------------------------------------------------------ #
-    @property
-    def store(self) -> PatternStore:
-        return self._store
-
-    @property
-    def fingerprint(self) -> str:
-        return self._fingerprint
-
-    @property
-    def graphs(self) -> List[LabeledGraph]:
-        return self._graphs
-
-    def _context(self, min_support: int, measure: SupportMeasure) -> MiningContext:
-        key = (min_support, measure.value)
-        context = self._contexts.get(key)
-        if context is None:
-            context = MiningContext(self._graphs, min_support, measure)
-            self._contexts[key] = context
-        return context
-
-    def _store_key(self, request_parameter: Dict[str, object]) -> StoreKey:
-        return StoreKey.make(self._fingerprint, SKINNY_CONSTRAINT_ID, request_parameter)
-
-    def _stage_one_parameter(
-        self, length: int, min_support: int, measure: SupportMeasure
-    ) -> Dict[str, object]:
-        parameter: Dict[str, object] = {
-            "length": length,
-            "min_support": min_support,
-            "support_measure": measure.value,
-        }
-        # A capped Stage 1 is (deliberately) incomplete; keying the cap keeps
-        # truncated entries from ever being served to an uncapped service.
-        if self._max_paths_per_length is not None:
-            parameter["max_paths_per_length"] = self._max_paths_per_length
-        return parameter
-
-    # ------------------------------------------------------------------ #
-    # Stage 1: the persistent index
+    # Stage 1: the persistent index (legacy length-keyed helpers)
     # ------------------------------------------------------------------ #
     def minimal_patterns_for(
         self,
@@ -253,25 +182,19 @@ class MiningService:
         min_support: int,
         support_measure: str = SupportMeasure.EMBEDDINGS.value,
     ) -> tuple:
-        """Fetch (or build and persist) one Stage-1 entry.
+        """Fetch (or build and persist) one skinny Stage-1 entry.
 
         Returns ``(patterns, served_from_store, seconds)`` where ``seconds``
         is the wall-clock cost paid by *this* call (store lookups included,
         mining included only on a miss).
         """
-        measure = SupportMeasure(support_measure)
-        parameter = self._stage_one_parameter(length, min_support, measure)
-        key = self._store_key(parameter)
-        started = time.perf_counter()
-        entry = self._store.get(key)
-        if entry is not None:
-            return entry.patterns, True, time.perf_counter() - started
-        context = self._context(min_support, measure)
-        miner = DiamMine(context, max_paths_per_length=self._max_paths_per_length)
-        patterns = miner.mine(length)
-        seconds = time.perf_counter() - started
-        self._store.put(IndexEntry(key=key, patterns=patterns, build_seconds=seconds))
-        return patterns, False, seconds
+        query = Query(
+            constraint_id=SKINNY_CONSTRAINT_ID,
+            params={"length": length, "delta": 0},
+            min_support=min_support,
+            support_measure=support_measure,
+        )
+        return self._stage_one(get_constraint(SKINNY_CONSTRAINT_ID), query)
 
     def precompute(
         self,
@@ -280,147 +203,58 @@ class MiningService:
         support_measure: str = SupportMeasure.EMBEDDINGS.value,
         processes: Optional[int] = None,
     ) -> Dict[int, int]:
-        """Build Stage-1 entries for a batch of lengths; return length → #patterns.
+        """Build skinny Stage-1 entries for a batch of lengths; return length → #patterns.
 
-        ``processes > 1`` distributes cold lengths over a ``multiprocessing``
-        pool (the graphs are shipped to each worker once); entries already in
-        the store are never recomputed.
+        A thin wrapper over the engine's constraint-generic
+        :meth:`precompute_queries`: ``processes > 1`` distributes cold
+        lengths over a ``multiprocessing`` pool (the graphs are shipped to
+        each worker once); entries already in the store are never recomputed.
         """
         measure = SupportMeasure(support_measure)
         wanted = sorted(set(lengths))
-        counts: Dict[int, int] = {}
-        cold: List[int] = []
-        for length in wanted:
-            parameter = self._stage_one_parameter(length, min_support, measure)
-            entry = self._store.get(self._store_key(parameter))
-            if entry is not None:
-                counts[length] = len(entry.patterns)
-            else:
-                cold.append(length)
-
-        if not cold:
-            return counts
-
-        if processes is not None and processes > 1 and len(cold) > 1:
-            from repro.service.workers import init_worker, mine_length
-
-            with multiprocessing.Pool(
-                processes=min(processes, len(cold)),
-                initializer=init_worker,
-                initargs=(
-                    self._graphs,
-                    min_support,
-                    measure.value,
-                    self._max_paths_per_length,
-                ),
-            ) as pool:
-                for length, patterns, seconds in pool.imap_unordered(mine_length, cold):
-                    parameter = self._stage_one_parameter(length, min_support, measure)
-                    self._store.put(
-                        IndexEntry(
-                            key=self._store_key(parameter),
-                            patterns=patterns,
-                            build_seconds=seconds,
-                        )
-                    )
-                    counts[length] = len(patterns)
-        else:
-            for length in cold:
-                patterns, _, _ = self.minimal_patterns_for(
-                    length, min_support, measure.value
-                )
-                counts[length] = len(patterns)
-        return counts
-
-    # ------------------------------------------------------------------ #
-    # Stage 2 + request serving
-    # ------------------------------------------------------------------ #
-    def _grow(
-        self, path: PathPattern, request: MineRequest, context: MiningContext
-    ) -> List[SkinnyPattern]:
-        driver = SkinnyConstraintDriver(
-            max_patterns_per_diameter=self._max_patterns_per_diameter,
-            include_minimal=request.include_minimal,
-        )
-        return driver.grow(context, path, (request.length, request.delta))
-
-    @staticmethod
-    def _ranked(patterns: List[SkinnyPattern], top_k: Optional[int]) -> List[SkinnyPattern]:
-        ranked = sorted(
-            patterns,
-            key=lambda pattern: (
-                -pattern.support,
-                pattern.num_edges,
-                pattern.diameter_labels(),
-            ),
-        )
-        return ranked if top_k is None else ranked[:top_k]
-
-    def mine(self, request: MineRequest) -> MineResponse:
-        """Serve one request (result cache → warm index → cold compute)."""
-        key = request.cache_key()
-        started = time.perf_counter()
-        cached = self._result_cache.get(key)
-        if cached is not None:
-            self._result_cache.move_to_end(key)
-            stats = RequestStats(
-                request_key=key,
-                total_seconds=time.perf_counter() - started,
-                served_from_store=False,  # the store was never consulted
-                result_cache_hit=True,
-                num_patterns=len(cached),
+        queries = [
+            Query(
+                constraint_id=SKINNY_CONSTRAINT_ID,
+                params={"length": length, "delta": 0},
+                min_support=min_support,
+                support_measure=measure.value,
             )
-            self.stats_log.append(stats)
-            return MineResponse(request=request, patterns=list(cached), stats=stats)
+            for length in wanted
+        ]
+        summaries = self.precompute_queries(queries, processes=processes)
+        return {
+            length: summary["num_patterns"]
+            for length, summary in zip(wanted, summaries)
+        }
 
-        minimal, from_store, stage_one = self.minimal_patterns_for(
-            request.length, request.min_support, request.support_measure
+    # ------------------------------------------------------------------ #
+    # request serving
+    # ------------------------------------------------------------------ #
+    def mine(self, request: Union[MineRequest, Query]) -> MineResponse:
+        """Serve one request (result cache → warm index → cold compute)."""
+        query = request if isinstance(request, Query) else request.to_query()
+        result = self.run(query)
+        return MineResponse(
+            query=result.query,
+            patterns=result.patterns,
+            stats=result.stats,
+            request=request,
         )
-        context = self._context(request.min_support, request.measure)
-        stage_two_start = time.perf_counter()
-        patterns: List[SkinnyPattern] = []
-        for path in minimal:
-            patterns.extend(self._grow(path, request, context))
-        patterns = self._ranked(patterns, request.top_k)
-        stage_two = time.perf_counter() - stage_two_start
 
-        stats = RequestStats(
-            request_key=key,
-            stage_one_seconds=stage_one,
-            stage_two_seconds=stage_two,
-            total_seconds=time.perf_counter() - started,
-            served_from_store=from_store,
-            result_cache_hit=False,
-            num_minimal_patterns=len(minimal),
-            num_patterns=len(patterns),
-        )
-        self.stats_log.append(stats)
-        self._result_cache[key] = list(patterns)
-        while len(self._result_cache) > self._result_cache_size:
-            self._result_cache.popitem(last=False)
-        return MineResponse(request=request, patterns=patterns, stats=stats)
-
-    def serve_batch(self, requests: Sequence[MineRequest]) -> List[MineResponse]:
+    def serve_batch(
+        self, requests: Sequence[Union[MineRequest, Query]]
+    ) -> List[MineResponse]:
         """Serve a batch in order; duplicate requests hit the result cache."""
         return [self.mine(request) for request in requests]
 
-    # ------------------------------------------------------------------ #
-    # incremental maintenance
-    # ------------------------------------------------------------------ #
-    def apply_delta(
-        self, delta: Union[GraphDelta, Sequence[EdgeDelta]]
-    ) -> RepairReport:
-        """Edit the data and repair (not rebuild) the Stage-1 index.
 
-        The batch is validated before any mutation; even if the repair fails
-        part-way, the ``finally`` block re-keys the service to whatever the
-        graphs now contain and drops the result/context caches, so stale
-        answers are never served.
-        """
-        maintainer = IndexMaintainer(self._store, SKINNY_CONSTRAINT_ID)
-        try:
-            return maintainer.apply_delta(self._graphs, delta)
-        finally:
-            self._fingerprint = dataset_fingerprint(self._graphs)
-            self._result_cache.clear()
-            self._contexts.clear()
+# Re-exported for callers that imported these from repro.service.mining.
+__all__ = [
+    "MineRequest",
+    "MineResponse",
+    "MiningService",
+    "Query",
+    "QueryStats",
+    "RequestStats",
+    "Result",
+]

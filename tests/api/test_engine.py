@@ -1,0 +1,227 @@
+"""End-to-end tests for the MiningEngine facade: one code path, any constraint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MiningEngine, ParamSpec, Query, register_constraint, unregister_constraint
+from repro.core.database import EdgeDelta
+from repro.core.framework import bounded_diameter_constraint, path_shape_constraint
+from repro.core.skinnymine import SkinnyMine
+from repro.graph.generators import erdos_renyi_graph, inject_pattern, random_skinny_pattern
+from repro.graph.labeled_graph import build_graph
+from repro.index.store import DiskPatternStore
+from repro.service.mining import MineRequest, MiningService
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    background = erdos_renyi_graph(120, 1.4, 25, seed=41)
+    pattern = random_skinny_pattern(5, 1, 8, 25, seed=43)
+    inject_pattern(background, pattern, copies=3, seed=47)
+    return background
+
+
+def chains_graph():
+    return build_graph(
+        {
+            0: "a", 1: "b", 2: "c", 3: "d",
+            10: "a", 11: "b", 12: "c", 13: "d",
+            20: "x", 21: "y",
+        },
+        [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12), (12, 13), (20, 21), (3, 20)],
+    )
+
+
+SKINNY = Query("skinny", {"length": 5, "delta": 1}, min_support=2)
+
+
+class TestSkinnyThroughEngine:
+    def test_matches_skinnymine(self, data_graph):
+        engine = MiningEngine(data_graph)
+        result = engine.run(SKINNY)
+        reference = SkinnyMine(data_graph, min_support=2).mine(5, 1)
+        assert {p.canonical_form() for p in result.patterns} == {
+            p.canonical_form() for p in reference
+        }
+        assert not result.stats.served_from_store
+
+    def test_matches_service_with_legacy_request(self, data_graph):
+        engine = MiningEngine(data_graph)
+        service = MiningService(data_graph)
+        via_query = engine.run(SKINNY)
+        via_request = service.mine(MineRequest(length=5, delta=1, min_support=2))
+        assert {p.canonical_form() for p in via_query.patterns} == {
+            p.canonical_form() for p in via_request.patterns
+        }
+
+    def test_result_cache(self, data_graph):
+        engine = MiningEngine(data_graph)
+        engine.run(SKINNY)
+        second = engine.run(SKINNY)
+        assert second.stats.result_cache_hit
+        assert len(engine.stats_log) == 2
+
+
+class TestNonSkinnyConstraints:
+    def test_path_constraint_end_to_end(self):
+        engine = MiningEngine(chains_graph())
+        result = engine.run(Query("path", {"length": 3}, min_support=2))
+        assert result.patterns
+        predicate = path_shape_constraint(3)
+        for pattern in result.patterns:
+            assert predicate(pattern.graph)
+            assert pattern.support >= 2
+
+    def test_diam_constraint_end_to_end(self):
+        engine = MiningEngine(chains_graph())
+        result = engine.run(Query("diam-le", {"k": 2}, min_support=2))
+        assert result.patterns
+        predicate = bounded_diameter_constraint(2)
+        for pattern in result.patterns:
+            assert predicate(pattern.graph)
+            assert pattern.support >= 2
+        # Growth reached beyond the single-edge minimal patterns.
+        assert any(p.num_edges >= 2 for p in result.patterns)
+        # Overlapping clusters were deduplicated.
+        forms = [p.canonical_form() for p in result.patterns]
+        assert len(forms) == len(set(forms))
+
+    def test_served_through_service_batch(self):
+        service = MiningService(chains_graph())
+        responses = service.serve_batch(
+            [
+                Query("path", {"length": 3}, min_support=2),
+                MineRequest(length=3, delta=1, min_support=2),
+                Query("diam-le", {"k": 2}, min_support=2),
+            ]
+        )
+        assert len(responses) == 3
+        assert all(response.patterns for response in responses)
+        assert responses[1].request == MineRequest(length=3, delta=1, min_support=2)
+        assert responses[2].query.constraint_id == "diam-le"
+
+
+class TestStoreIntegration:
+    def test_constraints_coexist_in_one_disk_store(self, tmp_path):
+        store_root = tmp_path / "idx"
+        graph = chains_graph()
+        engine = MiningEngine(graph, store=DiskPatternStore(store_root))
+        queries = [
+            Query("skinny", {"length": 3, "delta": 1}, min_support=2),
+            Query("path", {"length": 3}, min_support=2),
+            Query("diam-le", {"k": 2}, min_support=2),
+        ]
+        cold = [engine.run(query) for query in queries]
+        assert all(not result.stats.served_from_store for result in cold)
+        constraint_ids = {key.constraint_id for key in engine.store.keys()}
+        assert constraint_ids == {"skinny", "path", "diam-le"}
+
+        # A fresh engine over the same directory serves every constraint warm.
+        warm_engine = MiningEngine(graph, store=DiskPatternStore(store_root))
+        for query, cold_result in zip(queries, cold):
+            warm = warm_engine.run(query)
+            assert warm.stats.served_from_store
+            assert {p.canonical_form() for p in warm.patterns} == {
+                p.canonical_form() for p in cold_result.patterns
+            }
+
+    def test_apply_delta_repairs_path_indexed_and_invalidates_others(self, tmp_path):
+        graph = chains_graph()
+        engine = MiningEngine(graph, store=DiskPatternStore(tmp_path / "idx"))
+        engine.run(Query("skinny", {"length": 3, "delta": 1}, min_support=2))
+        engine.run(Query("path", {"length": 3}, min_support=2))
+        engine.run(Query("diam-le", {"k": 2}, min_support=2))
+
+        report = engine.apply_delta([EdgeDelta.remove_edge(20, 21)])
+        assert report.entries_repaired + report.entries_migrated == 2
+        assert report.entries_invalidated == 1  # the diam-le entry
+        remaining = {key.constraint_id for key in engine.store.keys()}
+        assert "diam-le" not in remaining
+        assert {"skinny", "path"} <= remaining
+        # Both repaired entries serve the new fingerprint from the store.
+        for query in (
+            Query("skinny", {"length": 3, "delta": 1}, min_support=2),
+            Query("path", {"length": 3}, min_support=2),
+        ):
+            assert engine.run(query).stats.served_from_store
+        # The invalidated constraint recomputes and still answers correctly.
+        result = engine.run(Query("diam-le", {"k": 2}, min_support=2))
+        assert not result.stats.served_from_store
+        assert all(
+            bounded_diameter_constraint(2)(p.graph) for p in result.patterns
+        )
+
+    def test_capped_stage_one_not_served_to_uncapped_engine(self, tmp_path):
+        graph = chains_graph()
+        store_root = tmp_path / "idx"
+        capped = MiningEngine(
+            graph, store=DiskPatternStore(store_root), max_paths_per_length=1
+        )
+        capped.run(Query("path", {"length": 3}, min_support=2))
+        uncapped = MiningEngine(graph, store=DiskPatternStore(store_root))
+        result = uncapped.run(Query("path", {"length": 3}, min_support=2))
+        assert not result.stats.served_from_store
+
+
+class TestPrecomputeQueries:
+    def test_serial_and_parallel_agree_across_constraints(self):
+        graph = chains_graph()
+        queries = [
+            Query("skinny", {"length": 3, "delta": 0}, min_support=2),
+            Query("path", {"length": 3}, min_support=2),
+            Query("path", {"length": 2}, min_support=2),
+            Query("diam-le", {"k": 2}, min_support=2),
+        ]
+        serial = MiningEngine(graph).precompute_queries(queries)
+        parallel = MiningEngine(graph).precompute_queries(queries, processes=2)
+        assert [s["num_patterns"] for s in serial] == [
+            s["num_patterns"] for s in parallel
+        ]
+        assert all(not s["served_from_store"] for s in parallel)
+
+    def test_duplicate_stage_one_keys_mined_once(self):
+        engine = MiningEngine(chains_graph())
+        queries = [
+            # Same Stage-1 key (δ does not participate), two queries.
+            Query("skinny", {"length": 3, "delta": 0}, min_support=2),
+            Query("skinny", {"length": 3, "delta": 2}, min_support=2),
+        ]
+        summaries = engine.precompute_queries(queries, processes=2)
+        assert len(engine.store.keys()) == 1
+        assert summaries[0]["num_patterns"] == summaries[1]["num_patterns"]
+
+    def test_warm_entries_not_recomputed(self, tmp_path):
+        graph = chains_graph()
+        store = DiskPatternStore(tmp_path)
+        query = Query("path", {"length": 3}, min_support=2)
+        MiningEngine(graph, store=store).precompute_queries([query])
+        created = store.get(store.keys()[0]).created_at
+        (summary,) = MiningEngine(
+            graph, store=DiskPatternStore(tmp_path)
+        ).precompute_queries([query], processes=2)
+        assert summary["served_from_store"]
+        assert store.get(store.keys()[0]).created_at == created
+
+
+class TestCustomConstraintThroughEngine:
+    def test_registered_constraint_serves_end_to_end(self):
+        """register_constraint(id, driver_factory) is all a new constraint needs."""
+        from repro.core.framework import BoundedDiameterDriver
+
+        try:
+            register_constraint(
+                "diam-loose",
+                lambda params, caps, include_minimal: BoundedDiameterDriver(
+                    max_edges=3, include_minimal=include_minimal
+                ),
+                params=(ParamSpec("k", int, required=True, minimum=1),),
+                description="diam-le with a tighter growth cap",
+                deduplicate=True,
+            )
+            engine = MiningEngine(chains_graph())
+            result = engine.run(Query("diam-loose", {"k": 2}, min_support=2))
+            assert result.patterns
+            assert all(p.num_edges <= 3 for p in result.patterns)
+        finally:
+            unregister_constraint("diam-loose")

@@ -1,0 +1,112 @@
+"""Tests for the constraint registry and parameter schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ConstraintSpec,
+    ParamSpec,
+    Query,
+    available_constraints,
+    constraint_specs,
+    get_constraint,
+    register_constraint,
+    unregister_constraint,
+)
+from repro.api.errors import UnknownConstraintError
+
+
+class TestBuiltins:
+    def test_builtins_registered(self):
+        assert {"skinny", "path", "diam-le"} <= set(available_constraints())
+
+    def test_get_unknown_raises_typed_error(self):
+        with pytest.raises(UnknownConstraintError):
+            get_constraint("nope")
+
+    def test_specs_sorted_and_described(self):
+        specs = constraint_specs()
+        assert [spec.constraint_id for spec in specs] == sorted(
+            spec.constraint_id for spec in specs
+        )
+        described = get_constraint("skinny").describe()
+        assert described["constraint_id"] == "skinny"
+        assert [p["name"] for p in described["params"]] == ["length", "delta"]
+
+    def test_skinny_stage_one_parameter_matches_legacy_scheme(self):
+        # Pre-redesign stores key skinny Stage-1 entries by exactly this
+        # dict; the spec must reproduce it so warm stores stay warm.
+        spec = get_constraint("skinny")
+        parameter = spec.stage_one_parameter(
+            {"length": 5, "delta": 1}, 2, "embeddings", {}
+        )
+        assert parameter == {
+            "length": 5,
+            "min_support": 2,
+            "support_measure": "embeddings",
+        }
+
+    def test_skinny_stage_one_parameter_keys_engaged_caps(self):
+        spec = get_constraint("skinny")
+        parameter = spec.stage_one_parameter(
+            {"length": 5, "delta": 1}, 2, "embeddings", {"max_paths_per_length": 9}
+        )
+        assert parameter["max_paths_per_length"] == 9
+
+
+class TestCustomRegistration:
+    def test_register_and_serve_shorthand(self):
+        calls = []
+
+        class EchoDriver:
+            def mine_minimal(self, context, parameter):
+                calls.append(("minimal", parameter))
+                return []
+
+            def grow(self, context, minimal, parameter):
+                return []
+
+        try:
+            spec = register_constraint(
+                "echo",
+                lambda params, caps, include_minimal: EchoDriver(),
+                params=(ParamSpec("n", int, required=True, minimum=1),),
+                description="test constraint",
+            )
+            assert spec.constraint_id == "echo"
+            assert "echo" in available_constraints()
+            query = Query("echo", {"n": 3})
+            assert query.params == {"n": 3}
+            # The default driver_parameter unwraps a single declared param.
+            assert spec.driver_parameter(query.params) == 3
+        finally:
+            assert unregister_constraint("echo")
+        with pytest.raises(UnknownConstraintError):
+            get_constraint("echo")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_constraint(
+                "skinny", lambda params, caps, include_minimal: None
+            )
+
+    def test_replace_allows_override(self):
+        original = get_constraint("skinny")
+        try:
+            replacement = ConstraintSpec(
+                constraint_id="skinny",
+                description="override",
+                params=original.params,
+                make_driver=original.make_driver,
+                driver_parameter=original.driver_parameter,
+                path_indexed=True,
+            )
+            register_constraint(replacement, replace=True)
+            assert get_constraint("skinny").description == "override"
+        finally:
+            register_constraint(original, replace=True)
+
+    def test_shorthand_requires_driver_factory(self):
+        with pytest.raises(ValueError):
+            register_constraint("needs-factory")

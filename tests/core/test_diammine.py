@@ -15,7 +15,7 @@ from repro.graph.generators import (
     random_labeled_path,
     random_transaction_database,
 )
-from repro.graph.labeled_graph import build_graph, graph_from_paths
+from repro.graph.labeled_graph import graph_from_paths
 from repro.graph.paths import is_simple_path
 
 

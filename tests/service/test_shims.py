@@ -1,0 +1,98 @@
+"""Deprecation shims: legacy skinny entry points keep working, warn once per site."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Query, query_from_payload
+from repro.core.framework import MinimalPatternIndex
+from repro.service.mining import MineRequest, MiningService
+from repro.graph.labeled_graph import build_graph
+
+
+def data_graph():
+    return build_graph(
+        {
+            0: "a", 1: "b", 2: "c", 3: "d",
+            10: "a", 11: "b", 12: "c", 13: "d",
+        },
+        [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12), (12, 13)],
+    )
+
+
+class TestMineRequestShim:
+    def test_to_query_equivalence(self):
+        request = MineRequest(
+            length=4, delta=1, min_support=3, top_k=5,
+            support_measure="transactions", include_minimal=False,
+        )
+        query = request.to_query()
+        assert query == Query(
+            "skinny", {"length": 4, "delta": 1}, min_support=3, top_k=5,
+            support_measure="transactions", include_minimal=False,
+        )
+        assert request.cache_key() == query.cache_key()
+
+    def test_from_dict_warns(self):
+        with pytest.deprecated_call():
+            request = MineRequest.from_dict({"length": 4, "delta": 1, "min_support": 2})
+        assert request == MineRequest(length=4, delta=1, min_support=2)
+
+    def test_from_dict_warns_exactly_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")  # dedupe per (message, module, lineno)
+            for _ in range(3):
+                MineRequest.from_dict({"length": 4, "delta": 1})
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_legacy_payload_warns_exactly_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):
+                query_from_payload({"length": 4, "delta": 1})
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_service_accepts_request_and_query_identically(self):
+        service = MiningService(data_graph())
+        via_request = service.mine(MineRequest(length=3, delta=1, min_support=2))
+        via_query = service.mine(Query("skinny", {"length": 3, "delta": 1}, min_support=2))
+        # The shim and the query share one result-cache entry.
+        assert via_query.stats.result_cache_hit
+        assert {p.canonical_form() for p in via_request.patterns} == {
+            p.canonical_form() for p in via_query.patterns
+        }
+        # The response exposes both the modern and the legacy handle.
+        assert via_request.query == via_request.request.to_query()
+        assert via_query.request == via_query.query
+
+
+class TestMinimalPatternIndexShim:
+    def test_unportable_parameter_warns(self):
+        index = MinimalPatternIndex()
+        with pytest.deprecated_call():
+            index.store(frozenset({1, 2}), [], 0.0)
+        with warnings.catch_warnings():
+            # Reading back through the same unportable key warns again (the
+            # same deprecated code path), so tolerate but don't require it.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert index.get(frozenset({1, 2})) == []
+
+    def test_unportable_parameter_warns_exactly_once_per_call_site(self):
+        index = MinimalPatternIndex()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for value in (frozenset({1}), frozenset({2}), frozenset({3})):
+                index.store(value, [], 0.0)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_portable_parameters_do_not_warn(self):
+        index = MinimalPatternIndex()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            index.store((3, 1), [], 0.0)
+            assert index.get((3, 1)) == []

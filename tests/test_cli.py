@@ -196,7 +196,219 @@ class TestServeBatch:
         assert "error" in capsys.readouterr().err
 
 
+class TestConstraintDispatch:
+    def test_constraints_listing(self, capsys):
+        assert main(["constraints"]) == 0
+        out = capsys.readouterr().out
+        for constraint_id in ("skinny", "path", "diam-le"):
+            assert constraint_id in out
+
+    def test_constraints_listing_json(self, capsys):
+        assert main(["constraints", "--json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert {spec["constraint_id"] for spec in specs} >= {"skinny", "path", "diam-le"}
+
+    def test_mine_path_constraint(self, lg_file, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--constraint", "path",
+                    "--param", "length=3",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"]
+        assert all(p["num_edges"] == 3 for p in payload["patterns"])
+        assert payload["stats"]["request"]["constraint"] == "path"
+
+    def test_mine_diam_constraint_shares_store_with_skinny(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "-l", "3", "-d", "1",
+                    "--min-support", "2",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "--constraint", "diam-le",
+                    "--param", "k=2",
+                    "--min-support", "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["index", "info", "--store", str(store), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {entry["constraint_id"] for entry in entries} == {"skinny", "diam-le"}
+
+    def test_index_build_path_constraint(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "index", "build",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "--constraint", "path",
+                    "--lengths", "3",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        built = json.loads(capsys.readouterr().out)
+        assert built["constraint"] == "path"
+        assert built["lengths"]["3"] >= 1
+        # A follow-up mine over the same store is served warm.
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "--constraint", "path",
+                    "--param", "length=3",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["served_from_store"] is True
+
+    def test_serve_batch_accepts_query_envelopes(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(
+            json.dumps(
+                [
+                    {"constraint": "path", "params": {"length": 3}, "min_support": 2},
+                    {"constraint": "diam-le", "params": {"k": 2}, "min_support": 2},
+                    {"length": 3, "delta": 1, "min_support": 2},  # legacy shape
+                ]
+            ),
+            encoding="utf-8",
+        )
+        assert (
+            main(["serve-batch", "--data", str(lg_file), "--requests", str(requests)])
+            == 0
+        )
+        results = json.loads(capsys.readouterr().out)
+        assert len(results) == 3
+        assert all(result["num_patterns"] >= 1 for result in results)
+        assert results[1]["stats"]["request"]["constraint"] == "diam-le"
+        assert results[2]["stats"]["request"]["constraint"] == "skinny"
+
+
 class TestErrors:
     def test_bad_data_spec_returns_one(self, capsys):
         assert main(["mine", "--data", "nope.lg", "-l", "2", "-d", "0"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_unknown_constraint(self, lg_file, capsys):
+        assert (
+            main(
+                ["mine", "--data", str(lg_file), "--constraint", "bogus", "-l", "2", "-d", "0"]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "unknown constraint id 'bogus'" in err
+        assert "skinny" in err  # the error names the registered ids
+
+    def test_missing_parameter(self, lg_file, capsys):
+        assert (
+            main(["mine", "--data", str(lg_file), "--constraint", "diam-le"]) == 1
+        )
+        assert "missing required parameter 'k'" in capsys.readouterr().err
+
+    def test_unexpected_parameter(self, lg_file, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--constraint", "path",
+                    "--param", "length=3",
+                    "-d", "1",
+                ]
+            )
+            == 1
+        )
+        assert "unexpected parameter" in capsys.readouterr().err
+
+    def test_wrong_parameter_type(self, lg_file, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--constraint", "diam-le",
+                    "--param", "k=two",
+                ]
+            )
+            == 1
+        )
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_malformed_param_flag(self, lg_file, capsys):
+        assert (
+            main(
+                ["mine", "--data", str(lg_file), "--constraint", "diam-le", "--param", "k2"]
+            )
+            == 1
+        )
+        assert "name=value" in capsys.readouterr().err
+
+    def test_serve_batch_unknown_constraint(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(
+            json.dumps([{"constraint": "bogus", "params": {}}]), encoding="utf-8"
+        )
+        assert (
+            main(["serve-batch", "--data", str(lg_file), "--requests", str(requests)])
+            == 1
+        )
+        assert "unknown constraint id 'bogus'" in capsys.readouterr().err
+
+    def test_serve_batch_malformed_payload(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"lengths": [3]}]), encoding="utf-8")
+        assert (
+            main(["serve-batch", "--data", str(lg_file), "--requests", str(requests)])
+            == 1
+        )
+        assert "neither a Query envelope" in capsys.readouterr().err
+
+    def test_index_build_lengths_required_for_length_indexed(self, lg_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "index", "build",
+                    "--data", str(lg_file),
+                    "--store", str(tmp_path / "s"),
+                    "--constraint", "path",
+                ]
+            )
+            == 1
+        )
+        assert "--lengths" in capsys.readouterr().err

@@ -1,0 +1,31 @@
+"""The package version is single-sourced from pyproject.toml."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+def test_version_matches_pyproject():
+    text = PYPROJECT.read_text(encoding="utf-8")
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+    assert match, "pyproject.toml must declare [project] version"
+    assert repro.__version__ == match.group(1)
+
+
+def test_version_is_pep440_ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([.+-].*)?", repro.__version__)
+
+
+def test_cli_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"

@@ -1,0 +1,206 @@
+"""Stage-2 scaling: the ROADMAP blow-up scenario, gated against regression.
+
+The scenario is the one ROADMAP.md singled out as the open perf target:
+``erdos_renyi_graph(200, 1.8, 25, seed=1)`` with three injected copies of an
+11-vertex skinny pattern, mined at ``l=6 δ=1 σ=2``.  Stage 1 is milliseconds;
+Stage 2 grows 6 canonical diameters into 21 522 patterns, which took minutes
+on the pre-table ``List[Embedding]`` engine and is the workload the
+:class:`repro.graph.embeddings.EmbeddingTable` extension-join engine was
+built for.
+
+Two things are checked on every run:
+
+* **Output identity** — the mined pattern set (graphs + supports +
+  embeddings, order-independent hash) must equal the committed
+  ``pattern_set_sha256``.  A perf regression that changes results is a
+  correctness bug, not a slowdown.
+* **Runtime regression** — the fresh Stage-2 time, normalised by a small
+  calibration mine run on the same interpreter (so CI runners of different
+  speeds compare apples to apples), must stay within
+  ``REGRESSION_BUDGET`` of the committed baseline's normalised time.
+
+``BENCH_levelgrow.json`` (next to this file) is the committed baseline.  To
+refresh it after an intentional perf change, run with ``BENCH_UPDATE=1``::
+
+    BENCH_UPDATE=1 pytest benchmarks/test_levelgrow_scaling.py -q
+
+which overwrites the file; commit the result.  The ``pre_table_engine``
+block is the historical record of the pre-EmbeddingTable engine on the
+capture machine and is carried through refreshes verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.core.skinnymine import SkinnyMine
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    inject_pattern,
+    random_skinny_pattern,
+)
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_levelgrow.json"
+#: Fresh normalised runtime may exceed the committed one by at most 25%.
+REGRESSION_BUDGET = 0.25
+CALIBRATION_ROUNDS = 3
+
+SCENARIO = {
+    "background": {"num_vertices": 200, "avg_degree": 1.8, "num_labels": 25, "seed": 1},
+    "planted": {
+        "backbone_length": 7,
+        "skinniness": 1,
+        "num_vertices": 11,
+        "num_labels": 25,
+        "seed": 2,
+    },
+    "copies": 3,
+    "inject_seed": 3,
+    "length": 6,
+    "delta": 1,
+    "min_support": 2,
+}
+
+
+def build_scenario_graph():
+    background = erdos_renyi_graph(**SCENARIO["background"])
+    planted = random_skinny_pattern(**SCENARIO["planted"])
+    inject_pattern(
+        background, planted, copies=SCENARIO["copies"], seed=SCENARIO["inject_seed"]
+    )
+    return background
+
+
+def pattern_set_sha256(patterns) -> str:
+    """Order-independent content hash of a mined pattern list.
+
+    Hashes the raw structure (labels, edges, diameter, support, sorted
+    embeddings) instead of canonical forms: minimum DFS codes are
+    exponential on twig-heavy patterns, and growth vertex numbering is
+    deterministic, so the raw serialisation is both stable and cheap.
+    """
+    rows = sorted(
+        json.dumps(
+            {
+                "labels": sorted(
+                    (v, str(p.graph.label_of(v))) for v in p.graph.vertices()
+                ),
+                "edges": sorted(e.endpoints() for e in p.graph.edges()),
+                "diameter": list(p.diameter),
+                "support": p.support,
+                "embeddings": sorted(
+                    (e.graph_index, e.mapping) for e in p.embeddings
+                ),
+            },
+            sort_keys=True,
+            default=list,
+        )
+        for p in patterns
+    )
+    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+
+def _calibration_seconds() -> float:
+    """Best-of-N runtime of a small fixed mine on this interpreter/machine.
+
+    Used to normalise the scenario runtime across machines: both numbers are
+    pure-Python pattern-growth work, so their ratio is (approximately)
+    machine-independent while absolute seconds are not.
+    """
+    graph = erdos_renyi_graph(80, 2.0, 8, seed=3)
+    planted = random_skinny_pattern(4, 1, 6, 8, seed=4)
+    inject_pattern(graph, planted, copies=3, seed=5)
+    best = float("inf")
+    for _ in range(CALIBRATION_ROUNDS):
+        miner = SkinnyMine(graph, min_support=2)
+        started = time.perf_counter()
+        miner.mine(4, 1)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure():
+    # Calibrate both before and after the scenario and average the two: on
+    # shared CI runners the machine's effective speed can drift between
+    # phases, and sandwiching the scenario makes the calibration estimate
+    # track the conditions the scenario actually ran under instead of a
+    # possibly faster (or slower) window on one side of it.
+    calibration_before = _calibration_seconds()
+    graph = build_scenario_graph()
+    miner = SkinnyMine(graph, min_support=SCENARIO["min_support"])
+    started = time.perf_counter()
+    patterns = miner.mine(SCENARIO["length"], SCENARIO["delta"])
+    total = time.perf_counter() - started
+    calibration = (calibration_before + _calibration_seconds()) / 2
+    report = miner.last_report
+    return {
+        "scenario": SCENARIO,
+        "calibration_seconds": calibration,
+        "diammine_seconds": report.diammine_seconds,
+        "levelgrow_seconds": report.levelgrow_seconds,
+        "total_seconds": total,
+        "num_diameters": report.num_diameters,
+        "num_patterns": len(patterns),
+        "candidates_generated": report.level_statistics.candidates_generated,
+        "pattern_set_sha256": pattern_set_sha256(patterns),
+    }
+
+
+def test_levelgrow_scaling_no_regression(benchmark):
+    committed = (
+        json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        if BASELINE_PATH.exists()
+        else None
+    )
+
+    fresh = run_once(benchmark, _measure)
+    normalised = fresh["levelgrow_seconds"] / fresh["calibration_seconds"]
+    print(
+        f"\nlevelgrow scaling (l={SCENARIO['length']}, δ={SCENARIO['delta']}, "
+        f"σ={SCENARIO['min_support']}): {fresh['num_patterns']} patterns in "
+        f"{fresh['levelgrow_seconds']:.2f}s Stage 2 "
+        f"(calibration {fresh['calibration_seconds']:.3f}s, "
+        f"normalised {normalised:.1f}×)"
+    )
+
+    if os.environ.get("BENCH_UPDATE"):
+        record = dict(fresh)
+        if committed is not None and "pre_table_engine" in committed:
+            record["pre_table_engine"] = committed["pre_table_engine"]
+            baseline_stage_two = committed["pre_table_engine"].get("levelgrow_seconds")
+            if baseline_stage_two:
+                record["speedup_vs_pre_table_engine"] = round(
+                    baseline_stage_two / fresh["levelgrow_seconds"], 1
+                )
+        BASELINE_PATH.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return
+
+    assert committed is not None, (
+        f"no committed baseline at {BASELINE_PATH}; "
+        "run with BENCH_UPDATE=1 to create it"
+    )
+    assert fresh["num_patterns"] == committed["num_patterns"], (
+        fresh["num_patterns"],
+        committed["num_patterns"],
+    )
+    assert fresh["pattern_set_sha256"] == committed["pattern_set_sha256"], (
+        "mined pattern set differs from the committed baseline — "
+        "a behavioural change, not a perf regression"
+    )
+    committed_normalised = (
+        committed["levelgrow_seconds"] / committed["calibration_seconds"]
+    )
+    budget = committed_normalised * (1 + REGRESSION_BUDGET)
+    assert normalised <= budget, (
+        f"LevelGrow regressed: normalised runtime {normalised:.1f}× calibration "
+        f"exceeds committed {committed_normalised:.1f}× by more than "
+        f"{REGRESSION_BUDGET:.0%} (budget {budget:.1f}×)"
+    )

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.graph.embeddings import Embedding
+from repro.graph.embeddings import Embedding, EmbeddingTable
 from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
 
 
@@ -283,6 +283,22 @@ class MiningContext:
                 raise ValueError("MNI support requires the pattern graph")
             return mni_support(pattern, embeddings)
         return len({embedding.image_key() for embedding in embeddings})
+
+    def support_of_table(
+        self, table: "EmbeddingTable", pattern: Optional[LabeledGraph] = None
+    ) -> int:
+        """Support of a pattern from its :class:`EmbeddingTable`, per the measure.
+
+        Delegates to the table's lazily-cached support methods, so repeated
+        queries against one table (frequency check, then result reporting)
+        never recount.  ``pattern`` is accepted for signature parity with
+        :meth:`support_of_embeddings`; the columnar MNI needs no graph.
+        """
+        if self.support_measure is SupportMeasure.TRANSACTIONS:
+            return table.transaction_support()
+        if self.support_measure is SupportMeasure.MNI:
+            return table.mni_support()
+        return table.embedding_support()
 
     def support_of_occurrences(
         self, occurrences: Iterable[Tuple[int, FrozenSet[VertexId]]]

@@ -650,39 +650,45 @@ class BoundedDiameterDriver:
     # ------------------------------------------------------------------ #
     # Stage 2: constraint-preserving growth
     # ------------------------------------------------------------------ #
-    def _extensions(self, context, graph, embeddings):
-        """Pattern-level extension ops joined across the embedding list.
+    def _extensions(self, context, graph, table):
+        """Pattern-level extension ops joined across the embedding table.
 
-        Yields ``(new_graph, new_embeddings)`` pairs for every distinct
-        one-edge extension supported by at least one embedding: either a new
-        pendant pattern vertex mapped to an unused data neighbour, or a
-        closing edge between two already-mapped pattern vertices.
+        Yields ``(new_graph, new_table)`` pairs for every distinct one-edge
+        extension supported by at least one row: either a new pendant
+        pattern vertex mapped to an unused data neighbour, or a closing edge
+        between two already-mapped pattern vertices.  Each op's join —
+        ``(row, data vertex)`` pairs or surviving row indices — is recorded
+        during the single adjacency scan, so applying an op is a pure join
+        against the parent table rather than a re-scan.
         """
         pattern_edges = {frozenset(edge.endpoints()) for edge in graph.edges()}
-        new_vertex_ops: Dict[Tuple, List] = {}
+        columns = table.columns
+        new_vertex_ops: Dict[Tuple, List[Tuple[int, int]]] = {}
         new_vertex_labels: Dict[Tuple, Tuple[object, object]] = {}
-        close_edge_ops: Dict[Tuple, List] = {}
+        close_edge_ops: Dict[Tuple, List[int]] = {}
         close_edge_labels: Dict[Tuple, object] = {}
-        for embedding in embeddings:
-            data = context.graph(embedding.graph_index)
-            mapping = embedding.as_dict()
-            inverse = {target: source for source, target in mapping.items()}
-            for pattern_vertex, data_vertex in mapping.items():
+        for row_index, (graph_index, row) in enumerate(
+            zip(table.graph_ids, table.rows)
+        ):
+            data = context.graph(graph_index)
+            for position, pattern_vertex in enumerate(columns):
+                data_vertex = row[position]
                 for neighbor in data.neighbors(data_vertex):
                     edge_label = data.edge_label(data_vertex, neighbor)
-                    mapped = inverse.get(neighbor)
-                    if mapped is None:
+                    if neighbor in row:
+                        mapped = columns[row.index(neighbor)]
+                        if (
+                            pattern_vertex < mapped
+                            and frozenset((pattern_vertex, mapped)) not in pattern_edges
+                        ):
+                            op = (pattern_vertex, mapped, str(edge_label))
+                            close_edge_labels.setdefault(op, edge_label)
+                            close_edge_ops.setdefault(op, []).append(row_index)
+                    else:
                         label = data.label_of(neighbor)
                         op = (pattern_vertex, str(label), str(edge_label))
                         new_vertex_labels.setdefault(op, (label, edge_label))
-                        new_vertex_ops.setdefault(op, []).append((embedding, neighbor))
-                    elif (
-                        pattern_vertex < mapped
-                        and frozenset((pattern_vertex, mapped)) not in pattern_edges
-                    ):
-                        op = (pattern_vertex, mapped, str(edge_label))
-                        close_edge_labels.setdefault(op, edge_label)
-                        close_edge_ops.setdefault(op, []).append(embedding)
+                        new_vertex_ops.setdefault(op, []).append((row_index, neighbor))
 
         new_id = max(graph.vertices()) + 1
         for op in sorted(new_vertex_ops):
@@ -691,20 +697,18 @@ class BoundedDiameterDriver:
             extended = graph.copy()
             extended.add_vertex(new_id, label)
             extended.add_edge(anchor, new_id, edge_label)
-            yield extended, [
-                embedding.extended(new_id, data_vertex)
-                for embedding, data_vertex in new_vertex_ops[op]
-            ]
+            yield extended, table.extended(new_id, new_vertex_ops[op])
         for op in sorted(close_edge_ops):
             u, v = op[0], op[1]
             extended = graph.copy()
             extended.add_edge(u, v, close_edge_labels[op])
-            yield extended, list(close_edge_ops[op])
+            yield extended, table.subset(close_edge_ops[op])
 
     def grow(
         self, context: MiningContext, minimal: object, parameter: Hashable
     ) -> List[SkinnyPattern]:
         from repro.core.diameter import canonical_diameter
+        from repro.graph.embeddings import EmbeddingTable
         from repro.graph.paths import diameter as graph_diameter
 
         bound = int(parameter)
@@ -714,19 +718,19 @@ class BoundedDiameterDriver:
             results.append(minimal)
             if self._max_patterns is not None and len(results) >= self._max_patterns:
                 return results
-        frontier = [(minimal.graph, list(minimal.embeddings))]
+        frontier = [
+            (minimal.graph, EmbeddingTable.from_embeddings(minimal.embeddings))
+        ]
         while frontier:
-            graph, embeddings = frontier.pop()
+            graph, table = frontier.pop()
             if self._max_edges is not None and graph.num_edges() >= self._max_edges:
                 continue
-            for extended, extended_embeddings in self._extensions(
-                context, graph, embeddings
-            ):
+            for extended, extended_table in self._extensions(context, graph, table):
                 key = canonical_key(extended)
                 if key in seen:
                     continue
                 seen.add(key)
-                support = context.support_of_embeddings(extended_embeddings, extended)
+                support = context.support_of_table(extended_table, extended)
                 if not context.is_frequent(support):
                     continue
                 if graph_diameter(extended) > bound:
@@ -735,11 +739,11 @@ class BoundedDiameterDriver:
                     SkinnyPattern(
                         extended,
                         canonical_diameter(extended),
-                        extended_embeddings,
+                        extended_table.to_embeddings(),
                         support,
                     )
                 )
-                frontier.append((extended, extended_embeddings))
+                frontier.append((extended, extended_table))
                 if self._max_patterns is not None and len(results) >= self._max_patterns:
                     return results
         return results

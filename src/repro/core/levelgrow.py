@@ -9,23 +9,31 @@ i-level vertices.  Every extension must preserve the canonical diameter
 ``D_H`` / ``D_T`` indices (:mod:`repro.core.constraints`), and must stay
 frequent in the data.
 
+Embedding maintenance is *incremental*: a pattern's occurrences live in a
+columnar :class:`repro.graph.embeddings.EmbeddingTable`, and one adjacency
+scan over that table both proposes the admissible extensions **and** records
+each extension's join — the ``(row, data vertex)`` pairs (new twig vertex) or
+surviving row indices (edge between mapped vertices) that realise it.
+Applying an extension is then a pure join against the parent table; no
+embedding is ever re-matched, no per-embedding dict or image set is built.
+
 Duplicate elimination.  The canonical diameter already partitions the result
 space into disjoint clusters (patterns sharing a diameter), so duplicates can
 only arise *within* a cluster, from reaching the same pattern through
 different edge-addition orders.  The paper orders extension edges and anchors
 each pattern at its last added edge (gSpan style); this implementation keeps
 the canonical ordering of candidate extensions but guarantees uniqueness with
-an explicit per-cluster registry of minimum DFS codes, which is simpler to
-reason about and immune to corner cases in the anchor ordering when new twig
-vertices are created dynamically.  The observable behaviour (each pattern
-reported exactly once, only cluster-local candidates examined) matches the
-paper.
+an explicit per-cluster registry keyed by exact canonical forms, which is
+simpler to reason about and immune to corner cases in the anchor ordering
+when new twig vertices are created dynamically.  The observable behaviour
+(each pattern reported exactly once, only cluster-local candidates examined)
+matches the paper.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.constraints import (
     admissible_existing_edge,
@@ -35,8 +43,7 @@ from repro.core.constraints import (
 )
 from repro.core.database import MiningContext
 from repro.core.patterns import GrowthState
-from repro.graph.canonical import wl_signature
-from repro.graph.embeddings import Embedding
+from repro.graph.canonical import tree_canonical_key, wl_signature
 from repro.graph.isomorphism import are_isomorphic
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
@@ -44,22 +51,40 @@ from repro.graph.labeled_graph import LabeledGraph, VertexId
 class PatternRegistry:
     """Exact duplicate detection tuned for the growth loop.
 
-    Computing a full canonical form (minimum DFS code) per candidate is the
-    dominant cost of naive duplicate elimination, so the registry buckets
-    patterns by a cheap Weisfeiler–Lehman signature and confirms collisions
-    with an exact labeled-isomorphism test.  Equal signatures with
-    non-isomorphic members only cost an extra VF2 call; isomorphic patterns
-    are always detected (the signature is isomorphism-invariant and the
-    confirmation is exact), so the registry never reports a false duplicate
-    nor misses a true one.
+    Grown skinny patterns are overwhelmingly *trees* (the canonical diameter
+    plus pendant twigs), and free labeled trees have an exact near-linear
+    canonical form — so the registry keys trees by
+    :func:`repro.graph.canonical.tree_canonical_key` directly, one set
+    membership test per candidate, memoised across all growth levels.  Only
+    patterns with cycles (edge-closing extensions) fall back to bucketing by
+    a Weisfeiler–Lehman signature with an exact labeled-isomorphism test on
+    collision; the signature records the whole refinement trajectory, which
+    keeps those buckets near-singleton.  (The minimum-DFS-code canonical
+    form is *not* used here: its branch-and-bound is exponential on exactly
+    the twig-heavy patterns the growth loop mass-produces.)  Isomorphic
+    patterns are always detected — tree keys and the VF2 confirmation are
+    exact, the signature is isomorphism-invariant — so the registry never
+    reports a false duplicate nor misses a true one.
     """
 
     def __init__(self) -> None:
+        self._tree_keys: Set[Tuple] = set()
         self._buckets: Dict[Tuple, List[LabeledGraph]] = {}
         self._count = 0
 
     def add_if_new(self, pattern: LabeledGraph) -> bool:
         """Register ``pattern``; return True if it was not seen before."""
+        if pattern.num_edges() == pattern.num_vertices() - 1:
+            try:
+                key = tree_canonical_key(pattern)
+            except ValueError:
+                key = None  # right edge count but disconnected: not a tree
+            if key is not None:
+                if key in self._tree_keys:
+                    return False
+                self._tree_keys.add(key)
+                self._count += 1
+                return True
         signature = wl_signature(pattern)
         bucket = self._buckets.setdefault(signature, [])
         for member in bucket:
@@ -96,6 +121,11 @@ class ExistingEdgeExtension:
 
 
 Extension = object  # union of the two dataclasses above
+
+#: The join recorded for one candidate while scanning the embedding table:
+#: ``(row index, data vertex)`` pairs for a new-vertex extension, or the
+#: sorted surviving row indices for an edge between mapped vertices.
+ExtensionJoin = Union[List[Tuple[int, VertexId]], List[int]]
 
 
 @dataclass
@@ -154,9 +184,9 @@ class LevelGrower:
         worklist: List[GrowthState] = [state]
         while worklist:
             current = worklist.pop()
-            for extension in self._candidate_extensions(current, level):
+            for extension, join in self._candidate_extensions(current, level):
                 self.statistics.candidates_generated += 1
-                extended = self._apply_extension(current, extension, level)
+                extended = self._apply_extension(current, extension, join, level)
                 if extended is None:
                     continue
                 current.accepted_children += 1
@@ -177,105 +207,113 @@ class LevelGrower:
     # ------------------------------------------------------------------ #
     def _candidate_extensions(
         self, state: GrowthState, level: int
-    ) -> List[Extension]:
-        """Extensions allowed at iteration ``level``, in canonical order.
+    ) -> List[Tuple[Extension, ExtensionJoin]]:
+        """Extensions allowed at iteration ``level`` with their embedding joins.
 
-        Candidates are read off the pattern's embeddings so only edges that
-        occur somewhere in the data are proposed (pattern-growth style); this
-        is what makes the search cluster-local.
+        One pass over the embedding table's adjacency both proposes every
+        extension that occurs somewhere in the data (pattern-growth style —
+        this is what makes the search cluster-local) and records, per
+        extension, which rows realise it; applying the extension later joins
+        on exactly those deltas instead of re-scanning the table.
         """
         pattern = state.pattern
-        parents = [v for v, lvl in state.levels.items() if lvl == level - 1]
-        currents = [v for v, lvl in state.levels.items() if lvl == level]
+        levels = state.levels
+        table = state.table
+        columns = table.columns
+        context = self._context
+        parents = [
+            (vertex, table.position_of(vertex))
+            for vertex, lvl in levels.items()
+            if lvl == level - 1
+        ]
+        currents = [
+            (vertex, table.position_of(vertex))
+            for vertex, lvl in levels.items()
+            if lvl == level
+        ]
 
-        new_vertex_candidates: Set[NewVertexExtension] = set()
-        edge_candidates: Set[ExistingEdgeExtension] = set()
+        new_vertex_joins: Dict[Tuple[VertexId, str], List[Tuple[int, VertexId]]] = {}
+        edge_joins: Dict[Tuple[VertexId, VertexId], Set[int]] = {}
 
-        for embedding in state.embeddings:
-            mapping = embedding.as_dict()
-            image = set(mapping.values())
-            graph = self._context.graph(embedding.graph_index)
-            reverse = {data: pat for pat, data in mapping.items()}
-            for parent in parents:
-                data_parent = mapping[parent]
-                for neighbor in graph.neighbors(data_parent):
-                    if neighbor in image:
-                        other = reverse[neighbor]
+        for row_index, (graph_index, row) in enumerate(
+            zip(table.graph_ids, table.rows)
+        ):
+            graph = context.graph(graph_index)
+            neighbors = graph.neighbors
+            label_of = graph.label_of
+            for parent, parent_position in parents:
+                for neighbor in neighbors(row[parent_position]):
+                    if neighbor in row:
+                        other = columns[row.index(neighbor)]
                         if (
-                            state.levels.get(other) == level
+                            levels.get(other) == level
                             and not pattern.has_edge(parent, other)
                         ):
-                            edge_candidates.add(
-                                ExistingEdgeExtension(parent, other)
-                            )
+                            edge_joins.setdefault((parent, other), set()).add(row_index)
                     else:
-                        new_vertex_candidates.add(
-                            NewVertexExtension(
-                                parent, str(graph.label_of(neighbor))
-                            )
-                        )
-            for current in currents:
-                data_current = mapping[current]
-                for neighbor in graph.neighbors(data_current):
-                    if neighbor in image:
-                        other = reverse[neighbor]
+                        new_vertex_joins.setdefault(
+                            (parent, str(label_of(neighbor))), []
+                        ).append((row_index, neighbor))
+            for current, current_position in currents:
+                for neighbor in neighbors(row[current_position]):
+                    if neighbor in row:
+                        other = columns[row.index(neighbor)]
                         if (
-                            state.levels.get(other) == level
+                            levels.get(other) == level
                             and other != current
                             and not pattern.has_edge(current, other)
                         ):
-                            edge_candidates.add(
-                                ExistingEdgeExtension(
-                                    min(current, other), max(current, other)
-                                )
-                            )
+                            edge_joins.setdefault(
+                                (min(current, other), max(current, other)), set()
+                            ).add(row_index)
 
-        ordered: List[Extension] = sorted(
-            new_vertex_candidates, key=lambda ext: ext.sort_key()
+        ordered: List[Tuple[Extension, ExtensionJoin]] = [
+            (NewVertexExtension(parent, label), new_vertex_joins[(parent, label)])
+            for parent, label in sorted(new_vertex_joins)
+        ]
+        ordered.extend(
+            (ExistingEdgeExtension(u, v), sorted(edge_joins[(u, v)]))
+            for u, v in sorted(edge_joins, key=lambda uv: (min(uv), max(uv)))
         )
-        ordered.extend(sorted(edge_candidates, key=lambda ext: ext.sort_key()))
         return ordered
 
     # ------------------------------------------------------------------ #
     # extension application
     # ------------------------------------------------------------------ #
     def _apply_extension(
-        self, state: GrowthState, extension: Extension, level: int
+        self,
+        state: GrowthState,
+        extension: Extension,
+        join: ExtensionJoin,
+        level: int,
     ) -> Optional[GrowthState]:
         if isinstance(extension, NewVertexExtension):
-            return self._apply_new_vertex(state, extension, level)
+            return self._apply_new_vertex(state, extension, join, level)
         if isinstance(extension, ExistingEdgeExtension):
-            return self._apply_existing_edge(state, extension)
+            return self._apply_existing_edge(state, extension, join)
         raise TypeError(f"unknown extension type: {extension!r}")
 
     def _apply_new_vertex(
-        self, state: GrowthState, extension: NewVertexExtension, level: int
+        self,
+        state: GrowthState,
+        extension: NewVertexExtension,
+        join_pairs: Sequence[Tuple[int, VertexId]],
+        level: int,
     ) -> Optional[GrowthState]:
         if not admissible_new_vertex(state, extension.parent, extension.label):
             self.statistics.candidates_rejected_constraints += 1
             return None
 
-        new_embeddings: List[Embedding] = []
         new_vertex = state.next_vertex_id()
-        for embedding in state.embeddings:
-            mapping = embedding.as_dict()
-            image = set(mapping.values())
-            graph = self._context.graph(embedding.graph_index)
-            data_parent = mapping[extension.parent]
-            for neighbor in graph.neighbors(data_parent):
-                if neighbor in image:
-                    continue
-                if str(graph.label_of(neighbor)) != extension.label:
-                    continue
-                new_embeddings.append(embedding.extended(new_vertex, neighbor))
-        if not new_embeddings:
+        table = state.table.extended(new_vertex, join_pairs)
+        if not table.rows:
             self.statistics.candidates_rejected_support += 1
             return None
 
         pattern = state.pattern.copy()
         pattern.add_vertex(new_vertex, extension.label)
         pattern.add_edge(extension.parent, new_vertex)
-        support = self._context.support_of_embeddings(new_embeddings, pattern)
+        support = self._context.support_of_table(table, pattern)
         if not self._context.is_frequent(support):
             self.statistics.candidates_rejected_support += 1
             return None
@@ -293,31 +331,30 @@ class LevelGrower:
             levels=levels,
             dist_head=new_dist_head,
             dist_tail=new_dist_tail,
-            embeddings=new_embeddings,
+            table=table,
             support=support,
             last_extension=("new", extension.parent, extension.label),
         )
 
     def _apply_existing_edge(
-        self, state: GrowthState, extension: ExistingEdgeExtension
+        self,
+        state: GrowthState,
+        extension: ExistingEdgeExtension,
+        join_rows: Sequence[int],
     ) -> Optional[GrowthState]:
         u, v = extension.u, extension.v
         if not admissible_existing_edge(state, u, v):
             self.statistics.candidates_rejected_constraints += 1
             return None
 
-        new_embeddings: List[Embedding] = []
-        for embedding in state.embeddings:
-            graph = self._context.graph(embedding.graph_index)
-            if graph.has_edge(embedding.target_of(u), embedding.target_of(v)):
-                new_embeddings.append(embedding)
-        if not new_embeddings:
+        table = state.table.subset(join_rows)
+        if not table.rows:
             self.statistics.candidates_rejected_support += 1
             return None
 
         pattern = state.pattern.copy()
         pattern.add_edge(u, v)
-        support = self._context.support_of_embeddings(new_embeddings, pattern)
+        support = self._context.support_of_table(table, pattern)
         if not self._context.is_frequent(support):
             self.statistics.candidates_rejected_support += 1
             return None
@@ -328,7 +365,7 @@ class LevelGrower:
             levels=dict(state.levels),
             dist_head=dict(state.dist_head),
             dist_tail=dict(state.dist_tail),
-            embeddings=new_embeddings,
+            table=table,
             support=support,
             last_extension=("edge", u, v),
         )

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.orders import canonical_label_orientation
 from repro.graph.canonical import canonical_key
-from repro.graph.embeddings import Embedding
+from repro.graph.embeddings import Embedding, EmbeddingTable
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
 
@@ -126,8 +126,11 @@ class GrowthState:
         The two indices ``D^u_H`` / ``D^u_T`` of Section 3.4: shortest
         distance from each pattern vertex to the head (vertex 0) and tail
         (vertex ``diameter_len``) of the diameter.
-    embeddings:
-        Current embeddings of the pattern in the data.
+    table:
+        Current embeddings of the pattern in the data, held as a columnar
+        :class:`repro.graph.embeddings.EmbeddingTable`; the legacy
+        ``embeddings`` view materialises :class:`Embedding` objects on
+        demand (results and the store codec keep that wire format).
     support:
         Support of the pattern under the context's measure.
     """
@@ -137,7 +140,7 @@ class GrowthState:
     levels: Dict[VertexId, int]
     dist_head: Dict[VertexId, int]
     dist_tail: Dict[VertexId, int]
-    embeddings: List[Embedding]
+    table: EmbeddingTable
     support: int
     last_extension: Optional[Tuple] = None
     # Growth accounting filled in by LevelGrower: how many accepted (frequent,
@@ -146,6 +149,11 @@ class GrowthState:
     # output filters (Algorithm 3 reports closed patterns).
     accepted_children: int = 0
     equal_support_children: int = 0
+
+    @property
+    def embeddings(self) -> List[Embedding]:
+        """Legacy view: the table's rows as :class:`Embedding` objects."""
+        return self.table.to_embeddings()
 
     @property
     def head(self) -> VertexId:
@@ -183,17 +191,17 @@ class GrowthState:
             levels=dict(self.levels),
             dist_head=dict(self.dist_head),
             dist_tail=dict(self.dist_tail),
-            embeddings=list(self.embeddings),
+            table=self.table.copy(),
             support=self.support,
             last_extension=self.last_extension,
         )
 
     def to_pattern(self) -> SkinnyPattern:
-        """Freeze the state into a result object."""
+        """Freeze the state into a result object (legacy embedding wire format)."""
         return SkinnyPattern(
             graph=self.pattern.copy(),
             diameter=self.diameter_vertices,
-            embeddings=list(self.embeddings),
+            embeddings=self.table.to_embeddings(),
             support=self.support,
         )
 
@@ -205,9 +213,7 @@ class GrowthState:
         )
 
 
-def initial_state_from_path(
-    path: PathPattern, min_support_hint: Optional[int] = None
-) -> GrowthState:
+def initial_state_from_path(path: PathPattern) -> GrowthState:
     """Build the level-0 growth state from a DiamMine path (iteration 0 of Stage II).
 
     The path's orientation must already be canonical: when the path's label
@@ -221,14 +227,14 @@ def initial_state_from_path(
     levels = {vertex: 0 for vertex in range(length + 1)}
     dist_head = {vertex: vertex for vertex in range(length + 1)}
     dist_tail = {vertex: length - vertex for vertex in range(length + 1)}
-    embeddings = path.to_embedding_objects()
-    support = path.support if min_support_hint is None else path.support
+    table = EmbeddingTable.from_path_occurrences(path.embeddings, length)
+    support = path.support
     return GrowthState(
         pattern=graph,
         diameter_len=length,
         levels=levels,
         dist_head=dist_head,
         dist_tail=dist_tail,
-        embeddings=embeddings,
+        table=table,
         support=support,
     )

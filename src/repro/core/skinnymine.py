@@ -176,10 +176,14 @@ class SkinnyMine:
         results: List[SkinnyPattern] = []
         started = time.perf_counter()
         for path in diameters:
+            # Each cluster merges its LevelGrow statistics into *this*
+            # request's report (it used to merge into the previous request's
+            # last_report, leaving the counters permanently zeroed).
             cluster_results = self._grow_cluster(
                 path,
                 delta,
                 include_minimal,
+                report=report,
                 closed_only=closed_only,
                 maximal_only=maximal_only,
             )
@@ -220,6 +224,7 @@ class SkinnyMine:
         path: PathPattern,
         delta: int,
         include_minimal: bool,
+        report: Optional[MiningReport] = None,
         closed_only: bool = False,
         maximal_only: bool = False,
     ) -> List[SkinnyPattern]:
@@ -240,8 +245,8 @@ class SkinnyMine:
                 break
             collected.extend((state, True) for state in next_frontier)
             frontier = next_frontier
-        if self.last_report is not None:
-            self.last_report.level_statistics.merge(grower.statistics)
+        if report is not None:
+            report.level_statistics.merge(grower.statistics)
 
         cluster: List[SkinnyPattern] = []
         for state, reportable in collected:

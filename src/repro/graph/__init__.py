@@ -26,6 +26,7 @@ from repro.graph.paths import (
 from repro.graph.embeddings import (
     Embedding,
     EmbeddingList,
+    EmbeddingTable,
     mni_support,
     transaction_support,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "shortest_path_length",
     "Embedding",
     "EmbeddingList",
+    "EmbeddingTable",
     "mni_support",
     "transaction_support",
     "erdos_renyi_graph",

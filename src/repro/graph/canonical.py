@@ -246,29 +246,133 @@ def wl_signature(graph: LabeledGraph, rounds: int = 3) -> Tuple:
     usually (but not provably) produce different ones, so the signature is a
     hash-bucket key, not a canonical form.  Callers that need exactness
     confirm collisions with :func:`repro.graph.isomorphism.are_isomorphic`
-    (see ``PatternRegistry`` in the LevelGrow module) or fall back to
+    (see ``PatternRegistry`` in the LevelGrow module), use
+    :func:`tree_canonical_key` for trees, or fall back to
     :func:`minimum_dfs_code`.
 
-    The colour of a vertex starts as its label and is refined ``rounds``
-    times by hashing the multiset of neighbour colours; the signature is the
-    sorted multiset of final colours together with basic counts.
+    The colour of a vertex starts as its (label, degree) pair and is refined
+    ``rounds`` times from the multiset of neighbour colours; the signature
+    records the sorted colour histogram of *every* round (the whole
+    refinement trajectory discriminates far better than the final round
+    alone, which keeps collision buckets near-singleton for the growth
+    engine's duplicate registry).  Colours are compressed to canonical small
+    integers each round — the palette is assigned in sorted key order, so
+    the numbering, and therefore the signature, is independent of vertex
+    iteration order — which keeps refinement allocation-light: the growth
+    engine computes one signature per candidate pattern.
     """
-    colors: Dict[VertexId, str] = {
-        vertex: _label_key(graph.label_of(vertex)) for vertex in graph.vertices()
+    vertices = list(graph.vertices())
+    degree = graph.degree
+    initial = {
+        vertex: (_label_key(graph.label_of(vertex)), degree(vertex))
+        for vertex in vertices
     }
+    palette: Dict[object, int] = {
+        key: index for index, key in enumerate(sorted(set(initial.values())))
+    }
+    colors: Dict[VertexId, int] = {
+        vertex: palette[initial[vertex]] for vertex in vertices
+    }
+    neighbors = graph.neighbors
+    histograms: List[Tuple] = [_color_histogram(colors)]
     for _ in range(rounds):
-        updated: Dict[VertexId, str] = {}
-        for vertex in graph.vertices():
-            neighborhood = sorted(colors[neighbor] for neighbor in graph.neighbors(vertex))
-            updated[vertex] = f"{colors[vertex]}|{','.join(neighborhood)}"
-        # Compress colour strings to keep them bounded across rounds.
-        palette = {color: str(index) for index, color in enumerate(sorted(set(updated.values())))}
-        colors = {vertex: palette[color] for vertex, color in updated.items()}
-    histogram: Dict[str, int] = {}
-    for color in colors.values():
-        histogram[color] = histogram.get(color, 0) + 1
+        keys = {
+            vertex: (
+                colors[vertex],
+                tuple(sorted(colors[neighbor] for neighbor in neighbors(vertex))),
+            )
+            for vertex in vertices
+        }
+        palette = {key: index for index, key in enumerate(sorted(set(keys.values())))}
+        colors = {vertex: palette[keys[vertex]] for vertex in vertices}
+        histograms.append(_color_histogram(colors))
     return (
         graph.num_vertices(),
         graph.num_edges(),
-        tuple(sorted(histogram.items())),
+        tuple(histograms),
     )
+
+
+def _color_histogram(colors: Dict[VertexId, int]) -> Tuple:
+    histogram: Dict[int, int] = {}
+    for color in colors.values():
+        histogram[color] = histogram.get(color, 0) + 1
+    return tuple(sorted(histogram.items()))
+
+
+def tree_canonical_key(tree: LabeledGraph) -> Tuple:
+    """AHU canonical form of a free labeled tree — exact and near-linear.
+
+    Two *trees* (connected, ``|E| = |V| - 1``) get equal keys iff they are
+    isomorphic as labeled graphs (vertex and edge labels both participate).
+    The classic centre construction makes the rooted AHU encoding canonical
+    for free trees: strip leaves until one or two centre vertices remain,
+    encode the tree rooted at each centre bottom-up with sorted child
+    encodings, and keep the smaller encoding.  Callers must ensure the input
+    is a tree; the cheap shape check raises ``ValueError`` otherwise.
+
+    The growth engine's duplicate registry relies on this as its fast exact
+    path: grown skinny patterns are overwhelmingly trees (a diameter plus
+    twigs), and the minimum-DFS-code fallback is exponential in the worst
+    case while the AHU key never is.
+    """
+    order = tree.num_vertices()
+    if order == 0:
+        raise ValueError("cannot canonise the empty tree")
+    if tree.num_edges() != order - 1 or not tree.is_connected():
+        raise ValueError("tree_canonical_key requires a connected tree")
+    if order == 1:
+        vertex = next(iter(tree.vertices()))
+        return ("t", _label_key(tree.label_of(vertex)))
+
+    # Find the 1 or 2 centres by iterative leaf stripping.
+    degrees = {vertex: tree.degree(vertex) for vertex in tree.vertices()}
+    remaining = order
+    layer = [vertex for vertex, deg in degrees.items() if deg <= 1]
+    while remaining > 2:
+        next_layer: List[VertexId] = []
+        for leaf in layer:
+            degrees[leaf] = 0
+            for neighbor in tree.neighbors(leaf):
+                if degrees[neighbor] > 0:
+                    degrees[neighbor] -= 1
+                    if degrees[neighbor] == 1:
+                        next_layer.append(neighbor)
+        remaining -= len(layer)
+        layer = next_layer
+    centers = sorted(layer)
+
+    return ("t", min(_rooted_tree_encoding(tree, center) for center in centers))
+
+
+def _rooted_tree_encoding(tree: LabeledGraph, root: VertexId) -> Tuple:
+    """Bottom-up AHU encoding of ``tree`` rooted at ``root`` (iterative)."""
+    parent: Dict[VertexId, Optional[VertexId]] = {root: None}
+    ordering: List[VertexId] = [root]
+    for vertex in ordering:
+        for neighbor in tree.neighbors(vertex):
+            if neighbor not in parent:
+                parent[neighbor] = vertex
+                ordering.append(neighbor)
+    # One dict probe per parent edge; patterns grown by LevelGrow carry no
+    # edge labels at all, so the empty-dict case must stay allocation-free.
+    edge_labels = tree._edge_labels
+    encoding: Dict[VertexId, Tuple] = {}
+    for vertex in reversed(ordering):
+        up = parent[vertex]
+        if up is None:
+            edge = ""
+        else:
+            raw = edge_labels.get((vertex, up) if vertex < up else (up, vertex))
+            edge = "" if raw is None else _label_key(raw)
+        children = sorted(
+            encoding[child]
+            for child in tree.neighbors(vertex)
+            if parent[child] == vertex
+        )
+        encoding[vertex] = (
+            _label_key(tree.label_of(vertex)),
+            edge,
+            tuple(children),
+        )
+    return encoding[root]

@@ -10,13 +10,26 @@ so through :func:`mni_support`.
 ``Embedding`` is an immutable pattern-vertex → data-vertex map.
 ``EmbeddingList`` is the bookkeeping structure pattern-growth miners carry
 with each pattern so extension candidates can be generated from occurrences
-instead of re-matching from scratch.
+instead of re-matching from scratch.  ``EmbeddingTable`` is the columnar
+replacement the growth engines actually run on: one interned column layout
+per pattern, one plain tuple per occurrence, and join-based extension in
+place of per-embedding dict juggling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
@@ -110,6 +123,245 @@ class EmbeddingList:
 
     def images(self) -> List[FrozenSet[VertexId]]:
         return [embedding.image() for embedding in self.embeddings]
+
+
+# --------------------------------------------------------------------- #
+# columnar embedding storage
+# --------------------------------------------------------------------- #
+#: Interned column layouts: every table over the same pattern-vertex tuple
+#: shares one columns tuple and one vertex → position map.  Growth produces
+#: thousands of short-lived tables whose layouts repeat constantly (the same
+#: cluster re-derives the same vertex sets along many extension orders), so
+#: interning removes the per-table dict build from the hot path.
+_LAYOUT_INTERN: Dict[Tuple[VertexId, ...], Tuple[Tuple[VertexId, ...], Dict[VertexId, int]]] = {}
+
+
+def _interned_layout(
+    columns: Iterable[VertexId],
+) -> Tuple[Tuple[VertexId, ...], Dict[VertexId, int]]:
+    key = tuple(columns)
+    layout = _LAYOUT_INTERN.get(key)
+    if layout is None:
+        layout = (key, {vertex: position for position, vertex in enumerate(key)})
+        _LAYOUT_INTERN[key] = layout
+    return layout
+
+
+class EmbeddingTable:
+    """All embeddings of one pattern, stored column-major without dicts.
+
+    ``columns`` names the pattern vertices in a fixed order; each occurrence
+    is one ``rows`` entry — a plain tuple of data vertices, position-aligned
+    with ``columns`` — tagged with the transaction index in ``graph_ids``.
+    Compared to a ``List[Embedding]`` this representation
+
+    * extends by **joining**: a new-vertex extension appends one column and
+      materialises rows from recorded ``(row, data vertex)`` join pairs; an
+      edge-closing extension keeps a subset of rows *by reference* (tuples
+      are shared, never copied);
+    * deduplicates occurrences through sorted-row image keys instead of
+      per-embedding ``frozenset`` objects;
+    * computes all three support measures lazily and caches them, so a
+      support value is derived at most once per table.
+
+    The legacy :class:`Embedding` objects remain the wire format — results
+    and the index store round-trip through :meth:`to_embeddings` /
+    :meth:`from_embeddings` unchanged.
+    """
+
+    __slots__ = (
+        "columns",
+        "graph_ids",
+        "rows",
+        "_position",
+        "_embedding_support",
+        "_transaction_support",
+        "_mni_support",
+    )
+
+    def __init__(
+        self,
+        columns: Iterable[VertexId],
+        rows: Optional[Iterable[Tuple[VertexId, ...]]] = None,
+        graph_ids: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.columns, self._position = _interned_layout(columns)
+        self.rows: List[Tuple[VertexId, ...]] = list(rows) if rows is not None else []
+        self.graph_ids: List[int] = list(graph_ids) if graph_ids is not None else []
+        if len(self.rows) != len(self.graph_ids):
+            raise ValueError("rows and graph_ids must have equal length")
+        width = len(self.columns)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row {row!r} does not match the {width}-column layout"
+                )
+        self._embedding_support: Optional[int] = None
+        self._transaction_support: Optional[int] = None
+        self._mni_support: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # construction bridges
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_embeddings(cls, embeddings: Iterable[Embedding]) -> "EmbeddingTable":
+        """Build a table from legacy :class:`Embedding` objects.
+
+        All embeddings must cover the same pattern-vertex domain; the column
+        order is the (sorted) mapping order of the first embedding.
+        """
+        iterator = iter(embeddings)
+        first = next(iterator, None)
+        if first is None:
+            return cls(())
+        columns = tuple(source for source, _ in first.mapping)
+        table = cls(columns)
+        append_row = table.rows.append
+        append_gid = table.graph_ids.append
+        for embedding in (first, *iterator):
+            mapping = dict(embedding.mapping)
+            if len(mapping) != len(columns):
+                raise ValueError("embeddings cover different pattern-vertex sets")
+            try:
+                append_row(tuple(mapping[column] for column in columns))
+            except KeyError:
+                raise ValueError(
+                    "embeddings cover different pattern-vertex sets"
+                ) from None
+            append_gid(embedding.graph_index)
+        return table
+
+    @classmethod
+    def from_path_occurrences(
+        cls,
+        occurrences: Iterable[Tuple[int, Tuple[VertexId, ...]]],
+        length: int,
+    ) -> "EmbeddingTable":
+        """Build the level-0 table straight from a ``PathPattern``'s occurrences.
+
+        Pattern vertices of a canonical diameter are ``0 .. length`` by
+        convention, which is exactly the occurrence tuple order — no
+        :class:`Embedding` objects are materialised.
+        """
+        table = cls(range(length + 1))
+        for graph_index, vertices in occurrences:
+            table.rows.append(tuple(vertices))
+            table.graph_ids.append(graph_index)
+        return table
+
+    def to_embeddings(self) -> List[Embedding]:
+        """Materialise legacy :class:`Embedding` objects (the wire format)."""
+        columns = self.columns
+        return [
+            Embedding(
+                mapping=tuple(sorted(zip(columns, row))),
+                graph_index=graph_index,
+            )
+            for graph_index, row in zip(self.graph_ids, self.rows)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Embedding]:
+        return iter(self.to_embeddings())
+
+    def position_of(self, pattern_vertex: VertexId) -> int:
+        """Column index of ``pattern_vertex`` (KeyError if unmapped)."""
+        return self._position[pattern_vertex]
+
+    def image_keys(self) -> Set[Tuple[int, Tuple[VertexId, ...]]]:
+        """Distinct occurrence keys: (transaction, sorted data-vertex tuple).
+
+        Sorted tuples replace the historical per-embedding ``frozenset``
+        images: embeddings are injective, so the sorted tuple is a canonical
+        form of the image set and hashes faster than building a frozenset.
+        """
+        return {
+            (graph_index, tuple(sorted(row)))
+            for graph_index, row in zip(self.graph_ids, self.rows)
+        }
+
+    def copy(self) -> "EmbeddingTable":
+        clone = EmbeddingTable(self.columns)
+        clone.rows = list(self.rows)
+        clone.graph_ids = list(self.graph_ids)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # join-based derivation
+    # ------------------------------------------------------------------ #
+    def extended(
+        self,
+        new_vertex: VertexId,
+        join_pairs: Iterable[Tuple[int, VertexId]],
+    ) -> "EmbeddingTable":
+        """One more column, rows joined from ``(row index, data vertex)`` pairs.
+
+        This is the extension join: the caller recorded, while scanning this
+        table's adjacency, which parent rows reach which data vertices; the
+        new table is assembled from those deltas without re-matching any
+        embedding.
+        """
+        table = EmbeddingTable(self.columns + (new_vertex,))
+        rows, graph_ids = self.rows, self.graph_ids
+        append_row = table.rows.append
+        append_gid = table.graph_ids.append
+        for row_index, data_vertex in join_pairs:
+            append_row(rows[row_index] + (data_vertex,))
+            append_gid(graph_ids[row_index])
+        return table
+
+    def subset(self, row_indices: Iterable[int]) -> "EmbeddingTable":
+        """The sub-table of ``row_indices`` — row tuples shared, not copied."""
+        table = EmbeddingTable(self.columns)
+        rows, graph_ids = self.rows, self.graph_ids
+        for row_index in row_indices:
+            table.rows.append(rows[row_index])
+            table.graph_ids.append(graph_ids[row_index])
+        return table
+
+    # ------------------------------------------------------------------ #
+    # lazy support measures
+    # ------------------------------------------------------------------ #
+    def embedding_support(self) -> int:
+        """|E[P]|: distinct (transaction, image) occurrences, cached."""
+        if self._embedding_support is None:
+            self._embedding_support = len(self.image_keys())
+        return self._embedding_support
+
+    def transaction_support(self) -> int:
+        """Distinct transactions with at least one row, cached."""
+        if self._transaction_support is None:
+            self._transaction_support = len(set(self.graph_ids))
+        return self._transaction_support
+
+    def transactions(self) -> Set[int]:
+        return set(self.graph_ids)
+
+    def mni_support(self) -> int:
+        """Minimum-image support: per-column distinct images, cached."""
+        if self._mni_support is None:
+            if not self.rows or not self.columns:
+                self._mni_support = 0
+            else:
+                graph_ids = self.graph_ids
+                self._mni_support = min(
+                    len({
+                        (graph_index, row[position])
+                        for graph_index, row in zip(graph_ids, self.rows)
+                    })
+                    for position in range(len(self.columns))
+                )
+        return self._mni_support
+
+    def __repr__(self) -> str:
+        return (
+            f"<EmbeddingTable columns={len(self.columns)} rows={len(self.rows)}>"
+        )
 
 
 def embeddings_from_maps(

@@ -89,6 +89,32 @@ class TestSupport:
         single = MiningContext(triangle_graph, 1)
         assert single.support_of_occurrences(occurrences) == 3
 
+    def test_support_of_table_matches_support_of_embeddings(
+        self, triangle_graph, path_graph
+    ):
+        """The columnar path must agree with the legacy list path everywhere.
+
+        Covers all three measures on both a single graph and a transaction
+        database, including duplicate-image embeddings (same vertex set via
+        a flipped mapping) — the case the image-key dedup must collapse.
+        """
+        from repro.graph.embeddings import EmbeddingTable
+
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        embeddings = [
+            Embedding.from_dict({0: 0, 1: 1}, graph_index=0),
+            Embedding.from_dict({0: 1, 1: 0}, graph_index=0),  # duplicate image
+            Embedding.from_dict({0: 4, 1: 3}, graph_index=0),
+            Embedding.from_dict({0: 0, 1: 1}, graph_index=1),
+        ]
+        table = EmbeddingTable.from_embeddings(embeddings)
+        for graphs in (triangle_graph, [triangle_graph, path_graph]):
+            for measure in SupportMeasure:
+                context = MiningContext(graphs, 1, measure)
+                assert context.support_of_table(table, pattern) == (
+                    context.support_of_embeddings(embeddings, pattern)
+                ), measure
+
     def test_is_frequent(self, triangle_graph):
         context = MiningContext(triangle_graph, 3)
         assert context.is_frequent(3)

@@ -7,7 +7,15 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.canonical import CanonicalCode, canonical_key, minimum_dfs_code
+import pytest
+
+from repro.graph.canonical import (
+    CanonicalCode,
+    canonical_key,
+    minimum_dfs_code,
+    tree_canonical_key,
+    wl_signature,
+)
 from repro.graph.generators import random_skinny_pattern, random_tree_pattern
 from repro.graph.isomorphism import are_isomorphic
 from repro.graph.labeled_graph import LabeledGraph, build_graph
@@ -78,6 +86,104 @@ class TestMinimumDFSCode:
         small = minimum_dfs_code(build_graph({0: "a", 1: "b"}, [(0, 1)]))
         assert isinstance(small, CanonicalCode)
         assert not (small < small)
+
+
+class TestTreeCanonicalKey:
+    def test_isomorphic_trees_same_key(self):
+        one = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        two = build_graph({7: "c", 8: "b", 9: "a"}, [(7, 8), (8, 9)])
+        assert tree_canonical_key(one) == tree_canonical_key(two)
+
+    def test_attachment_point_distinguishes(self):
+        # A twig on the middle vs on the end of an a-a-a path.
+        middle = build_graph({0: "a", 1: "a", 2: "a", 3: "z"}, [(0, 1), (1, 2), (1, 3)])
+        end = build_graph({0: "a", 1: "a", 2: "a", 3: "z"}, [(0, 1), (1, 2), (0, 3)])
+        assert tree_canonical_key(middle) != tree_canonical_key(end)
+        assert not are_isomorphic(middle, end)
+
+    def test_labels_distinguish(self):
+        one = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        two = build_graph({0: "a", 1: "c"}, [(0, 1)])
+        assert tree_canonical_key(one) != tree_canonical_key(two)
+
+    def test_edge_labels_distinguish(self):
+        one = LabeledGraph()
+        one.add_vertex(0, "a")
+        one.add_vertex(1, "a")
+        one.add_edge(0, 1, "x")
+        two = LabeledGraph()
+        two.add_vertex(0, "a")
+        two.add_vertex(1, "a")
+        two.add_edge(0, 1, "y")
+        assert tree_canonical_key(one) != tree_canonical_key(two)
+
+    def test_bicentral_tree_invariant_under_relabeling(self):
+        # An even path has two centres; the key must not depend on which
+        # vertex ids they carry.
+        one = build_graph({0: "a", 1: "b", 2: "b", 3: "a"}, [(0, 1), (1, 2), (2, 3)])
+        two = build_graph({9: "a", 4: "b", 5: "b", 6: "a"}, [(9, 4), (4, 5), (5, 6)])
+        assert tree_canonical_key(one) == tree_canonical_key(two)
+
+    def test_single_vertex(self):
+        assert tree_canonical_key(build_graph({5: "q"}, [])) == tree_canonical_key(
+            build_graph({0: "q"}, [])
+        )
+
+    def test_rejects_cycles_and_disconnected(self):
+        triangle = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            tree_canonical_key(triangle)
+        # Right edge count for a tree, but disconnected (triangle + isolate).
+        pseudo = build_graph({0: "a", 1: "a", 2: "a", 3: "a"}, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            tree_canonical_key(pseudo)
+        with pytest.raises(ValueError):
+            tree_canonical_key(LabeledGraph())
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_key_invariant_under_relabeling(self, size, labels, seed, shuffle_seed):
+        tree = random_tree_pattern(size, labels, seed=seed)
+        rng = random.Random(shuffle_seed)
+        ids = list(tree.vertices())
+        targets = [i + 500 for i in ids]
+        rng.shuffle(targets)
+        renamed = tree.relabel_vertices(dict(zip(ids, targets)))
+        assert tree_canonical_key(tree) == tree_canonical_key(renamed)
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=2_000),
+        st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_key_equality_matches_isomorphism(self, size, seed_a, seed_b):
+        left = random_tree_pattern(size, 2, seed=seed_a)
+        right = random_tree_pattern(size, 2, seed=seed_b)
+        assert (
+            tree_canonical_key(left) == tree_canonical_key(right)
+        ) == are_isomorphic(left, right)
+
+
+class TestWLSignature:
+    def test_invariant_under_relabeling(self):
+        one = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        two = build_graph({7: "c", 8: "b", 9: "a"}, [(7, 8), (8, 9)])
+        assert wl_signature(one) == wl_signature(two)
+
+    def test_distinguishes_path_from_triangle(self):
+        path = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2)])
+        triangle = build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        assert wl_signature(path) != wl_signature(triangle)
+
+    def test_hashable(self):
+        graph = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        assert hash(wl_signature(graph)) == hash(wl_signature(graph))
 
 
 class TestCanonicalCodeProperties:

@@ -7,6 +7,7 @@ import pytest
 from repro.graph.embeddings import (
     Embedding,
     EmbeddingList,
+    EmbeddingTable,
     embedding_support,
     embeddings_from_maps,
     mni_support,
@@ -77,6 +78,149 @@ class TestEmbeddingList:
         collection = embeddings_from_maps([{0: 5, 1: 6}], graph_index=2)
         assert collection.images() == [frozenset({5, 6})]
         assert list(collection)[0].graph_index == 2
+
+
+def _parity_pair(embeddings):
+    """The same occurrences as legacy list and as a columnar table."""
+    collection = EmbeddingList(list(embeddings))
+    table = EmbeddingTable.from_embeddings(embeddings)
+    return collection, table
+
+
+class TestEmbeddingTable:
+    def test_round_trip_preserves_embeddings(self):
+        embeddings = [
+            Embedding.from_dict({0: 10, 1: 11, 2: 12}, graph_index=0),
+            Embedding.from_dict({0: 20, 1: 21, 2: 22}, graph_index=3),
+        ]
+        table = EmbeddingTable.from_embeddings(embeddings)
+        assert len(table) == 2
+        assert table.columns == (0, 1, 2)
+        assert table.to_embeddings() == embeddings
+        assert list(table) == embeddings
+
+    def test_from_path_occurrences_matches_wire_format(self):
+        table = EmbeddingTable.from_path_occurrences(
+            [(0, (10, 11, 12)), (2, (5, 6, 7))], length=2
+        )
+        assert table.to_embeddings() == [
+            Embedding.from_dict({0: 10, 1: 11, 2: 12}, graph_index=0),
+            Embedding.from_dict({0: 5, 1: 6, 2: 7}, graph_index=2),
+        ]
+
+    def test_mixed_domains_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable.from_embeddings(
+                [Embedding.from_dict({0: 1}), Embedding.from_dict({0: 1, 1: 2})]
+            )
+        with pytest.raises(ValueError):  # equal size, different vertex sets
+            EmbeddingTable.from_embeddings(
+                [Embedding.from_dict({0: 1, 1: 2}), Embedding.from_dict({0: 3, 2: 4})]
+            )
+        with pytest.raises(ValueError):
+            EmbeddingTable((0, 1), rows=[(5,)], graph_ids=[0])
+        with pytest.raises(ValueError):
+            EmbeddingTable((0, 1), rows=[(5, 6)], graph_ids=[])
+
+    def test_embedding_support_parity_with_duplicate_images(self):
+        # Two embeddings over the same vertex image (a symmetric occurrence)
+        # plus one distinct occurrence: |E[P]| must be 2 under both
+        # representations.
+        embeddings = [
+            Embedding.from_dict({0: 1, 1: 2}),
+            Embedding.from_dict({0: 2, 1: 1}),  # same image, flipped mapping
+            Embedding.from_dict({0: 3, 1: 4}),
+        ]
+        collection, table = _parity_pair(embeddings)
+        assert table.embedding_support() == collection.embedding_support() == 2
+
+    def test_embedding_support_duplicate_image_across_transactions(self):
+        # The same vertex image in two *different* transactions is two
+        # occurrences, not one — the graph index is part of the image key.
+        embeddings = [
+            Embedding.from_dict({0: 1, 1: 2}, graph_index=0),
+            Embedding.from_dict({0: 1, 1: 2}, graph_index=1),
+            Embedding.from_dict({0: 2, 1: 1}, graph_index=1),
+        ]
+        collection, table = _parity_pair(embeddings)
+        assert table.embedding_support() == collection.embedding_support() == 2
+        assert table.image_keys() == {(0, (1, 2)), (1, (1, 2))}
+
+    def test_transaction_support_parity(self):
+        embeddings = [
+            Embedding.from_dict({0: 1}, graph_index=0),
+            Embedding.from_dict({0: 2}, graph_index=0),
+            Embedding.from_dict({0: 1}, graph_index=4),
+        ]
+        collection, table = _parity_pair(embeddings)
+        assert table.transaction_support() == collection.transaction_support() == 2
+        assert table.transactions() == collection.transactions() == {0, 4}
+
+    def test_mni_support_parity_single_graph(self):
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "b", 3: "a"}, [(0, 1), (0, 2), (3, 1)]
+        )
+        embeddings = [
+            Embedding.from_dict(mapping)
+            for mapping in find_subgraph_embeddings(pattern, graph)
+        ]
+        table = EmbeddingTable.from_embeddings(embeddings)
+        assert table.mni_support() == mni_support(pattern, embeddings) == 2
+
+    def test_mni_support_parity_transaction_database(self):
+        # Minimum-image counting treats (transaction, vertex) pairs as the
+        # images; occurrences of the same data vertex in different
+        # transactions must count separately under both representations.
+        pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        embeddings = [
+            Embedding.from_dict({0: 1, 1: 2}, graph_index=0),
+            Embedding.from_dict({0: 1, 1: 2}, graph_index=1),
+            Embedding.from_dict({0: 1, 1: 3}, graph_index=1),
+        ]
+        table = EmbeddingTable.from_embeddings(embeddings)
+        assert table.mni_support() == mni_support(pattern, embeddings) == 2
+
+    def test_supports_cached_and_empty_table(self):
+        table = EmbeddingTable((0, 1))
+        assert table.embedding_support() == 0
+        assert table.transaction_support() == 0
+        assert table.mni_support() == 0
+        filled = EmbeddingTable.from_embeddings([Embedding.from_dict({0: 1, 1: 2})])
+        assert filled.embedding_support() == 1
+        filled.rows.append((3, 4))  # mutation after caching is not re-counted
+        filled.graph_ids.append(0)
+        assert filled.embedding_support() == 1
+
+    def test_extended_joins_rows(self):
+        table = EmbeddingTable.from_embeddings(
+            [
+                Embedding.from_dict({0: 10, 1: 11}, graph_index=0),
+                Embedding.from_dict({0: 20, 1: 21}, graph_index=1),
+            ]
+        )
+        extended = table.extended(2, [(0, 12), (1, 22), (1, 23)])
+        assert extended.columns == (0, 1, 2)
+        assert extended.rows == [(10, 11, 12), (20, 21, 22), (20, 21, 23)]
+        assert extended.graph_ids == [0, 1, 1]
+        # The parent table is untouched.
+        assert table.columns == (0, 1) and len(table) == 2
+
+    def test_subset_shares_row_tuples(self):
+        table = EmbeddingTable.from_embeddings(
+            [
+                Embedding.from_dict({0: 10, 1: 11}, graph_index=0),
+                Embedding.from_dict({0: 20, 1: 21}, graph_index=2),
+            ]
+        )
+        subset = table.subset([1])
+        assert subset.rows[0] is table.rows[1]
+        assert subset.graph_ids == [2]
+
+    def test_column_layouts_are_interned(self):
+        one = EmbeddingTable.from_embeddings([Embedding.from_dict({0: 1, 1: 2})])
+        two = EmbeddingTable.from_embeddings([Embedding.from_dict({0: 7, 1: 8})])
+        assert one.columns is two.columns
 
 
 class TestSupportMeasures:

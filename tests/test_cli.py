@@ -154,6 +154,32 @@ class TestMineCommand:
         )
         assert "cold" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "arguments",
+        [
+            ["-l", "3", "-d", "1"],
+            ["--constraint", "path", "--param", "length=3"],
+            ["--constraint", "diam-le", "--param", "k=2"],
+        ],
+        ids=["skinny", "path", "diam-le"],
+    )
+    def test_mine_cold_path_every_constraint(self, lg_file, capsys, arguments):
+        """Without a prebuilt store, Stage 1 runs inline — and says so.
+
+        Mirrors the CI cold-path smoke: ``served_from_store`` must be false
+        for all three registered constraints when no ``--store`` is given.
+        """
+        assert (
+            main(
+                ["mine", "--data", str(lg_file), "--min-support", "2", "--json"]
+                + arguments
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["served_from_store"] is False
+        assert payload["stats"]["result_cache_hit"] is False
+
 
 class TestServeBatch:
     def test_batch_responses(self, lg_file, tmp_path, capsys):

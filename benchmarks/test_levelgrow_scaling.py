@@ -1,10 +1,18 @@
 """Stage-2 scaling: the ROADMAP blow-up scenario, gated against regression.
 
-The scenario is the one ROADMAP.md singled out as the open perf target:
-``erdos_renyi_graph(200, 1.8, 25, seed=1)`` with three injected copies of an
-11-vertex skinny pattern, mined at ``l=6 δ=1 σ=2``.  Stage 1 is milliseconds;
-Stage 2 grows 6 canonical diameters into 21 522 patterns, which took minutes
-on the pre-table ``List[Embedding]`` engine and is the workload the
+The scenario derives from the one ROADMAP.md singled out as the open perf
+target: ``erdos_renyi_graph(200, 1.8, 25, seed=1)`` with three injected
+copies of an 11-vertex skinny pattern, now mined at ``l=6 δ=1 σ=3`` through
+the **default (exact) Stage-1 mode** end to end.  σ moved from 2 to 3 when
+exactness became the default: at σ=2 the exact Stage 1 correctly surfaces
+the ~470-strong cross-copy diameter family (support-2 paths through pairs of
+injected copies whose sub-paths collapse to one image — see
+docs/CORRECTNESS.md), which is a different, far larger workload than the
+Stage-2 engine benchmark this file exists to gate.  At σ=3 only the
+within-copy family survives and the cluster structure matches the historical
+scenario.  Stage 1 is milliseconds; Stage 2 grows 15 canonical diameters
+into ~20k patterns, which took minutes on the pre-table ``List[Embedding]``
+engine and is the workload the
 :class:`repro.graph.embeddings.EmbeddingTable` extension-join engine was
 built for.
 
@@ -64,7 +72,7 @@ SCENARIO = {
     "inject_seed": 3,
     "length": 6,
     "delta": 1,
-    "min_support": 2,
+    "min_support": 3,
 }
 
 
@@ -118,7 +126,12 @@ def _calibration_seconds() -> float:
     inject_pattern(graph, planted, copies=3, seed=5)
     best = float("inf")
     for _ in range(CALIBRATION_ROUNDS):
-        miner = SkinnyMine(graph, min_support=2)
+        # The probe is pinned to the pruned Stage-1 mode: it is a fixed
+        # machine-speed yardstick, and this exact workload (σ=2, pruned —
+        # the pre-exactness default) is what every committed
+        # calibration_seconds was measured with, so the normalisation stays
+        # comparable across commits.
+        miner = SkinnyMine(graph, min_support=2, stage1_mode="pruned")
         started = time.perf_counter()
         miner.mine(4, 1)
         best = min(best, time.perf_counter() - started)

@@ -10,11 +10,14 @@ makes that concrete at the API level:
    path patterns and bounded-diameter patterns — answered through the same
    ``engine.run`` code path;
 3. the store afterwards holds entries for every constraint, keyed by
-   ``StoreKey.constraint_id``, so each is served warm on the next run;
+   ``StoreKey.constraint_id`` — with the engine's Stage-1 exactness mode
+   (``docs/CORRECTNESS.md``) recorded in every path-indexed parameter, so
+   exact and pruned entries never alias;
 4. a custom constraint registered on the fly with
    :func:`repro.api.register_constraint` and served like the built-ins.
 
-Run with::
+The printed pattern counts are asserted, so this example doubles as a smoke
+test (CI runs it in the docs job).  Run with::
 
     python examples/constraints.py
 
@@ -47,6 +50,7 @@ def main() -> None:
 
     store_root = tempfile.mkdtemp(prefix="repro-constraints-")
     engine = MiningEngine(background, store=DiskPatternStore(store_root))
+    print(f"engine stage-1 mode: {engine.stage1_mode.value}")
 
     # 1. Three constraints, one entry point.
     queries = [
@@ -54,9 +58,11 @@ def main() -> None:
         Query("path", {"length": 5}, min_support=2, top_k=5),
         Query("diam-le", {"k": 2}, min_support=3, top_k=5),
     ]
+    counts = {}
     for query in queries:
         result = engine.run(query)
         stats = result.stats
+        counts[query.constraint_id] = len(result.patterns)
         print(
             f"{query.constraint_id:<8s} {dict(query.params)}: "
             f"{len(result.patterns)} pattern(s) "
@@ -68,14 +74,25 @@ def main() -> None:
                 f"    support={pattern.support:<4d} |V|={pattern.num_vertices:<3d}"
                 f" |E|={pattern.num_edges}"
             )
+    assert counts == {"skinny": 5, "path": 5, "diam-le": 5}, counts
 
-    # 2. Every constraint now owns entries in the same store directory.
+    # 2. Every constraint now owns entries in the same store directory; the
+    #    path-indexed ones carry the exactness mode in their parameter.
     print(f"\nstore at {store_root}:")
-    for entry in engine.store.info():
+    entries = engine.store.info()
+    for entry in entries:
         print(
             f"  [{entry['constraint_id']}] {entry['parameter']} — "
             f"{entry['num_patterns']} minimal pattern(s)"
         )
+    assert {entry["constraint_id"] for entry in entries} == {
+        "skinny", "path", "diam-le",
+    }
+    assert all(
+        entry["parameter"].get("stage1_mode") == "exact"
+        for entry in entries
+        if entry["constraint_id"] in ("skinny", "path")
+    ), entries
 
     # 3. A custom constraint plugs into the same machinery.
     register_constraint(
@@ -90,6 +107,7 @@ def main() -> None:
     )
     result = engine.run(Query("diam-tiny", {"k": 2}, min_support=3, top_k=5))
     print(f"\ncustom 'diam-tiny' constraint: {len(result.patterns)} pattern(s)")
+    assert len(result.patterns) == 5, len(result.patterns)
 
 
 if __name__ == "__main__":

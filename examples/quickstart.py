@@ -6,9 +6,13 @@ This example walks through the full public API in a few lines:
 2. inject a known skinny pattern several times (our ground truth);
 3. run SkinnyMine with a diameter-length constraint and a skinniness bound;
 4. inspect the result: supports, diameters, and whether the injected pattern
-   was recovered.
+   was recovered;
+5. see the Stage-1 exactness mode at work: the default ``exact`` mode finds
+   every frequent diameter, the opt-in ``pruned`` mode (the paper's literal
+   Algorithm 2) can miss some under embedding-count support.
 
-Run with::
+The printed pattern counts are asserted, so this example doubles as a smoke
+test (CI runs it in the docs job).  Run with::
 
     python examples/quickstart.py
 """
@@ -25,9 +29,9 @@ from repro.graph.isomorphism import are_isomorphic
 
 
 def main() -> None:
-    # 1. A labeled background graph: 200 vertices, average degree 1.8,
+    # 1. A labeled background graph: 140 vertices, average degree 1.5,
     #    25 distinct vertex labels.
-    background = erdos_renyi_graph(200, 1.8, 25, seed=1)
+    background = erdos_renyi_graph(140, 1.5, 25, seed=1)
 
     # 2. The pattern we plant: backbone of length 7, twigs within distance 1,
     #    11 vertices total.  Three copies give it support 3.
@@ -41,14 +45,19 @@ def main() -> None:
           f"{planted.num_edges()} edges, diameter 7")
 
     # 3. Mine every 7-long 1-skinny pattern with at least 3 embeddings.
+    #    Stage 1 runs in the default exact mode: every frequent diameter is
+    #    found, whatever the support measure.
     miner = SkinnyMine(background, min_support=3)
     patterns = miner.mine(length=7, delta=1)
     report = miner.last_report
     print(f"\nSkinnyMine found {len(patterns)} patterns "
-          f"({report.num_diameters} canonical diameters) in "
+          f"({report.num_diameters} canonical diameters, "
+          f"stage-1 mode '{miner.stage1_mode.value}') in "
           f"{report.total_seconds:.2f}s "
           f"(Stage I {report.diammine_seconds:.2f}s, "
           f"Stage II {report.levelgrow_seconds:.2f}s)")
+    assert len(patterns) == 14, len(patterns)
+    assert report.num_diameters == 3, report.num_diameters
 
     # 4. Inspect the results.
     largest = max(patterns, key=lambda p: p.num_edges)
@@ -56,10 +65,28 @@ def main() -> None:
           f"{largest.num_edges} edges, support {largest.support}")
     recovered = any(are_isomorphic(p.graph, planted) for p in patterns)
     print(f"planted pattern recovered: {recovered}")
+    assert recovered
 
     # Closed patterns only (Algorithm 3's output filter) — a much smaller set.
     closed = miner.mine(length=7, delta=1, closed_only=True)
     print(f"closed patterns only: {len(closed)}")
+    assert len(closed) == 3, len(closed)
+
+    # 5. The exactness mode, demonstrated.  At σ=2 this data holds frequent
+    #    diameters whose sub-paths collapse to a single image (two injected
+    #    copies sharing background structure): the exact default keeps them,
+    #    the opt-in pruned mode — exact only under anti-monotone measures —
+    #    loses them.  The engaged mode is recorded in every index-store key,
+    #    so entries built under different modes never alias.
+    exact_diameters = SkinnyMine(background, min_support=2).diameters_for(7)
+    pruned_diameters = SkinnyMine(
+        background, min_support=2, stage1_mode="pruned"
+    ).diameters_for(7)
+    print(f"\nfrequent 7-diameters at sigma=2: exact mode {len(exact_diameters)}, "
+          f"pruned mode {len(pruned_diameters)}")
+    assert len(pruned_diameters) < len(exact_diameters), (
+        len(pruned_diameters), len(exact_diameters),
+    )
 
     # Direct-mining style usage: pre-compute canonical diameters for several
     # length constraints, then answer requests from the index.
@@ -68,6 +95,9 @@ def main() -> None:
     by_length = miner.mine_range(6, 7, delta=1)
     for length, result in sorted(by_length.items()):
         print(f"  l={length}: {len(result)} patterns")
+    assert {length: len(result) for length, result in by_length.items()} == {
+        6: 21, 7: 14,
+    }, by_length
 
 
 if __name__ == "__main__":

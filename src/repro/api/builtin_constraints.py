@@ -40,6 +40,7 @@ def _make_skinny_driver(
         max_paths_per_length=caps.get("max_paths_per_length"),
         max_patterns_per_diameter=caps.get("max_patterns_per_diameter"),
         include_minimal=include_minimal,
+        stage1_mode=caps.get("stage1_mode"),
     )
 
 
@@ -53,6 +54,7 @@ def _make_path_driver(
     return PathConstraintDriver(
         max_paths_per_length=caps.get("max_paths_per_length"),
         include_minimal=include_minimal,
+        stage1_mode=caps.get("stage1_mode"),
     )
 
 
@@ -93,7 +95,7 @@ register_constraint(
             params["length"], params["delta"]
         ),
         path_indexed=True,
-        stage_one_cap_names=("max_paths_per_length",),
+        stage_one_cap_names=("max_paths_per_length", "stage1_mode"),
     )
 )
 
@@ -117,7 +119,7 @@ register_constraint(
         driver_parameter=_path_parameter,
         predicate_factory=lambda params: path_shape_constraint(params["length"]),
         path_indexed=True,
-        stage_one_cap_names=("max_paths_per_length",),
+        stage_one_cap_names=("max_paths_per_length", "stage1_mode"),
     )
 )
 

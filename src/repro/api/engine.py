@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.api.query import Query, QueryStats, Result
 from repro.api.registry import ConstraintSpec, constraint_specs, get_constraint
 from repro.core.database import EdgeDelta, GraphDelta, MiningContext, SupportMeasure
+from repro.core.diammine import Stage1Mode, resolve_stage1_mode
 from repro.core.patterns import SkinnyPattern
 from repro.graph.io import dataset_fingerprint
 from repro.graph.labeled_graph import LabeledGraph
@@ -60,6 +61,26 @@ class MiningEngine:
         (Stage-1 path caps for ``skinny``/``path``, per-cluster growth caps
         for ``skinny``/``diam-le``).  Engaged Stage-1 caps become part of the
         store key so truncated entries are never served to uncapped engines.
+    stage1_mode:
+        Stage-1 exactness contract (:class:`repro.core.diammine.Stage1Mode`)
+        for the path-indexed constraints.  The default ``EXACT`` is the
+        store-build contract — entries contain every frequent minimal
+        pattern under any support measure, which is what incremental repair
+        assumes.  ``PRUNED`` (the paper's literal Algorithm 2 thresholding,
+        heuristic under embedding support) is opt-in; the engaged mode is
+        always part of the :class:`~repro.index.store.StoreKey` parameter,
+        so exact and pruned entries never alias and pruned entries are
+        invalidated rather than repaired on data edits.
+
+    Examples
+    --------
+    >>> from repro.graph.labeled_graph import graph_from_paths
+    >>> engine = MiningEngine(graph_from_paths([list("abcd"), list("abcd")]))
+    >>> result = engine.run(Query("skinny", {"length": 3, "delta": 1}, min_support=2))
+    >>> [pattern.support for pattern in result.patterns]
+    [2]
+    >>> engine.stage1_mode
+    <Stage1Mode.EXACT: 'exact'>
     """
 
     def __init__(
@@ -69,6 +90,7 @@ class MiningEngine:
         result_cache_size: int = 128,
         max_paths_per_length: Optional[int] = None,
         max_patterns_per_diameter: Optional[int] = None,
+        stage1_mode: Union[str, Stage1Mode, None] = None,
     ) -> None:
         self._graphs: List[LabeledGraph] = (
             [graphs] if isinstance(graphs, LabeledGraph) else list(graphs)
@@ -80,11 +102,20 @@ class MiningEngine:
         self._result_cache: "OrderedDict[str, List[SkinnyPattern]]" = OrderedDict()
         self._result_cache_size = result_cache_size
         self._contexts: Dict[tuple, MiningContext] = {}
-        self._caps: Dict[str, Optional[int]] = {
+        self._stage1_mode = resolve_stage1_mode(stage1_mode)
+        self._caps: Dict[str, object] = {
             "max_paths_per_length": max_paths_per_length,
             "max_patterns_per_diameter": max_patterns_per_diameter,
+            # Always present (never None): the exactness mode is part of
+            # every path-indexed Stage-1 store key.
+            "stage1_mode": self._stage1_mode.value,
         }
         self.stats_log: List[QueryStats] = []
+
+    @property
+    def stage1_mode(self) -> Stage1Mode:
+        """The engine's Stage-1 exactness mode (keyed into every store entry)."""
+        return self._stage1_mode
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -52,6 +52,17 @@ class Query:
     replaces, a Query is a hashable frozen value object: ``params`` is
     exposed through a read-only mapping view, so a validated query can never
     drift out of sync with its ``cache_key()`` or Stage-1 store key.
+
+    Examples
+    --------
+    >>> query = Query("skinny", {"length": 5, "delta": 1}, min_support=2)
+    >>> (query.constraint_id, query.params["length"], query.min_support)
+    ('skinny', 5, 2)
+    >>> Query.from_dict(query.to_dict()) == query
+    True
+    >>> Query("skinny", {"length": 5})  # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    repro.api.errors.MissingParameterError: ...
     """
 
     constraint_id: str
@@ -226,7 +237,19 @@ class QueryStats:
 
 @dataclass
 class Result:
-    """Patterns plus the stats of the query that produced them."""
+    """Patterns plus the stats of the query that produced them.
+
+    Examples
+    --------
+    >>> from repro.api import MiningEngine
+    >>> from repro.graph.labeled_graph import graph_from_paths
+    >>> engine = MiningEngine(graph_from_paths([list("abc"), list("abc")]))
+    >>> result = engine.run(Query("path", {"length": 2}, min_support=2))
+    >>> (len(result.patterns), result.stats.result_cache_hit)
+    (1, False)
+    >>> sorted(result.to_dict())
+    ['num_patterns', 'stats']
+    """
 
     query: Query
     patterns: List[SkinnyPattern]

@@ -19,7 +19,7 @@ Built-in registrations (``skinny``, ``path``, ``diam-le``) live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.api.errors import (
@@ -31,8 +31,9 @@ from repro.api.errors import (
     UnknownConstraintError,
 )
 
-#: Engine-level safety caps forwarded to driver factories (all optional).
-Caps = Mapping[str, Optional[int]]
+#: Engine-level knobs forwarded to driver factories: optional integer safety
+#: caps plus the Stage-1 exactness mode string (``"exact"``/``"pruned"``).
+Caps = Mapping[str, object]
 
 
 @dataclass(frozen=True)
@@ -166,9 +167,22 @@ class ConstraintSpec:
 
         Only ``stage_one`` params, the support threshold/measure and any
         engaged Stage-1 caps participate — δ-like growth parameters and
-        ``top_k`` never fragment the index.  For the skinny constraint this
-        reproduces the historical ``{length, min_support, support_measure}``
-        scheme byte for byte, so pre-redesign disk stores stay warm.
+        ``top_k`` never fragment the index.  For the path-indexed
+        constraints the engine always engages the ``stage1_mode`` cap, so
+        the exactness contract is part of the key: pre-exactness-mode disk
+        entries (no ``stage1_mode``, built with heuristic pruning) can never
+        be served to an exact-mode engine and simply go cold.
+
+        Examples
+        --------
+        >>> from repro.api import get_constraint
+        >>> spec = get_constraint("skinny")
+        >>> parameter = spec.stage_one_parameter(
+        ...     {"length": 5, "delta": 1}, 2, "embeddings",
+        ...     {"stage1_mode": "exact"},
+        ... )
+        >>> sorted(parameter.items())
+        [('length', 5), ('min_support', 2), ('stage1_mode', 'exact'), ('support_measure', 'embeddings')]
         """
         parameter: Dict[str, object] = {
             spec.name: params[spec.name] for spec in self.params if spec.stage_one
@@ -234,6 +248,21 @@ def register_constraint(
     ``driver_parameter`` is omitted, the driver receives the tuple of
     declared parameter values in schema order.  Re-registering an id raises
     ``ValueError`` unless ``replace=True``.
+
+    Examples
+    --------
+    >>> spec = register_constraint(
+    ...     "doc-example",
+    ...     lambda params, caps, include_minimal: None,
+    ...     params=(ParamSpec("k", int, required=True, minimum=1),),
+    ...     description="documentation example",
+    ... )
+    >>> get_constraint("doc-example") is spec
+    True
+    >>> spec.validate_params({"k": 3})
+    {'k': 3}
+    >>> unregister_constraint("doc-example")
+    True
     """
     _ensure_builtins()
     if isinstance(spec_or_id, ConstraintSpec):

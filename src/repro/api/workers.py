@@ -28,7 +28,8 @@ def init_worker(graphs: Sequence[LabeledGraph], caps: Mapping[str, Optional[int]
 
 def _worker_context(min_support: int, measure_value: str):
     """One MiningContext per (σ, measure) per worker, so its per-graph label
-    index is derived once however many tasks the worker processes."""
+    index is derived once however many tasks the worker processes.
+    """
     from repro.core.database import MiningContext, SupportMeasure
 
     contexts = _WORKER_STATE.setdefault("contexts", {})

@@ -24,11 +24,36 @@ from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
 
 
 class SupportMeasure(Enum):
-    """How pattern support is computed from an embedding list."""
+    """How pattern support is computed from an embedding list.
+
+    Two of the three measures are *anti-monotone* (a sub-pattern's support is
+    never below a super-pattern's), which is what makes intermediate
+    frequency pruning exact — see :attr:`anti_monotone` and
+    ``docs/CORRECTNESS.md``.
+
+    Examples
+    --------
+    >>> SupportMeasure.TRANSACTIONS.anti_monotone
+    True
+    >>> SupportMeasure.EMBEDDINGS.anti_monotone
+    False
+    """
 
     EMBEDDINGS = "embeddings"
     TRANSACTIONS = "transactions"
     MNI = "mni"
+
+    @property
+    def anti_monotone(self) -> bool:
+        """Whether support can only shrink as a pattern grows.
+
+        Transaction support (a super-pattern occurs in a subset of the
+        transactions) and MNI (each position's image set only shrinks) are
+        anti-monotone; raw embedding count is not — two embeddings of a
+        super-pattern can restrict to the *same* embedding of a sub-pattern,
+        so a sub-pattern's distinct-image count can be smaller.
+        """
+        return self in (SupportMeasure.TRANSACTIONS, SupportMeasure.MNI)
 
 
 # --------------------------------------------------------------------- #
@@ -315,12 +340,18 @@ class MiningContext:
         return len(set(occurrence_list))
 
     def support_of_path_occurrences(
-        self, occurrences: Iterable[Tuple[int, Tuple[VertexId, ...]]]
+        self,
+        occurrences: Iterable[Tuple[int, Tuple[VertexId, ...]]],
+        labels: Optional[Tuple[str, ...]] = None,
     ) -> int:
         """Support of a path pattern from ordered (graph_index, vertex tuple) occurrences.
 
         Handles all three measures; the MNI value is computed position-wise
         over the ordered tuples (each tuple position is one pattern vertex).
+        Callers that know the path's label sequence should pass ``labels``:
+        when the sequence is palindromic, *both* orientations of every
+        occurrence are valid embeddings, and the MNI image sets must include
+        the reversed tuples or positions near the ends undercount.
         """
         occurrence_list = list(occurrences)
         if not occurrence_list:
@@ -328,6 +359,11 @@ class MiningContext:
         if self.support_measure is SupportMeasure.TRANSACTIONS:
             return len({index for index, _ in occurrence_list})
         if self.support_measure is SupportMeasure.MNI:
+            if labels is not None and tuple(labels) == tuple(reversed(labels)):
+                occurrence_list = occurrence_list + [
+                    (index, tuple(reversed(vertices)))
+                    for index, vertices in occurrence_list
+                ]
             length = len(occurrence_list[0][1])
             images: List[Set[Tuple[int, VertexId]]] = [set() for _ in range(length)]
             for graph_index, vertices in occurrence_list:

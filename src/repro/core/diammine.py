@@ -24,9 +24,10 @@ support is counted).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.core.database import MiningContext, SupportMeasure
+from repro.core.database import MiningContext
 from repro.core.orders import canonical_label_orientation
 from repro.core.patterns import PathPattern
 from repro.graph.labeled_graph import VertexId
@@ -34,6 +35,56 @@ from repro.graph.labeled_graph import VertexId
 # A directed occurrence of a path: (graph index, ordered data-vertex tuple).
 DirectedOccurrence = Tuple[int, Tuple[VertexId, ...]]
 LabelSeq = Tuple[str, ...]
+
+
+class Stage1Mode(str, Enum):
+    """How DiamMine filters intermediate (ladder) path lengths.
+
+    ``EXACT`` (the default, and the contract for index-store builds) returns
+    *every* frequent length-``l`` path: intermediate lengths are pruned by
+    the support threshold only when the context's measure is anti-monotone
+    (transaction or MNI support — where the prune is provably lossless);
+    under embedding-count support, which is not anti-monotone, intermediates
+    are kept as long as they occur at all and the threshold is applied only
+    to the final length.
+
+    ``PRUNED`` is the paper's literal Algorithm 2: every intermediate length
+    is thresholded regardless of measure.  Under embedding support this is a
+    heuristic (two long occurrences can share one short occurrence, so a
+    frequent long path can ride on an infrequent prefix) and may miss
+    frequent paths; it is opt-in and, when used for index builds, recorded
+    in the :class:`repro.index.store.StoreKey` so exact and pruned entries
+    never alias.
+
+    Examples
+    --------
+    >>> Stage1Mode("exact") is Stage1Mode.EXACT
+    True
+    >>> Stage1Mode.PRUNED.value
+    'pruned'
+    """
+
+    EXACT = "exact"
+    PRUNED = "pruned"
+
+
+def resolve_stage1_mode(
+    mode: Union[str, "Stage1Mode", None],
+    prune_intermediate: Optional[bool] = None,
+) -> "Stage1Mode":
+    """Normalise the two ways of spelling the Stage-1 exactness mode.
+
+    ``prune_intermediate`` is the pre-exactness-mode boolean kept for
+    backward compatibility; an explicit value wins over ``mode`` (``True``
+    maps to :attr:`Stage1Mode.PRUNED`, ``False`` to
+    :attr:`Stage1Mode.EXACT` — deferring every intermediate filter produces
+    the same final result as the exact mode's measure-aware pruning).
+    """
+    if prune_intermediate is not None:
+        return Stage1Mode.PRUNED if prune_intermediate else Stage1Mode.EXACT
+    if mode is None:
+        return Stage1Mode.EXACT
+    return Stage1Mode(mode)
 
 
 def _occurrence_key(occurrence: DirectedOccurrence) -> Tuple[int, Tuple[VertexId, ...]]:
@@ -54,7 +105,9 @@ class _DirectedPathSet:
         deduplicated: Dict[Tuple[int, Tuple[VertexId, ...]], DirectedOccurrence] = {}
         for occurrence in self.occurrences:
             deduplicated.setdefault(_occurrence_key(occurrence), occurrence)
-        return context.support_of_path_occurrences(deduplicated.values())
+        return context.support_of_path_occurrences(
+            deduplicated.values(), labels=self.labels
+        )
 
 
 class DiamMine:
@@ -69,27 +122,46 @@ class DiamMine:
         sequences of one length once this many distinct *undirected* paths
         have been found (``None`` = unlimited, the default — the paper's
         algorithm is exact).
+    mode:
+        The Stage-1 exactness contract (see :class:`Stage1Mode`).  The
+        default :attr:`Stage1Mode.EXACT` guarantees the returned set equals
+        :func:`brute_force_frequent_paths` under every support measure;
+        :attr:`Stage1Mode.PRUNED` thresholds every intermediate length
+        (the paper's literal Algorithm 2), which is heuristic under
+        embedding-count support.
     prune_intermediate:
-        When True (default, the paper's Algorithm 2) every intermediate path
-        length is filtered by the support threshold before being extended.
-        With embedding-count support in the single-graph setting this prune
-        is not strictly anti-monotone (two long occurrences can share one
-        short occurrence), so callers that need exact completeness under that
-        measure can pass False to defer all frequency filtering to the final
-        length; transaction support is anti-monotone and never needs this.
+        Deprecated boolean spelling of ``mode`` kept for backward
+        compatibility; an explicit value overrides ``mode`` (``True`` →
+        pruned, ``False`` → exact).
+
+    Examples
+    --------
+    >>> from repro.graph.labeled_graph import graph_from_paths
+    >>> graph = graph_from_paths([list("abc"), list("abc")])
+    >>> miner = DiamMine(MiningContext(graph, 2))
+    >>> [path.labels for path in miner.mine(2)]
+    [('a', 'b', 'c')]
+    >>> miner.mode
+    <Stage1Mode.EXACT: 'exact'>
     """
 
     def __init__(
         self,
         context: MiningContext,
         max_paths_per_length: Optional[int] = None,
-        prune_intermediate: bool = True,
+        mode: Union[str, Stage1Mode, None] = None,
+        prune_intermediate: Optional[bool] = None,
     ) -> None:
         self._context = context
         self._max_paths_per_length = max_paths_per_length
-        self._prune_intermediate = prune_intermediate
+        self._mode = resolve_stage1_mode(mode, prune_intermediate)
         # Cache of the doubling ladder: length -> directed label seq -> set.
         self._ladder: Dict[int, Dict[LabelSeq, _DirectedPathSet]] = {}
+
+    @property
+    def mode(self) -> Stage1Mode:
+        """The resolved Stage-1 exactness mode this miner runs under."""
+        return self._mode
 
     # ------------------------------------------------------------------ #
     # public API
@@ -151,8 +223,17 @@ class DiamMine:
         return frequent
 
     def _intermediate_frequent(self, support: int) -> bool:
-        """Frequency filter applied to intermediate (ladder) lengths."""
-        if self._prune_intermediate:
+        """Frequency filter applied to intermediate (ladder) lengths.
+
+        In exact mode the threshold is applied only when the measure makes
+        the prune lossless (anti-monotone: a frequent long path cannot ride
+        on an infrequent sub-path); otherwise intermediates survive as long
+        as they occur at all and the threshold waits for the final length.
+        """
+        if (
+            self._mode is Stage1Mode.PRUNED
+            or self._context.support_measure.anti_monotone
+        ):
             return self._context.is_frequent(support)
         return support >= 1
 
@@ -284,7 +365,9 @@ class DiamMine:
             deduplicated: Dict[Tuple[int, Tuple[VertexId, ...]], DirectedOccurrence] = {}
             for occurrence in occurrences:
                 deduplicated.setdefault(_occurrence_key(occurrence), occurrence)
-            support = self._context.support_of_path_occurrences(deduplicated.values())
+            support = self._context.support_of_path_occurrences(
+                deduplicated.values(), labels=labels
+            )
             if not self._context.is_frequent(support):
                 continue
             results.append(
@@ -301,9 +384,12 @@ def mine_frequent_paths(
     context: MiningContext,
     length: int,
     max_paths_per_length: Optional[int] = None,
+    mode: Union[str, Stage1Mode, None] = None,
 ) -> List[PathPattern]:
     """Convenience wrapper: one-shot DiamMine call."""
-    return DiamMine(context, max_paths_per_length=max_paths_per_length).mine(length)
+    return DiamMine(
+        context, max_paths_per_length=max_paths_per_length, mode=mode
+    ).mine(length)
 
 
 def brute_force_frequent_paths(
@@ -331,7 +417,7 @@ def brute_force_frequent_paths(
     results: List[PathPattern] = []
     for labels in sorted(grouped):
         occurrences = grouped[labels]
-        support = context.support_of_path_occurrences(occurrences.values())
+        support = context.support_of_path_occurrences(occurrences.values(), labels=labels)
         if context.is_frequent(support):
             results.append(
                 PathPattern(

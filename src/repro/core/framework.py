@@ -51,7 +51,6 @@ from repro.core.database import MiningContext, SupportMeasure
 from repro.core.diameter import is_l_long_delta_skinny
 from repro.core.patterns import SkinnyPattern
 from repro.graph.canonical import canonical_key
-from repro.graph.isomorphism import is_subgraph_isomorphic
 from repro.graph.labeled_graph import LabeledGraph
 
 
@@ -497,7 +496,8 @@ class SkinnyConstraintDriver:
     """Adapter plugging SkinnyMine's two stages into :class:`DirectMiner`.
 
     The constraint parameter is the pair ``(length, delta)``; minimal patterns
-    are the frequent length-``l`` paths.
+    are the frequent length-``l`` paths, mined under the Stage-1 exactness
+    mode (:class:`repro.core.diammine.Stage1Mode`; exact by default).
     """
 
     def __init__(
@@ -505,10 +505,12 @@ class SkinnyConstraintDriver:
         max_paths_per_length: Optional[int] = None,
         max_patterns_per_diameter: Optional[int] = None,
         include_minimal: bool = True,
+        stage1_mode: Optional[object] = None,
     ) -> None:
         self._max_paths_per_length = max_paths_per_length
         self._max_patterns_per_diameter = max_patterns_per_diameter
         self._include_minimal = include_minimal
+        self._stage1_mode = stage1_mode
 
     def mine_minimal(
         self, context: MiningContext, parameter: Tuple[int, int]
@@ -517,7 +519,9 @@ class SkinnyConstraintDriver:
 
         length, _ = parameter
         return DiamMine(
-            context, max_paths_per_length=self._max_paths_per_length
+            context,
+            max_paths_per_length=self._max_paths_per_length,
+            mode=self._stage1_mode,
         ).mine(length)
 
     def grow(
@@ -533,14 +537,18 @@ class SkinnyConstraintDriver:
         results: List[SkinnyPattern] = []
         if self._include_minimal:
             results.append(root.to_pattern())
+        # Constraint-pending intermediates ride the frontier (a later level
+        # can repair them) but are never reported — mirrors SkinnyMine.
         frontier = [root]
         for level in range(1, delta + 1):
             next_frontier = []
             for state in frontier:
-                next_frontier.extend(grower.grow_level(state, level))
+                growth = grower.grow_level_full(state, level, max_level=delta)
+                next_frontier.extend(growth.emitted)
+                next_frontier.extend(growth.pending)
+                results.extend(grown.to_pattern() for grown in growth.emitted)
             if not next_frontier:
                 break
-            results.extend(state.to_pattern() for state in next_frontier)
             frontier = next_frontier
         return results
 
@@ -559,15 +567,19 @@ class PathConstraintDriver:
         self,
         max_paths_per_length: Optional[int] = None,
         include_minimal: bool = True,
+        stage1_mode: Optional[object] = None,
     ) -> None:
         self._max_paths_per_length = max_paths_per_length
         self._include_minimal = include_minimal
+        self._stage1_mode = stage1_mode
 
     def mine_minimal(self, context: MiningContext, parameter: int) -> List[object]:
         from repro.core.diammine import DiamMine
 
         return DiamMine(
-            context, max_paths_per_length=self._max_paths_per_length
+            context,
+            max_paths_per_length=self._max_paths_per_length,
+            mode=self._stage1_mode,
         ).mine(int(parameter))
 
     def grow(
@@ -590,14 +602,20 @@ class BoundedDiameterDriver:
     vertex, or close an edge between two mapped vertices), keeping only
     frequent extensions whose diameter stays within the bound.
 
-    Completeness caveats, both documented rather than hidden: (1) cycle-shaped
-    minimal patterns (e.g. a 2K-cycle, whose every one-edge-deleted subpath
-    violates the bound) are not generated, matching the constraint-preserving
-    growth recipe which never routes through violating intermediates; and
-    (2) embedding-count support is not anti-monotone, so frequency pruning of
-    intermediates is heuristic — the same trade DiamMine makes
-    (``prune_intermediate``).  Clusters grown from different seed edges can
-    overlap; the engine deduplicates by canonical form.
+    Cycle-shaped patterns whose every one-edge-deleted sub-pattern violates
+    the bound (e.g. a 2K-cycle, or the 4-cycle under K = 2, reachable only
+    through a diameter-3 path) are reached through *pending* intermediates:
+    growth keeps extending frequent patterns whose diameter exceeds the
+    bound by a repairable margin (at most 2K — the best single-edge repair,
+    closing a path of length D into a cycle, needs D ≤ 2K) but reports only
+    patterns within the bound.  This mirrors LevelGrow's Constraint-I
+    pending states (see ``docs/CORRECTNESS.md``).
+
+    Remaining caveat, documented rather than hidden: embedding-count support
+    is not anti-monotone, so frequency pruning of intermediates is heuristic
+    under that measure — the same trade Stage 2 of SkinnyMine makes.
+    Clusters grown from different seed edges can overlap; the engine
+    deduplicates by canonical form.
     """
 
     def __init__(
@@ -733,7 +751,13 @@ class BoundedDiameterDriver:
                 support = context.support_of_table(extended_table, extended)
                 if not context.is_frequent(support):
                     continue
-                if graph_diameter(extended) > bound:
+                diameter = graph_diameter(extended)
+                if diameter > bound:
+                    # Pending intermediate: over the bound but repairable —
+                    # closing a path of length D needs D <= 2K, so anything
+                    # beyond that margin can never come back under it.
+                    if diameter <= 2 * bound:
+                        frontier.append((extended, extended_table))
                     continue
                 results.append(
                     SkinnyPattern(

@@ -37,9 +37,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.constraints import (
     admissible_existing_edge,
-    admissible_new_vertex,
     distances_after_existing_edge,
     new_vertex_distances,
+    permanently_admissible_new_vertex,
 )
 from repro.core.database import MiningContext
 from repro.core.patterns import GrowthState
@@ -130,12 +130,20 @@ ExtensionJoin = Union[List[Tuple[int, VertexId]], List[int]]
 
 @dataclass
 class LevelGrowStatistics:
-    """Counters exposed for the scalability experiments (Figures 16–18)."""
+    """Counters exposed for the scalability experiments (Figures 16–18).
+
+    ``candidates_pending`` counts candidates that violated Constraint I in a
+    repairable way and entered the pending worklist (explored, not
+    reported); they are *also* counted under
+    ``candidates_rejected_constraints`` because, unless a later edge repairs
+    them, they contribute nothing to the output.
+    """
 
     candidates_generated: int = 0
     candidates_rejected_constraints: int = 0
     candidates_rejected_support: int = 0
     candidates_rejected_duplicate: int = 0
+    candidates_pending: int = 0
     patterns_emitted: int = 0
 
     def merge(self, other: "LevelGrowStatistics") -> None:
@@ -143,7 +151,82 @@ class LevelGrowStatistics:
         self.candidates_rejected_constraints += other.candidates_rejected_constraints
         self.candidates_rejected_support += other.candidates_rejected_support
         self.candidates_rejected_duplicate += other.candidates_rejected_duplicate
+        self.candidates_pending += other.candidates_pending
         self.patterns_emitted += other.patterns_emitted
+
+
+def _eccentricities(pattern: LabeledGraph) -> Dict[VertexId, int]:
+    """Per-vertex eccentricity by BFS from every vertex (patterns are small)."""
+    from collections import deque
+
+    result: Dict[VertexId, int] = {}
+    for source in pattern.vertices():
+        distances = {source: 0}
+        queue = deque([source])
+        farthest = 0
+        while queue:
+            current = queue.popleft()
+            for neighbor in pattern.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    farthest = distances[neighbor]
+                    queue.append(neighbor)
+        result[source] = farthest
+    return result
+
+
+def _deficient_vertices(state: GrowthState) -> Set[VertexId]:
+    """Vertices keeping the state from being reportable.
+
+    Untainted states only ever violate Constraint I at head/tail distances
+    (the paper's induction); tainted states are judged by full eccentricity,
+    since a repaired excursion can leave a twig-to-twig distance above D(P)
+    with every head/tail distance in bounds.
+    """
+    limit = state.diameter_len
+    if not state.tainted:
+        return {
+            vertex
+            for vertex in state.levels
+            if state.dist_head[vertex] > limit or state.dist_tail[vertex] > limit
+        }
+    return {
+        vertex
+        for vertex, eccentricity in _eccentricities(state.pattern).items()
+        if eccentricity > limit
+    }
+
+
+def _total_deficiency(state: GrowthState) -> int:
+    """Total distance excess over D(P) — 0 iff the state is reportable."""
+    limit = state.diameter_len
+    if not state.tainted:
+        return sum(
+            max(0, state.dist_head[vertex] - limit)
+            + max(0, state.dist_tail[vertex] - limit)
+            for vertex in state.levels
+        )
+    return sum(
+        max(0, eccentricity - limit)
+        for eccentricity in _eccentricities(state.pattern).values()
+    )
+
+
+@dataclass
+class LevelGrowth:
+    """What one ``grow_level`` pass produced.
+
+    ``emitted`` are the reportable results: frequent, novel, and satisfying
+    the full constraint.  ``pending`` are frequent intermediates that
+    violate only Constraint I (a vertex temporarily further than D(P) from
+    the head or tail); they must not be reported but must stay on the
+    caller's frontier — an edge of a later growth level can still repair
+    them (that is how 4-cycles and other edge-closed patterns, whose every
+    one-edge-short sub-pattern violates the constraint, are reached).
+    """
+
+    emitted: List[GrowthState]
+    pending: List[GrowthState]
 
 
 class LevelGrower:
@@ -162,6 +245,14 @@ class LevelGrower:
         self._context = context
         self._max_patterns = max_patterns
         self._registry = PatternRegistry()
+        self._pending_registry = PatternRegistry()
+        # (graph_index, diameter-image tuple) -> data distance to the nearest
+        # diameter image, for data vertices within the growth horizon.  The
+        # diameter images of a row never change within a cluster, so this is
+        # computed once per distinct root row (see _pending_viable).
+        self._diameter_ball_cache: Dict[Tuple, Dict[VertexId, int]] = {}
+        # Memoised pendant-probe verdicts (see _pendant_probe_viable).
+        self._probe_cache: Dict[Tuple, bool] = {}
         self.statistics = LevelGrowStatistics()
 
     # ------------------------------------------------------------------ #
@@ -172,35 +263,568 @@ class LevelGrower:
         self._registry.add_if_new(state.pattern)
 
     def grow_level(self, state: GrowthState, level: int) -> List[GrowthState]:
-        """All frequent constraint-preserving patterns reachable from ``state``
-        by adding one or more edges of iteration ``level``.
+        """The reportable patterns of :meth:`grow_level_full` (compatibility view).
 
-        Mirrors Algorithm 3: a worklist of patterns is repeatedly extended by
-        admissible edges until no new pattern appears.
+        Callers that drive a multi-level growth loop should use
+        :meth:`grow_level_full` and keep the pending states on their
+        frontier; this wrapper discards them.
+        """
+        return self.grow_level_full(state, level).emitted
+
+    def grow_level_full(
+        self, state: GrowthState, level: int, max_level: Optional[int] = None
+    ) -> LevelGrowth:
+        """All frequent patterns reachable from ``state`` by adding one or
+        more edges of iteration ``level``, split into reportable results and
+        constraint-pending intermediates.
+
+        Mirrors Algorithm 3 with one completeness repair: a worklist of
+        patterns is repeatedly extended by admissible edges until no new
+        pattern appears, but candidates that violate only Constraint I
+        (repairable — a later edge can shrink the offending distances) stay
+        on the worklist as *pending* instead of being cut, provided every
+        over-distance vertex still has a conceivable repair
+        (:meth:`_pending_viable`).  Only states satisfying the full
+        constraint are emitted; per-cluster duplicate registries guarantee
+        each pattern (valid or pending) is explored once.  Without this, any
+        pattern whose every one-edge-short sub-pattern has a too-long
+        diameter — the frequent 4-cycle of the ROADMAP repro, for instance —
+        is unreachable.
+
+        ``max_level`` is the growth horizon δ when the caller knows it;
+        pending viability uses it to rule out repairs that would need
+        vertices of a level that will never be grown (``None`` = no horizon,
+        fully conservative).
         """
         if level < 1:
             raise ValueError("growth levels start at 1")
         results: List[GrowthState] = []
+        pending: List[GrowthState] = []
+        if state.deficiency and not self._pending_viable(state, level, max_level):
+            # A pending state carried over from an earlier level whose
+            # remaining repairs are no longer proposable at this level.
+            return LevelGrowth(results, pending)
+        def deficient_of(grow_state: GrowthState) -> Set[VertexId]:
+            """Memoised on the state object — ``id()``-keyed caches are unsafe
+            here (ids are reused once rejected candidates are collected).
+            """
+            if not grow_state.deficiency:
+                return set()
+            memo = getattr(grow_state, "_deficient_memo", None)
+            if memo is None:
+                memo = _deficient_vertices(grow_state)
+                grow_state._deficient_memo = memo
+            return memo
+
         worklist: List[GrowthState] = [state]
         while worklist:
             current = worklist.pop()
+            current_deficient = deficient_of(current)
             for extension, join in self._candidate_extensions(current, level):
+                if current_deficient and not self._relevant_while_pending(
+                    current, current_deficient, extension
+                ):
+                    # From a pending state only deficiency-relevant structure
+                    # may grow; everything else commutes past the repair (it
+                    # can be added later, from the repaired valid state), so
+                    # skipping it here loses nothing and stops the pending
+                    # space from multiplying with every unrelated extension.
+                    continue
                 self.statistics.candidates_generated += 1
+                if isinstance(extension, NewVertexExtension):
+                    dist_head, dist_tail = new_vertex_distances(
+                        current, extension.parent
+                    )
+                    limit = current.diameter_len
+                    if (
+                        dist_head > limit or dist_tail > limit
+                    ) and not self._pendant_probe_viable(
+                        current, extension.parent, join, level, max_level
+                    ):
+                        # Constraint-I violation with no conceivable repair:
+                        # reject before paying for the embedding join.
+                        self.statistics.candidates_rejected_constraints += 1
+                        continue
                 extended = self._apply_extension(current, extension, join, level)
                 if extended is None:
                     continue
-                current.accepted_children += 1
-                if extended.support >= current.support:
-                    current.equal_support_children += 1
+                if (
+                    current_deficient
+                    and isinstance(extension, ExistingEdgeExtension)
+                    and extension.u not in current_deficient
+                    and extension.v not in current_deficient
+                    and extended.deficiency >= current.deficiency
+                ):
+                    # Edge between valid vertices that did not advance any
+                    # repair: defer it to the valid state (commutes).
+                    continue
+                if extended.deficiency:
+                    # Repairable violation: explore (never report) while a
+                    # repair is still conceivable; drop otherwise.
+                    self.statistics.candidates_rejected_constraints += 1
+                    if not self._pending_viable(
+                        extended, level, max_level,
+                        deficient_set=deficient_of(extended),
+                    ):
+                        continue
+                    self.statistics.candidates_pending += 1
+                    # Pending states remember their nearest reportable
+                    # ancestor: patterns emitted out of the excursion are
+                    # that ancestor's super-patterns.
+                    extended.origin = current.origin if current.deficiency else current
+                    if self._pending_registry.add_if_new(extended.pattern):
+                        pending.append(extended)
+                        worklist.append(extended)
+                    continue
+                # Credit the child to the state it will be reported against:
+                # the pending intermediates between them are never emitted,
+                # so the closed/maximal accounting must reach through to the
+                # reportable ancestor.
+                credited = (
+                    current if not current.deficiency else (current.origin or current)
+                )
+
+                def credit():
+                    credited.accepted_children += 1
+                    if extended.support >= credited.support:
+                        credited.equal_support_children += 1
+
                 if not self._registry.add_if_new(extended.pattern):
                     self.statistics.candidates_rejected_duplicate += 1
+                    credit()
                     continue
+                if not self._holds_loop_invariant(extended):
+                    # The pattern's true canonical diameter is some other
+                    # (smaller-label) length-D(P) path: the pattern belongs
+                    # to — and, when it satisfies the constraint at all, is
+                    # emitted by — that diameter's own cluster.  The
+                    # per-edge Constraint III checks cannot see this case
+                    # when the competing path connects two twigs rather
+                    # than the head and tail.  Checked after the registry so
+                    # each distinct pattern pays for it once (re-derivations
+                    # fall out at the duplicate gate above); no child credit
+                    # — the pattern is not reportable from this cluster.
+                    self.statistics.candidates_rejected_constraints += 1
+                    continue
+                credit()
                 self.statistics.patterns_emitted += 1
                 results.append(extended)
                 worklist.append(extended)
                 if self._max_patterns is not None and len(self._registry) > self._max_patterns:
-                    return results
-        return results
+                    return LevelGrowth(results, pending)
+        return LevelGrowth(results, pending)
+
+    @staticmethod
+    def _holds_loop_invariant(state: GrowthState) -> bool:
+        """Loop Invariant 1 verified from scratch before every emission.
+
+        The per-edge Constraints I–III are *local*: they bound distances to
+        the head and tail and inspect head–tail paths through the new edge.
+        They miss two global cases — a twig-to-twig distance exceeding D(P)
+        after a pending repair, and a twig-to-twig *diameter path* with a
+        label sequence smaller than L (possible even along never-pending
+        growth; found by the randomized cross-check suite).  Both fall out
+        of one exact check on the candidate result: the pattern's diameter
+        must equal D(P), and no diameter-realising shortest path may carry a
+        label sequence lexicographically below L's (ties break toward L by
+        construction — it occupies the smallest vertex ids).  Patterns
+        failing it either violate the constraint outright or belong to
+        another cluster, which emits them itself.
+
+        Implementation: all-pairs BFS (patterns are small), then for every
+        vertex pair at distance D(P) the lexicographically smallest label
+        sequence over its shortest paths, computed greedily layer by layer —
+        O(D·deg) per pair instead of enumerating every path.
+        """
+        from collections import deque
+
+        pattern = state.pattern
+        limit = state.diameter_len
+        vertices = list(pattern.vertices())
+        label_of = pattern.label_of
+        distances: Dict[VertexId, Dict[VertexId, int]] = {}
+        for source in vertices:
+            reached = {source: 0}
+            queue = deque([source])
+            while queue:
+                current = queue.popleft()
+                for neighbor in pattern.neighbors(current):
+                    if neighbor not in reached:
+                        reached[neighbor] = reached[current] + 1
+                        queue.append(neighbor)
+            if max(reached.values()) > limit:
+                return False  # the diameter outgrew D(P)
+            distances[source] = reached
+
+        diameter_labels = state.diameter_label_sequence()
+
+        def direction_beats(source: VertexId, target: VertexId) -> bool:
+            """True iff the lex-min label sequence of a shortest source→target
+            path is strictly smaller than L's — compared layer by layer with
+            early exit, so most pairs resolve within a step or two.
+            """
+            first = str(label_of(source))
+            if first > diameter_labels[0]:
+                return False
+            if first < diameter_labels[0]:
+                # A strictly smaller prefix decides the comparison; a full
+                # shortest path always completes from here.
+                return True
+            to_target = distances[target]
+            frontier = {source}
+            for position in range(1, limit + 1):
+                remaining = limit - position
+                step = {
+                    neighbor
+                    for vertex in frontier
+                    for neighbor in pattern.neighbors(vertex)
+                    if to_target.get(neighbor, -1) == remaining
+                }
+                best = min(str(label_of(vertex)) for vertex in step)
+                expected = diameter_labels[position]
+                if best > expected:
+                    return False
+                if best < expected:
+                    return True
+                frontier = {v for v in step if str(label_of(v)) == best}
+            return False  # equal to L: the id tie-break keeps L canonical
+
+        for index, u in enumerate(vertices):
+            row = distances[u]
+            for v in vertices[index + 1:]:
+                if row[v] != limit:
+                    continue
+                # A beating sequence must start at a label <= L's first.
+                if min(str(label_of(u)), str(label_of(v))) > diameter_labels[0]:
+                    continue
+                if direction_beats(u, v) or direction_beats(v, u):
+                    return False
+        return True
+
+    @staticmethod
+    def _relevant_while_pending(
+        state: GrowthState, deficient: Set[VertexId], extension: "Extension"
+    ) -> bool:
+        """Pre-application filter for extensions of a pending state.
+
+        A new vertex matters only if it hangs off a deficient vertex or ends
+        up deficient itself (a potential repair partner — a pendant can never
+        *reduce* anyone's distance); its pendency is decided by its own
+        distances, computable without applying.  An existing edge matters if
+        it touches a deficient vertex; edges between valid vertices get a
+        second, post-application chance in the caller (they can still repair
+        transitively by shrinking a neighbour's distance).
+        """
+        if isinstance(extension, NewVertexExtension):
+            if extension.parent in deficient:
+                return True
+            dist_head, dist_tail = new_vertex_distances(state, extension.parent)
+            limit = state.diameter_len
+            return dist_head > limit or dist_tail > limit
+        return True
+
+    # ------------------------------------------------------------------ #
+    # pending viability
+    # ------------------------------------------------------------------ #
+    #: Visiting more data vertices than this during one viability BFS makes
+    #: the check give up and answer True (it must stay conservative).
+    _VIABILITY_BFS_CAP = 512
+
+    def _pending_viable(
+        self,
+        state: GrowthState,
+        level: int,
+        max_level: Optional[int],
+        deficient_set: Optional[Set[VertexId]] = None,
+    ) -> bool:
+        """Whether every over-distance vertex of a pending state can still be repaired.
+
+        The check is conservative (it never rules out a genuinely repairable
+        state) but prunes the combinatorial noise that would otherwise make
+        relaxed growth explode: a pendant hanging off the head with nothing
+        in the data to close a cycle through it can never come back within
+        D(P) of the tail, so every pattern containing it is dead weight.
+
+        A deficient vertex ``d`` is judged per violated distance (head/tail)
+        by a bounded BFS in the *data* graph, one embedding row at a time:
+        starting from ``d``'s image, walk through unmapped data vertices
+        (the images of potential future repair-partner vertices) until a
+        mapped vertex ``y`` is reached.  Walking ``k`` unmapped vertices and
+        landing on ``y`` models the repair path ``d – w₁ – … – w_k – y``, so
+        the violated distance could become ``eff(y) + k + 1``, where
+        ``eff(y)`` is ``y``'s current distance — or, when ``y`` is itself
+        deficient, its level (an optimistic but sound lower bound, since
+        mutual repairs like the two arms of an 8-cycle bottom out at their
+        levels).  The state is viable for ``d`` iff some row yields
+        ``eff(y) + k + 1 ≤ D(P)`` under the side conditions that the repair
+        edges are still proposable: a direct partner (``k = 0``) needs
+        ``|level(y) − level(d)| ≤ 1`` and ``max(level(y), level(d)) ==
+        level`` (that edge class's iteration is now), and any future partner
+        (``k ≥ 1``) needs ``level(d) + 1 ≥ level`` and a level budget below
+        the growth horizon.  Deficient vertices with a repair-marked
+        deficient pattern-neighbour are marked transitively (distance
+        relaxation propagates along existing edges).  The BFS visits at most
+        ``_VIABILITY_BFS_CAP`` vertices per row; on overflow it answers True.
+        """
+        limit = state.diameter_len
+        levels = state.levels
+        if deficient_set is None:
+            deficient_set = _deficient_vertices(state)
+        if not deficient_set:
+            return True
+        table = state.table
+        pattern = state.pattern
+        horizon = max_level if max_level is not None else level + limit
+
+        def effective(dist_map: Dict[VertexId, int], y: VertexId) -> int:
+            if y in deficient_set:
+                return min(dist_map[y], levels[y])
+            return dist_map[y]
+
+        def diameter_ball(graph_index: int, row: Tuple[VertexId, ...]) -> Dict[VertexId, int]:
+            return self._diameter_ball(graph_index, row, limit, horizon)
+
+        def row_repairable(d: VertexId, dist_map: Dict[VertexId, int]) -> bool:
+            position = table.position_of(d)
+            future_ok = levels[d] + 1 >= level and min(levels[d] + 1, horizon) >= level
+
+            def depth0_accept(y: VertexId) -> bool:
+                return (
+                    not pattern.has_edge(d, y)
+                    and abs(levels[y] - levels[d]) <= 1
+                    and max(levels[y], levels[d]) == level
+                )
+
+            for graph_index, row in zip(table.graph_ids, table.rows):
+                if self._repair_bfs(
+                    graph_index=graph_index,
+                    row=row,
+                    columns=table.columns,
+                    start=row[position],
+                    exclude=d,
+                    limit=limit,
+                    ball=diameter_ball(graph_index, row),
+                    horizon=horizon,
+                    future_ok=future_ok,
+                    depth0_accept=depth0_accept,
+                    target_value=lambda y: effective(dist_map, y),
+                ):
+                    return True
+            return False
+
+        def directly_repairable(d: VertexId) -> bool:
+            if state.dist_head[d] > limit and not row_repairable(d, state.dist_head):
+                return False
+            if state.dist_tail[d] > limit and not row_repairable(d, state.dist_tail):
+                return False
+            return True
+
+        marked = {d for d in deficient_set if directly_repairable(d)}
+        changed = True
+        while changed:
+            changed = False
+            for d in deficient_set:
+                if d in marked:
+                    continue
+                if any(
+                    neighbor in marked
+                    for neighbor in pattern.neighbors(d)
+                    if neighbor in deficient_set
+                ):
+                    marked.add(d)
+                    changed = True
+        return len(marked) == len(deficient_set)
+
+    def _pendant_probe_viable(
+        self,
+        state: GrowthState,
+        parent: VertexId,
+        join_pairs: Sequence[Tuple[int, VertexId]],
+        level: int,
+        max_level: Optional[int],
+    ) -> bool:
+        """Cheap pre-join viability of a Constraint-I-violating pendant.
+
+        Decides, *before* paying for the embedding join, whether a new
+        vertex whose pendant distances exceed D(P) could conceivably be
+        repaired.  The probe is a data-graph BFS from the pendant's would-be
+        image whose only terminals are the row's *diameter* images: reaching
+        the image of diameter position ``p`` after walking ``k``
+        intermediate vertices models a repair path of length ``k + 1`` onto
+        the diameter, giving the pendant a conceivable head distance of
+        ``p + k + 1`` (tail: ``(D(P) − p) + k + 1``).  Twig vertices need no
+        special treatment: a repair through a (current or future) twig is a
+        walk through its image, and its distance contribution is exactly the
+        walked length.  Because the model depends only on the data graph,
+        the diameter images and the pendant image, results are memoised per
+        cluster (``_probe_cache``) — sibling states share everything the
+        probe looks at.
+
+        Rejecting here reproduces the original cheap-first ordering of the
+        constraint checks for the overwhelmingly common case of an endpoint
+        twig with no cycle through it in the data.
+        """
+        limit = state.diameter_len
+        levels = state.levels
+        horizon = max_level if max_level is not None else level + limit
+        pendant_head, pendant_tail = new_vertex_distances(state, parent)
+        table = state.table
+        deficient_parent = (
+            state.dist_head[parent] > limit or state.dist_tail[parent] > limit
+        )
+
+        for side, pendant_distance in ((0, pendant_head), (1, pendant_tail)):
+            if pendant_distance <= limit:
+                continue
+            # Transitive shortcut: a deficient parent that gets repaired
+            # down to its level drags the pendant along.
+            if deficient_parent and levels[parent] + 2 <= limit:
+                continue
+            satisfied = False
+            for row_index, data_vertex in join_pairs:
+                graph_index = table.graph_ids[row_index]
+                diameter_images = table.rows[row_index][: limit + 1]
+                key = (graph_index, data_vertex, side, level, diameter_images)
+                cached = self._probe_cache.get(key)
+                if cached is None:
+                    cached = self._probe_bfs(
+                        graph_index, data_vertex, side, level, limit, horizon,
+                        diameter_images,
+                    )
+                    self._probe_cache[key] = cached
+                if cached:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def _probe_bfs(
+        self,
+        graph_index: int,
+        start: VertexId,
+        side: int,
+        level: int,
+        limit: int,
+        horizon: int,
+        diameter_images: Tuple[VertexId, ...],
+    ) -> bool:
+        """BFS core of :meth:`_pendant_probe_viable` (terminals = diameter images)."""
+        graph = self._context.graph(graph_index)
+        ball = self._diameter_ball(graph_index, diameter_images, limit, horizon)
+        terminal = {image: position for position, image in enumerate(diameter_images)}
+        visited = {start}
+        frontier = [start]
+        depth = 0
+        while frontier and depth + 1 <= limit:
+            next_frontier = []
+            for data_vertex in frontier:
+                for neighbor in graph.neighbors(data_vertex):
+                    if neighbor in terminal:
+                        if depth == 0 and level > 1:
+                            # A direct pendant–diameter edge spans levels
+                            # (level, 0); only iteration 1 proposes those.
+                            continue
+                        position = terminal[neighbor]
+                        distance = position if side == 0 else limit - position
+                        if distance + depth + 1 <= limit:
+                            return True
+                    elif neighbor not in visited:
+                        visited.add(neighbor)
+                        if len(visited) > self._VIABILITY_BFS_CAP:
+                            return True  # give up conservatively
+                        if ball.get(neighbor, horizon + 1) <= horizon:
+                            next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth += 1
+        return False
+
+    def _diameter_ball(
+        self, graph_index: int, row: Tuple[VertexId, ...], limit: int, horizon: int
+    ) -> Dict[VertexId, int]:
+        """Data distance to the row's diameter images, up to the horizon.
+
+        A future repair-partner vertex ``w`` has pattern level
+        ``dist(w, L) ≥`` the data distance of its image to the diameter
+        images, so unmapped vertices outside this ball can never be grown at
+        all and must not be walked through.  Cached per distinct diameter
+        image tuple — every state of a cluster shares its root's diameter
+        images, so in practice this is computed once or twice per cluster.
+        """
+        key = (graph_index, horizon) + tuple(row[: limit + 1])
+        cached = self._diameter_ball_cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self._context.graph(graph_index)
+        distances = {row[position]: 0 for position in range(limit + 1)}
+        frontier = list(distances)
+        depth = 0
+        while frontier and depth < horizon:
+            depth += 1
+            next_frontier = []
+            for vertex in frontier:
+                for neighbor in graph.neighbors(vertex):
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        self._diameter_ball_cache[key] = distances
+        return distances
+
+    def _repair_bfs(
+        self,
+        graph_index: int,
+        row: Tuple[VertexId, ...],
+        columns: Sequence[VertexId],
+        start: VertexId,
+        exclude: Optional[VertexId],
+        limit: int,
+        ball: Dict[VertexId, int],
+        horizon: int,
+        future_ok: bool,
+        depth0_accept,
+        target_value,
+    ) -> bool:
+        """Layered BFS from ``start`` through unmapped data vertices.
+
+        Landing on the image of a mapped pattern vertex ``y`` after walking
+        ``depth`` unmapped vertices models the repair path
+        ``d – w₁ – … – w_depth – y``; the search succeeds as soon as
+        ``target_value(y) + depth + 1 ≤ limit`` for an admissible ``y``
+        (``depth0_accept`` gates direct partners; ``future_ok`` gates paths
+        through future vertices).  Unmapped vertices are only traversed
+        while inside ``ball`` (level feasibility) and the search gives up —
+        conservatively answering True — past ``_VIABILITY_BFS_CAP`` visits.
+        """
+        graph = self._context.graph(graph_index)
+        mapped = {vertex: idx for idx, vertex in enumerate(row)}
+        visited = {start}
+        frontier = [start]
+        depth = 0
+        while frontier and depth + 1 <= limit:
+            next_frontier = []
+            for data_vertex in frontier:
+                for neighbor in graph.neighbors(data_vertex):
+                    if neighbor in mapped:
+                        y = columns[mapped[neighbor]]
+                        if y == exclude:
+                            continue
+                        if depth == 0:
+                            if not depth0_accept(y):
+                                continue
+                        elif not future_ok:
+                            continue
+                        if target_value(y) + depth + 1 <= limit:
+                            return True
+                    elif neighbor not in visited:
+                        visited.add(neighbor)
+                        if len(visited) > self._VIABILITY_BFS_CAP:
+                            return True  # give up conservatively
+                        if ball.get(neighbor, horizon + 1) <= horizon:
+                            next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth += 1
+        return False
 
     # ------------------------------------------------------------------ #
     # candidate generation
@@ -300,7 +924,10 @@ class LevelGrower:
         join_pairs: Sequence[Tuple[int, VertexId]],
         level: int,
     ) -> Optional[GrowthState]:
-        if not admissible_new_vertex(state, extension.parent, extension.label):
+        # Constraint I is NOT checked here: a pendant landing beyond D(P) is
+        # repairable by a later edge, so grow_level_full keeps such states as
+        # pending.  Only the permanent Constraints II/III reject outright.
+        if not permanently_admissible_new_vertex(state, extension.parent, extension.label):
             self.statistics.candidates_rejected_constraints += 1
             return None
 
@@ -325,7 +952,9 @@ class LevelGrower:
         new_dist_tail = dict(state.dist_tail)
         new_dist_head[new_vertex] = dist_head
         new_dist_tail[new_vertex] = dist_tail
-        return GrowthState(
+        limit = state.diameter_len
+        pendant_excess = max(0, dist_head - limit) + max(0, dist_tail - limit)
+        extended = GrowthState(
             pattern=pattern,
             diameter_len=state.diameter_len,
             levels=levels,
@@ -334,7 +963,15 @@ class LevelGrower:
             table=table,
             support=support,
             last_extension=("new", extension.parent, extension.label),
+            tainted=state.tainted or pendant_excess > 0,
         )
+        # Along the never-pending fast path a pendant changes no existing
+        # distance, so the excess stays 0 in O(1); tainted states pay the
+        # exact eccentricity-based accounting.
+        extended.deficiency = (
+            _total_deficiency(extended) if extended.tainted else 0
+        )
+        return extended
 
     def _apply_existing_edge(
         self,
@@ -368,8 +1005,12 @@ class LevelGrower:
             table=table,
             support=support,
             last_extension=("edge", u, v),
+            tainted=state.tainted,
         )
         dist_head, dist_tail = distances_after_existing_edge(carrier, u, v)
         carrier.dist_head = dist_head
         carrier.dist_tail = dist_tail
+        # Relaxation can shrink many distances at once; recompute (edges
+        # between existing vertices are rare relative to pendant candidates).
+        carrier.deficiency = _total_deficiency(carrier)
         return carrier

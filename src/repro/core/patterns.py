@@ -20,7 +20,7 @@ smaller physical ids) favour the stored diameter automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.orders import canonical_label_orientation
@@ -143,6 +143,25 @@ class GrowthState:
     table: EmbeddingTable
     support: int
     last_extension: Optional[Tuple] = None
+    # Total distance excess over D(P): 0 iff the state is reportable, > 0
+    # for pending intermediates.  For never-pending states this is the
+    # head/tail excess (O(1) to maintain; the paper's induction guarantees
+    # head/tail distances bound the diameter along valid-only growth).  For
+    # tainted states (see below) it is the eccentricity excess
+    # Σ_v max(0, ecc(v) − D(P)), because once the induction is broken a
+    # twig-to-twig distance can exceed D(P) while every head/tail distance
+    # is fine.  Maintained by LevelGrower.
+    deficiency: int = 0
+    # True iff the state or any ancestor violated Constraint I (entered the
+    # pending flow).  Tainted states pay the exact eccentricity-based
+    # deficiency; untainted ones keep the cheap head/tail bookkeeping.
+    tainted: bool = False
+    # For pending states: the nearest *reportable* ancestor.  Emissions
+    # reached through a pending excursion are super-patterns of that
+    # ancestor, so the closed/maximal child accounting must credit it (the
+    # pending intermediates themselves are never reported).  None for
+    # reportable states.
+    origin: Optional["GrowthState"] = None
     # Growth accounting filled in by LevelGrower: how many accepted (frequent,
     # constraint-preserving, non-duplicate) extensions this state has, and how
     # many of them kept the same support.  Used for the maximal / closed
@@ -194,6 +213,9 @@ class GrowthState:
             table=self.table.copy(),
             support=self.support,
             last_extension=self.last_extension,
+            deficiency=self.deficiency,
+            tainted=self.tainted,
+            origin=self.origin,
         )
 
     def to_pattern(self) -> SkinnyPattern:
@@ -219,6 +241,14 @@ def initial_state_from_path(path: PathPattern) -> GrowthState:
     The path's orientation must already be canonical: when the path's label
     sequence is not palindromic, its forward reading must be the smaller one,
     which :class:`PathPattern` guarantees by construction.
+
+    When the label sequence *is* palindromic, every undirected occurrence is
+    two distinct embeddings (the reversal maps the path onto itself), and the
+    growth table must hold both rows: extensions join against table rows, so
+    a twig that hangs off only one end of a data occurrence is reachable from
+    only one orientation.  Dropping the mirror rows silently loses those
+    joins — one of the LevelGrow completeness gaps closed in
+    ``docs/CORRECTNESS.md``.
     """
     if path.labels != canonical_label_orientation(path.labels):
         raise ValueError("PathPattern labels must be in canonical orientation")
@@ -227,7 +257,15 @@ def initial_state_from_path(path: PathPattern) -> GrowthState:
     levels = {vertex: 0 for vertex in range(length + 1)}
     dist_head = {vertex: vertex for vertex in range(length + 1)}
     dist_tail = {vertex: length - vertex for vertex in range(length + 1)}
-    table = EmbeddingTable.from_path_occurrences(path.embeddings, length)
+    occurrences = list(path.embeddings)
+    if path.labels == tuple(reversed(path.labels)):
+        seen = set(occurrences)
+        for graph_index, vertices in path.embeddings:
+            mirrored = (graph_index, tuple(reversed(vertices)))
+            if mirrored not in seen:
+                seen.add(mirrored)
+                occurrences.append(mirrored)
+    table = EmbeddingTable.from_path_occurrences(occurrences, length)
     support = path.support
     return GrowthState(
         pattern=graph,

@@ -71,9 +71,28 @@ def enumerate_frequent_connected_subgraphs(
     results: List[Tuple[LabeledGraph, List[Occurrence], int]] = []
     seen_patterns: Set[Tuple] = set()
 
-    def support_of(occurrences: Sequence[Occurrence]) -> int:
+    def mni_of(pattern: LabeledGraph) -> int:
+        # Position-wise minimum image count over *all* embeddings of the
+        # pattern (including automorphic re-mappings), the textbook MNI.
+        from repro.graph.isomorphism import find_subgraph_embeddings
+
+        images: Dict[VertexId, Set[Tuple[int, VertexId]]] = {
+            vertex: set() for vertex in pattern.vertices()
+        }
+        for graph_index in context.graph_indices():
+            graph = context.graph(graph_index)
+            for mapping in find_subgraph_embeddings(
+                pattern, graph, distinct_images=False
+            ):
+                for pattern_vertex, data_vertex in mapping.items():
+                    images[pattern_vertex].add((graph_index, data_vertex))
+        return min((len(image) for image in images.values()), default=0)
+
+    def support_of(key: Tuple, occurrences: Sequence[Occurrence]) -> int:
         if context.support_measure is SupportMeasure.TRANSACTIONS:
             return len({index for index, _ in occurrences})
+        if context.support_measure is SupportMeasure.MNI:
+            return mni_of(pattern_graphs[key])
         images = {
             (index, frozenset(v for edge in edges for v in edge))
             for index, edges in occurrences
@@ -85,10 +104,17 @@ def enumerate_frequent_connected_subgraphs(
         next_level: Dict[Tuple, Dict[Occurrence, None]] = {}
         for key, occurrence_map in current.items():
             occurrences = list(occurrence_map)
-            support = support_of(occurrences)
-            if not context.is_frequent(support):
+            support = support_of(key, occurrences)
+            frequent = context.is_frequent(support)
+            # Under an anti-monotone measure an infrequent pattern has no
+            # frequent super-pattern, so pruning it is lossless.  Embedding
+            # count is not anti-monotone (two embeddings of a super-pattern
+            # can share one image of a sub-pattern), so there the oracle
+            # keeps extending every pattern that occurs at all and only the
+            # *reporting* is thresholded — exhaustive, as ground truth must be.
+            if not frequent and context.support_measure.anti_monotone:
                 continue
-            if key not in seen_patterns:
+            if frequent and key not in seen_patterns:
                 seen_patterns.add(key)
                 results.append((pattern_graphs[key], occurrences, support))
                 if max_patterns is not None and len(results) >= max_patterns:

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.database import MiningContext, SupportMeasure
 from repro.core.diameter import is_l_long_delta_skinny
-from repro.core.diammine import DiamMine
+from repro.core.diammine import DiamMine, Stage1Mode
 from repro.core.levelgrow import LevelGrower, LevelGrowStatistics
 from repro.core.patterns import (
     GrowthState,
@@ -72,8 +72,14 @@ class SkinnyMine:
     max_paths_per_length / max_patterns_per_diameter:
         Optional safety caps for exploratory runs on dense data; ``None``
         (default) keeps the algorithm exact.
+    stage1_mode:
+        Stage-1 exactness contract forwarded to DiamMine
+        (:class:`repro.core.diammine.Stage1Mode`); the default ``EXACT``
+        mines every frequent diameter under any support measure, ``PRUNED``
+        opts back into the paper's literal intermediate thresholding.
     prune_intermediate:
-        Forwarded to DiamMine (see there for the embedding-support nuance).
+        Deprecated boolean spelling of ``stage1_mode`` (``True`` → pruned,
+        ``False`` → exact); an explicit value overrides ``stage1_mode``.
 
     Examples
     --------
@@ -81,10 +87,12 @@ class SkinnyMine:
     >>> background = erdos_renyi_graph(120, 1.5, 8, seed=1)
     >>> pattern = random_skinny_pattern(6, 1, 9, 8, seed=2)
     >>> _ = inject_pattern(background, pattern, copies=3, seed=3)
-    >>> miner = SkinnyMine(background, min_support=2)
+    >>> miner = SkinnyMine(background, min_support=3)
     >>> result = miner.mine(length=6, delta=1)
     >>> all(p.diameter_length == 6 for p in result)
     True
+    >>> miner.stage1_mode
+    <Stage1Mode.EXACT: 'exact'>
     """
 
     def __init__(
@@ -94,12 +102,14 @@ class SkinnyMine:
         support_measure: Optional[SupportMeasure] = None,
         max_paths_per_length: Optional[int] = None,
         max_patterns_per_diameter: Optional[int] = None,
-        prune_intermediate: bool = True,
+        stage1_mode: Union[str, Stage1Mode, None] = None,
+        prune_intermediate: Optional[bool] = None,
     ) -> None:
         self._context = MiningContext(graphs, min_support, support_measure)
         self._diammine = DiamMine(
             self._context,
             max_paths_per_length=max_paths_per_length,
+            mode=stage1_mode,
             prune_intermediate=prune_intermediate,
         )
         self._max_patterns_per_diameter = max_patterns_per_diameter
@@ -112,6 +122,11 @@ class SkinnyMine:
     @property
     def context(self) -> MiningContext:
         return self._context
+
+    @property
+    def stage1_mode(self) -> Stage1Mode:
+        """The resolved Stage-1 exactness mode (see :class:`Stage1Mode`)."""
+        return self._diammine.mode
 
     def precompute(self, lengths: Iterable[int]) -> Dict[int, int]:
         """Pre-compute and index canonical diameters for several lengths.
@@ -156,8 +171,13 @@ class SkinnyMine:
         closedness filter of Algorithm 3, line 12: a pattern is reported only
         if it has no frequent constraint-preserving super-pattern of at least
         the same support in its cluster.  ``maximal_only`` is the stricter
-        structural filter (no frequent super-pattern at all) used by some of
-        the effectiveness benchmarks.  ``validate`` re-checks every output
+        filter (no frequent constraint-preserving super-pattern in its
+        cluster at all) used by some of the effectiveness benchmarks.  Both
+        are cluster-local: a super-pattern whose canonical diameter differs
+        belongs to — and is weighed by — its own cluster.  Super-patterns
+        reached through constraint-pending intermediates are credited to
+        their nearest reportable ancestor, so the filters see through
+        pending repairs.  ``validate`` re-checks every output
         with the reference predicate
         :func:`repro.core.diameter.is_l_long_delta_skinny` — slow, meant for
         tests.
@@ -235,15 +255,19 @@ class SkinnyMine:
         grower.register(root)
         collected: List[tuple[GrowthState, bool]] = [(root, include_minimal)]
 
+        # The frontier carries both reportable states and constraint-pending
+        # intermediates (Constraint-I violations a later level's edges can
+        # still repair); only the former are ever collected.
         frontier: List[GrowthState] = [root]
         for level in range(1, delta + 1):
             next_frontier: List[GrowthState] = []
             for state in frontier:
-                grown = grower.grow_level(state, level)
-                next_frontier.extend(grown)
+                growth = grower.grow_level_full(state, level, max_level=delta)
+                next_frontier.extend(growth.emitted)
+                next_frontier.extend(growth.pending)
+                collected.extend((grown, True) for grown in growth.emitted)
             if not next_frontier:
                 break
-            collected.extend((state, True) for state in next_frontier)
             frontier = next_frontier
         if report is not None:
             report.level_statistics.merge(grower.statistics)

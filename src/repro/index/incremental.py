@@ -21,13 +21,17 @@ dataset fingerprint untouched; entries with parameters the maintainer does
 not understand (including cap-truncated Stage-1 entries) are invalidated
 (deleted) so a cold rebuild stays correct.
 
-Exactness note: repair counts occurrences *exhaustively* (it matches
-``brute_force_frequent_paths``).  DiamMine with its default
-``prune_intermediate=True`` is heuristically pruned under embedding-count
-support (the measure is not anti-monotone — see its docstring), so on
-adversarial graphs a repaired entry may legitimately contain frequent paths
-a fresh pruned DiamMine run would miss.  Repair therefore never loses
-patterns relative to a rebuild; it can only be closer to ground truth.
+Exactness contract: repair counts occurrences *exhaustively* (it matches
+``brute_force_frequent_paths``), which is the same object DiamMine computes
+in its default :class:`repro.core.diammine.Stage1Mode.EXACT` mode — so for
+exact-mode entries, incremental repair and a full rebuild are
+byte-comparable (the equivalence is pinned by
+``tests/index/test_incremental.py``).  Entries built with the opt-in
+heuristic ``stage1_mode: "pruned"`` (or legacy entries that predate the
+mode field, which were built pruned) are *invalidated* rather than
+repaired: a pruned rebuild can miss frequent paths an exhaustive repair
+would keep, and the store must never hold an entry its own build mode
+cannot reproduce.
 """
 
 from __future__ import annotations
@@ -191,7 +195,7 @@ def repair_path_entry(
                 kept.append(pattern)
                 continue
             changed = True
-            support = context.support_of_path_occurrences(surviving)
+            support = context.support_of_path_occurrences(surviving, labels=pattern.labels)
             if context.is_frequent(support):
                 kept.append(
                     PathPattern(pattern.labels, tuple(sorted(surviving)), support)
@@ -230,7 +234,7 @@ def repair_path_entry(
                 merged.setdefault(_occurrence_key(occurrence), occurrence)
             if len(merged) == before:
                 continue
-            support = context.support_of_path_occurrences(merged.values())
+            support = context.support_of_path_occurrences(merged.values(), labels=labels)
             indexed[labels] = PathPattern(
                 labels, tuple(sorted(merged.values())), support
             )
@@ -239,7 +243,7 @@ def repair_path_entry(
             # A label sequence not in the index was infrequent before the
             # edit; count exactly this sequence (targeted, not a re-mine).
             all_occurrences = find_labeled_path_occurrences(context, labels)
-            support = context.support_of_path_occurrences(all_occurrences)
+            support = context.support_of_path_occurrences(all_occurrences, labels=labels)
             if context.is_frequent(support):
                 indexed[labels] = PathPattern(
                     labels, tuple(sorted(all_occurrences)), support
@@ -330,11 +334,22 @@ class IndexMaintainer:
             report.entries_seen += 1
             parameter = key.decoded_parameter()
             try:
-                if set(parameter) != {"length", "min_support", "support_measure"}:
+                if set(parameter) != {
+                    "length",
+                    "min_support",
+                    "support_measure",
+                    "stage1_mode",
+                }:
                     # Extra keys (e.g. a max_paths_per_length cap marking a
                     # deliberately truncated entry) change the entry's
-                    # semantics in ways repair cannot honour.
+                    # semantics in ways repair cannot honour; entries
+                    # *missing* stage1_mode predate the exactness contract
+                    # and were built with heuristic pruning.
                     raise ValueError("unknown parameter keys")
+                if parameter["stage1_mode"] != "exact":
+                    # Pruned builds are heuristic; repair (exhaustive) would
+                    # disagree with a pruned rebuild, so the entry must go.
+                    raise ValueError("non-exact stage1_mode")
                 record = {
                     "key": key,
                     "entry": entry,

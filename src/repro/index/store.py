@@ -85,7 +85,23 @@ def decode_parameter(text: str) -> Hashable:
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class StoreKey:
-    """Identity of one index entry: which data, which constraint, which parameter."""
+    """Identity of one index entry: which data, which constraint, which parameter.
+
+    The parameter is stored in its canonical text encoding so equal
+    parameters always produce equal keys; for the path-indexed constraints
+    it includes the Stage-1 exactness mode, so exact and pruned entries
+    never alias (see ``docs/CORRECTNESS.md``).
+
+    Examples
+    --------
+    >>> key = StoreKey.make("fp", "skinny", {"length": 5, "min_support": 2,
+    ...                                      "support_measure": "embeddings",
+    ...                                      "stage1_mode": "exact"})
+    >>> key.decoded_parameter()["stage1_mode"]
+    'exact'
+    >>> StoreKey.make("fp", "skinny", (5, 1)).decoded_parameter()
+    (5, 1)
+    """
 
     fingerprint: str
     constraint_id: str
@@ -162,7 +178,18 @@ class PatternStore(ABC):
 
 
 class MemoryPatternStore(PatternStore):
-    """Process-local dict backend (the seed repo's behaviour, now pluggable)."""
+    """Process-local dict backend (the seed repo's behaviour, now pluggable).
+
+    Examples
+    --------
+    >>> store = MemoryPatternStore()
+    >>> key = StoreKey.make("fp", "path", {"length": 2})
+    >>> store.put(IndexEntry(key=key, patterns=["p1", "p2"]))
+    >>> len(store.get(key).patterns)
+    2
+    >>> store.delete(key), store.get(key)
+    (True, None)
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[StoreKey, IndexEntry] = {}

@@ -99,12 +99,19 @@ class MineRequest:
         """Canonical identity of the request (the result-cache key)."""
         return self.to_query().cache_key()
 
-    def stage_one_parameter(self) -> Dict[str, object]:
-        """The Stage-1 index parameter (δ and top_k do not affect Stage 1)."""
+    def stage_one_parameter(self, stage1_mode: str = "exact") -> Dict[str, object]:
+        """The Stage-1 index parameter (δ and top_k do not affect Stage 1).
+
+        ``stage1_mode`` defaults to the engine default (``"exact"``); pass
+        the serving engine's actual mode (``service.stage1_mode.value``)
+        when the service was constructed with the pruned opt-in, or the key
+        will not match its store entries.
+        """
         return {
             "length": self.length,
             "min_support": self.min_support,
             "support_measure": self.support_measure,
+            "stage1_mode": stage1_mode,
         }
 
     @classmethod

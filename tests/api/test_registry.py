@@ -34,17 +34,19 @@ class TestBuiltins:
         assert described["constraint_id"] == "skinny"
         assert [p["name"] for p in described["params"]] == ["length", "delta"]
 
-    def test_skinny_stage_one_parameter_matches_legacy_scheme(self):
-        # Pre-redesign stores key skinny Stage-1 entries by exactly this
-        # dict; the spec must reproduce it so warm stores stay warm.
+    def test_skinny_stage_one_parameter_scheme(self):
+        # The engine always engages the stage1_mode cap, so the exactness
+        # contract is part of every path-indexed key; legacy entries (no
+        # stage1_mode — built with heuristic pruning) deliberately go cold.
         spec = get_constraint("skinny")
         parameter = spec.stage_one_parameter(
-            {"length": 5, "delta": 1}, 2, "embeddings", {}
+            {"length": 5, "delta": 1}, 2, "embeddings", {"stage1_mode": "exact"}
         )
         assert parameter == {
             "length": 5,
             "min_support": 2,
             "support_measure": "embeddings",
+            "stage1_mode": "exact",
         }
 
     def test_skinny_stage_one_parameter_keys_engaged_caps(self):

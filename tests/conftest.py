@@ -8,20 +8,28 @@ backbone at levels 1 and 2.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.graph.labeled_graph import LabeledGraph, build_graph
 
-try:  # Deterministic property-based runs: the tier-1 suite gates CI.
+try:
     from hypothesis import settings as _hypothesis_settings
 
-    # Random seed draws occasionally hit a known, pre-existing miner
-    # incompleteness (e.g. random_transaction_database seed=85 exposes a
-    # frequent 4-cycle missed by DiamMine/LevelGrow — see ROADMAP.md).  The
-    # derandomized profile keeps the suite a stable regression gate; the
-    # completeness gap is tracked as future work, not hidden by this.
+    # The property suite runs fully randomized by default: the miner
+    # completeness gaps that once forced derandomization (the seed-85
+    # 4-cycle and friends — see docs/CORRECTNESS.md) are closed and pinned
+    # by tests/core/test_completeness_matrix.py.  CI sets
+    # REPRO_HYPOTHESIS_DERANDOMIZE=1 purely as a stability flag, so a gate
+    # run never flakes on an as-yet-unseen draw; local runs keep exploring
+    # fresh seeds.
     _hypothesis_settings.register_profile("repro-ci", derandomize=True)
-    _hypothesis_settings.load_profile("repro-ci")
+    _hypothesis_settings.register_profile("repro-random", derandomize=False)
+    if os.environ.get("REPRO_HYPOTHESIS_DERANDOMIZE"):
+        _hypothesis_settings.load_profile("repro-ci")
+    else:
+        _hypothesis_settings.load_profile("repro-random")
 except ImportError:  # pragma: no cover - hypothesis is a test-only dep
     pass
 

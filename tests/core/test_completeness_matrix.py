@@ -1,0 +1,281 @@
+"""Cross-checked completeness matrix: SkinnyMine vs the reference enumerator.
+
+The matrix spans the three axes the exactness work (ISSUE 4) had to close:
+
+* **databases** — seeded single graphs and graph-transaction databases;
+* **constraints** — all three built-ins (``skinny``, ``path``, ``diam-le``);
+* **support measures** — embedding count, MNI and per-graph (transaction)
+  support.
+
+Under the anti-monotone measures (MNI, transactions) the miners must match
+the exhaustive oracle *exactly* — set equality and support equality.  Under
+raw embedding count (not anti-monotone: growing a pattern can split one
+image into many) Stage 2 still prunes infrequent intermediates, so only
+soundness is guaranteed there: everything reported is correct, frequent and
+exactly counted.  ``docs/CORRECTNESS.md`` spells out the contract; this file
+is its executable citation.
+
+The structural regression pins live here too: the ROADMAP's missing 4-cycle
+(seed 85), the mutual-repair theta graph, the cross-level 8-cycle, and the
+twig-to-twig canonical-diameter violation (seed 80) that the per-edge
+constraint checks cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import MiningContext, SupportMeasure
+from repro.core.diammine import DiamMine, brute_force_frequent_paths
+from repro.core.framework import (
+    BoundedDiameterDriver,
+    bounded_diameter_constraint,
+)
+from repro.core.reference import (
+    enumerate_and_check_spm,
+    enumerate_frequent_connected_subgraphs,
+)
+from repro.core.skinnymine import SkinnyMine
+from repro.graph.canonical import canonical_key
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    random_transaction_database,
+)
+from repro.graph.labeled_graph import build_graph
+
+MAX_EDGES = 6
+
+SINGLE_GRAPH_SEEDS = (7, 23, 80, 85)
+TRANSACTION_SEEDS = (11, 42, 85, 199)
+
+SINGLE_MEASURES = (SupportMeasure.EMBEDDINGS, SupportMeasure.MNI)
+TRANSACTION_MEASURES = (SupportMeasure.TRANSACTIONS, SupportMeasure.MNI)
+
+
+def single_graph(seed):
+    return erdos_renyi_graph(12, 1.5, 3, seed=seed)
+
+
+def transaction_db(seed):
+    return random_transaction_database(3, 12, 1.4, 4, seed=seed)
+
+
+def keyed(patterns):
+    return {canonical_key(p.graph.compact()[0]): p.support for p in patterns}
+
+
+def assert_matches_oracle(mined, oracle, *, complete):
+    mined_map = {k: s for k, s in keyed(mined).items()}
+    oracle_map = keyed(oracle)
+    extra = set(mined_map) - set(oracle_map)
+    assert not extra, f"unsound: {len(extra)} pattern(s) not in the oracle"
+    for key, support in mined_map.items():
+        assert oracle_map[key] == support, "support mismatch vs oracle"
+    if complete:
+        missing = set(oracle_map) - set(mined_map)
+        assert not missing, f"incomplete: {len(missing)} oracle pattern(s) missed"
+
+
+# --------------------------------------------------------------------- #
+# skinny
+# --------------------------------------------------------------------- #
+class TestSkinnyMatrix:
+    @pytest.mark.parametrize("seed", SINGLE_GRAPH_SEEDS)
+    @pytest.mark.parametrize("measure", SINGLE_MEASURES)
+    def test_single_graph(self, seed, measure):
+        graph = single_graph(seed)
+        mined = SkinnyMine(graph, min_support=2, support_measure=measure).mine(
+            2, 1, validate=True
+        )
+        oracle = enumerate_and_check_spm(
+            graph, 2, 1, 2, max_edges=MAX_EDGES, support_measure=measure
+        )
+        assert_matches_oracle(
+            [p for p in mined if p.num_edges <= MAX_EDGES],
+            oracle,
+            complete=measure.anti_monotone,
+        )
+
+    @pytest.mark.parametrize("seed", TRANSACTION_SEEDS)
+    @pytest.mark.parametrize("measure", TRANSACTION_MEASURES)
+    def test_transaction_database(self, seed, measure):
+        database = transaction_db(seed)
+        mined = SkinnyMine(database, min_support=2, support_measure=measure).mine(
+            2, 1, validate=True
+        )
+        oracle = enumerate_and_check_spm(
+            database, 2, 1, 2, max_edges=MAX_EDGES, support_measure=measure
+        )
+        assert_matches_oracle(
+            [p for p in mined if p.num_edges <= MAX_EDGES],
+            oracle,
+            complete=True,
+        )
+
+
+# --------------------------------------------------------------------- #
+# path (Stage 1 alone: DiamMine vs brute force, exact under EVERY measure)
+# --------------------------------------------------------------------- #
+class TestPathMatrix:
+    @pytest.mark.parametrize("seed", SINGLE_GRAPH_SEEDS)
+    @pytest.mark.parametrize(
+        "measure", (SupportMeasure.EMBEDDINGS, SupportMeasure.MNI)
+    )
+    @pytest.mark.parametrize("length", (2, 3))
+    def test_single_graph(self, seed, measure, length):
+        context = MiningContext(single_graph(seed), 2, measure)
+        mined = DiamMine(context).mine(length)
+        brute = brute_force_frequent_paths(context, length)
+        assert sorted(p.labels for p in mined) == sorted(p.labels for p in brute)
+        assert {p.labels: p.support for p in mined} == {
+            p.labels: p.support for p in brute
+        }
+
+    @pytest.mark.parametrize("seed", TRANSACTION_SEEDS)
+    @pytest.mark.parametrize("measure", TRANSACTION_MEASURES)
+    def test_transaction_database(self, seed, measure):
+        context = MiningContext(transaction_db(seed), 2, measure)
+        mined = DiamMine(context).mine(3)
+        brute = brute_force_frequent_paths(context, 3)
+        assert sorted(p.labels for p in mined) == sorted(p.labels for p in brute)
+        assert {p.labels: p.support for p in mined} == {
+            p.labels: p.support for p in brute
+        }
+
+
+# --------------------------------------------------------------------- #
+# diam-le (bounded diameter, grown via pending intermediates)
+# --------------------------------------------------------------------- #
+def mine_bounded_diameter(graphs, bound, min_support, measure):
+    context = MiningContext(graphs, min_support, measure)
+    driver = BoundedDiameterDriver(max_edges=MAX_EDGES)
+    results = []
+    seen = set()
+    for minimal in driver.mine_minimal(context, bound):
+        for pattern in driver.grow(context, minimal, bound):
+            key = canonical_key(pattern.graph.compact()[0])
+            if key not in seen:
+                seen.add(key)
+                results.append(pattern)
+    return results
+
+
+def bounded_diameter_oracle(graphs, bound, min_support, measure):
+    context = MiningContext(graphs, min_support, measure)
+    predicate = bounded_diameter_constraint(bound)
+    return [
+        (pattern, support)
+        for pattern, _, support in enumerate_frequent_connected_subgraphs(
+            context, MAX_EDGES
+        )
+        if predicate(pattern)
+    ]
+
+
+class TestBoundedDiameterMatrix:
+    @pytest.mark.parametrize("seed", SINGLE_GRAPH_SEEDS)
+    @pytest.mark.parametrize("measure", SINGLE_MEASURES)
+    def test_single_graph(self, seed, measure):
+        graph = single_graph(seed)
+        mined = mine_bounded_diameter(graph, 2, 2, measure)
+        oracle = bounded_diameter_oracle(graph, 2, 2, measure)
+        mined_map = keyed(mined)
+        oracle_map = {
+            canonical_key(pattern.compact()[0]): support
+            for pattern, support in oracle
+        }
+        assert set(mined_map) <= set(oracle_map)
+        for key, support in mined_map.items():
+            assert oracle_map[key] == support
+        if measure.anti_monotone:
+            assert set(mined_map) == set(oracle_map)
+
+    @pytest.mark.parametrize("seed", TRANSACTION_SEEDS[:2])
+    def test_transaction_database(self, seed):
+        database = transaction_db(seed)
+        measure = SupportMeasure.TRANSACTIONS
+        mined = mine_bounded_diameter(database, 2, 2, measure)
+        oracle = bounded_diameter_oracle(database, 2, 2, measure)
+        mined_map = keyed(mined)
+        oracle_map = {
+            canonical_key(pattern.compact()[0]): support
+            for pattern, support in oracle
+        }
+        assert mined_map == oracle_map
+
+
+# --------------------------------------------------------------------- #
+# structural regression pins
+# --------------------------------------------------------------------- #
+class TestStructuralRegressions:
+    def test_roadmap_missing_four_cycle(self):
+        """The ROADMAP repro: seed 85's frequent 4-cycle is found and the
+        full result matches enumerate_and_check_spm.
+        """
+        database = transaction_db(85)
+        mined = SkinnyMine(database, min_support=2).mine(2, 1)
+        oracle = enumerate_and_check_spm(database, 2, 1, 2)
+        assert keyed(mined) == keyed(oracle)
+        assert any(
+            p.num_edges == 4 and p.num_vertices == 4 for p in mined
+        ), "the frequent 4-cycle must be in the result"
+
+    def test_mutual_repair_theta(self):
+        """Two pendants that only become valid through each other (C5)."""
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "c", 3: "d", 4: "e"},
+            [(0, 1), (1, 2), (0, 3), (2, 4), (3, 4)],
+        )
+        database = [graph, graph.copy()]
+        mined = SkinnyMine(database, min_support=2).mine(2, 1)
+        oracle = enumerate_and_check_spm(database, 2, 1, 2)
+        assert keyed(mined) == keyed(oracle)
+
+    def test_cross_level_repair_eight_cycle(self):
+        """An 8-cycle's far arm repairs across two growth levels."""
+        cycle = build_graph(
+            {i: label for i, label in enumerate("abcdefgh")},
+            [(i, (i + 1) % 8) for i in range(8)],
+        )
+        database = [cycle, cycle.copy()]
+        mined = SkinnyMine(database, min_support=2).mine(4, 2)
+        oracle = enumerate_and_check_spm(database, 4, 2, 2)
+        assert keyed(mined) == keyed(oracle)
+
+    def test_closed_and_maximal_filters_see_through_pending_repairs(self):
+        """A pattern emitted out of a pending excursion is a super-pattern of
+        the excursion's reportable origin: the closed/maximal accounting
+        must credit that origin, or the origin is wrongly reported as
+        closed/maximal.
+
+        The filters are cluster-local by contract (see SkinnyMine.mine), so
+        on a-b-a-b cycle data only the (a,b,a)-cluster path — whose cluster
+        emits the 4-cycle — is filtered; the (b,a,b) path's cluster does not
+        report the cycle (its canonical diameter is (a,b,a)) and that path
+        legitimately survives.
+        """
+        cycle = build_graph(
+            {0: "a", 1: "b", 2: "a", 3: "b"},
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        database = [cycle, cycle.copy()]
+        for kwargs in ({"maximal_only": True}, {"closed_only": True}):
+            result = SkinnyMine(database, min_support=2).mine(2, 1, **kwargs)
+            shapes = sorted((p.num_vertices, p.num_edges) for p in result)
+            assert shapes == [(3, 2), (4, 4)], (kwargs, result)
+            surviving_paths = [p for p in result if p.num_edges == 2]
+            assert [p.diameter_labels() for p in surviving_paths] == [
+                ("b", "a", "b")
+            ], surviving_paths
+
+    def test_twig_to_twig_canonical_diameter_guard(self):
+        """Seed 80: a twig–twig diameter path with smaller labels must keep
+        the pattern out of this cluster (the per-edge Constraint III checks
+        cannot see it; the emission-time Loop-Invariant check can).
+        """
+        graph = single_graph(80)
+        mined = SkinnyMine(graph, min_support=2).mine(2, 1, validate=True)
+        oracle = enumerate_and_check_spm(graph, 2, 1, 2, max_edges=MAX_EDGES)
+        assert set(keyed(p for p in mined if p.num_edges <= MAX_EDGES)) <= set(
+            keyed(oracle)
+        )

@@ -177,13 +177,14 @@ class TestLevelGrow:
     def test_statistics_merge(self):
         from repro.core.levelgrow import LevelGrowStatistics
 
-        one = LevelGrowStatistics(1, 2, 3, 4, 5)
-        two = LevelGrowStatistics(10, 20, 30, 40, 50)
+        one = LevelGrowStatistics(1, 2, 3, 4, candidates_pending=5, patterns_emitted=6)
+        two = LevelGrowStatistics(10, 20, 30, 40, candidates_pending=50, patterns_emitted=60)
         one.merge(two)
         assert (
             one.candidates_generated,
             one.candidates_rejected_constraints,
             one.candidates_rejected_support,
             one.candidates_rejected_duplicate,
+            one.candidates_pending,
             one.patterns_emitted,
-        ) == (11, 22, 33, 44, 55)
+        ) == (11, 22, 33, 44, 55, 66)

@@ -1,0 +1,29 @@
+"""Documentation link integrity, inside the tier-1 gate.
+
+Runs the same checker the docs CI job invokes
+(``tools/check_markdown_links.py``) so a broken relative link or stale
+anchor in README/ROADMAP/docs fails fast locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_markdown_links import check_documents, default_documents  # noqa: E402
+
+
+def test_documentation_links_resolve():
+    documents = default_documents()
+    assert documents, "expected at least README.md to exist"
+    assert {doc.name for doc in documents} >= {"README.md", "ROADMAP.md"}
+    problems = check_documents(documents)
+    assert not problems, "broken documentation links:\n" + "\n".join(problems)
+
+
+def test_architecture_and_correctness_docs_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (REPO_ROOT / "docs" / "CORRECTNESS.md").is_file()

@@ -24,7 +24,7 @@ def normalised(patterns):
 
 
 def seeded_store(graph, length, min_support):
-    """A store holding one freshly mined entry for ``graph``."""
+    """A store holding one freshly mined exact-mode entry for ``graph``."""
     store = MemoryPatternStore()
     context = MiningContext(graph, min_support)
     patterns = DiamMine(context).mine(length)
@@ -32,6 +32,7 @@ def seeded_store(graph, length, min_support):
         "length": length,
         "min_support": min_support,
         "support_measure": context.support_measure.value,
+        "stage1_mode": "exact",
     }
     key = StoreKey.make(dataset_fingerprint([graph]), "skinny", parameter)
     store.put(IndexEntry(key=key, patterns=patterns, build_seconds=0.1))

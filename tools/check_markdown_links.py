@@ -1,0 +1,111 @@
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Scans the given markdown files (or the repo's default documentation set) for
+inline links and validates everything that can be checked offline:
+
+* relative file links must point at an existing file or directory;
+* ``#fragment`` anchors — standalone or appended to a relative link — must
+  match a heading in the target document (GitHub slug rules, simplified);
+* ``http(s)``/``mailto`` links are reported but not fetched (CI has no
+  business depending on third-party uptime).
+
+Exit status is non-zero when any broken link is found, so the script can
+gate CI directly; ``tests/docs/test_markdown_links.py`` runs the same check
+inside the tier-1 suite.
+
+Usage::
+
+    python tools/check_markdown_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation set checked when no arguments are given.
+DEFAULT_FILES = ("README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md")
+DEFAULT_GLOBS = ("docs/*.md",)
+
+_LINK = re.compile(r"(?<!!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def default_documents() -> List[Path]:
+    files = [REPO_ROOT / name for name in DEFAULT_FILES if (REPO_ROOT / name).exists()]
+    for pattern in DEFAULT_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug, close enough for our headings."""
+    slug = re.sub(r"[`*_]", "", title.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set:
+    slugs = set()
+    counts = {}
+    for match in _HEADING.finditer(markdown):
+        slug = github_slug(match.group("title"))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return (link, problem) pairs for every broken link in ``path``."""
+    markdown = path.read_text(encoding="utf-8")
+    scrubbed = _CODE_FENCE.sub("", markdown)
+    problems: List[Tuple[str, str]] = []
+    for match in _LINK.finditer(scrubbed):
+        target = match.group("target")
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in heading_slugs(markdown):
+                problems.append((target, "anchor not found in this document"))
+            continue
+        relative, _, fragment = target.partition("#")
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing file {resolved}"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved.read_text(encoding="utf-8")):
+                problems.append((target, f"anchor #{fragment} not found in {relative}"))
+    return problems
+
+
+def check_documents(paths: Iterable[Path]) -> List[str]:
+    """Human-readable problem lines for every broken link across ``paths``."""
+    lines: List[str] = []
+    for path in paths:
+        for target, problem in check_file(path):
+            lines.append(f"{path.relative_to(REPO_ROOT)}: [{target}] {problem}")
+    return lines
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(arg).resolve() for arg in argv] if argv else default_documents()
+    problems = check_documents(paths)
+    for line in problems:
+        print(line)
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in paths)
+    if problems:
+        print(f"FAILED: {len(problems)} broken link(s) across {checked}")
+        return 1
+    print(f"OK: links valid in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,7 +16,7 @@ engine and is the workload the
 :class:`repro.graph.embeddings.EmbeddingTable` extension-join engine was
 built for.
 
-Two things are checked on every run:
+Three things are checked on every run:
 
 * **Output identity** — the mined pattern set (graphs + supports +
   embeddings, order-independent hash) must equal the committed
@@ -26,6 +26,13 @@ Two things are checked on every run:
   calibration mine run on the same interpreter (so CI runners of different
   speeds compare apples to apples), must stay within
   ``REGRESSION_BUDGET`` of the committed baseline's normalised time.
+* **Phase regression** — the emission fast path (PR 5) splits Stage-2 time
+  into canonicalisation / verification / probing phases
+  (``LevelGrowStatistics``); each phase's calibration-normalised time is
+  gated independently, so a regression inside one phase cannot hide behind
+  an improvement elsewhere.  Tiny phases get an absolute noise floor
+  (``PHASE_NOISE_FLOOR`` calibration units) so timer jitter cannot trip the
+  gate.
 
 ``BENCH_levelgrow.json`` (next to this file) is the committed baseline.  To
 refresh it after an intentional perf change, run with ``BENCH_UPDATE=1``::
@@ -34,7 +41,13 @@ refresh it after an intentional perf change, run with ``BENCH_UPDATE=1``::
 
 which overwrites the file; commit the result.  The ``pre_table_engine``
 block is the historical record of the pre-EmbeddingTable engine on the
-capture machine and is carried through refreshes verbatim.
+capture machine and is carried through refreshes verbatim, as is the
+``history`` list — a per-change ledger of normalised times and phase
+splits.  Every run (gating or not) also writes the fresh measurement to
+``BENCH_levelgrow.latest.json``; on main, CI appends it to the previous
+run's artifact history via ``tools/append_bench_history.py``, so the
+``bench-json`` artifact accumulates a per-commit record without committing
+churn to the repository.
 """
 
 from __future__ import annotations
@@ -55,9 +68,16 @@ from repro.graph.generators import (
 )
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_levelgrow.json"
-#: Fresh normalised runtime may exceed the committed one by at most 25%.
+LATEST_PATH = Path(__file__).parent / "BENCH_levelgrow.latest.json"
+#: Fresh normalised runtime may exceed the committed one by at most 25% —
+#: per phase as well as in total.
 REGRESSION_BUDGET = 0.25
+#: Absolute slack (in calibration units) added to each phase budget: the
+#: phases are fractions of a second, where timer noise would otherwise
+#: dominate a 25% relative gate.
+PHASE_NOISE_FLOOR = 0.5
 CALIBRATION_ROUNDS = 3
+PHASES = ("canonical", "invariant", "probe")
 
 SCENARIO = {
     "background": {"num_vertices": 200, "avg_degree": 1.8, "num_labels": 25, "seed": 1},
@@ -152,15 +172,34 @@ def _measure():
     total = time.perf_counter() - started
     calibration = (calibration_before + _calibration_seconds()) / 2
     report = miner.last_report
+    stats = report.level_statistics
+    levelgrow_seconds = report.levelgrow_seconds
+    phase_seconds = {
+        "canonical": stats.canonical_seconds,
+        "invariant": stats.invariant_seconds,
+        "probe": stats.probe_seconds,
+    }
     return {
         "scenario": SCENARIO,
         "calibration_seconds": calibration,
         "diammine_seconds": report.diammine_seconds,
-        "levelgrow_seconds": report.levelgrow_seconds,
+        "levelgrow_seconds": levelgrow_seconds,
         "total_seconds": total,
         "num_diameters": report.num_diameters,
         "num_patterns": len(patterns),
-        "candidates_generated": report.level_statistics.candidates_generated,
+        "candidates_generated": stats.candidates_generated,
+        # The emission-fast-path phase split (ISSUE 5): wall-clock per phase
+        # plus its share of Stage 2, and the fast-path counters.
+        "phase_seconds": phase_seconds,
+        "phase_shares": {
+            phase: seconds / levelgrow_seconds if levelgrow_seconds else 0.0
+            for phase, seconds in phase_seconds.items()
+        },
+        "fast_path_counters": {
+            "canonical_incremental_hits": stats.canonical_incremental_hits,
+            "invariant_cache_hits": stats.invariant_cache_hits,
+            "probes_batched": stats.probes_batched,
+        },
         "pattern_set_sha256": pattern_set_sha256(patterns),
     }
 
@@ -179,18 +218,37 @@ def test_levelgrow_scaling_no_regression(benchmark):
         f"σ={SCENARIO['min_support']}): {fresh['num_patterns']} patterns in "
         f"{fresh['levelgrow_seconds']:.2f}s Stage 2 "
         f"(calibration {fresh['calibration_seconds']:.3f}s, "
-        f"normalised {normalised:.1f}×)"
+        f"normalised {normalised:.1f}×; phase shares "
+        + ", ".join(
+            f"{phase} {fresh['phase_shares'][phase]:.0%}" for phase in PHASES
+        )
+        + ")"
+    )
+
+    # The fresh measurement always lands in the sidecar: CI's main-only
+    # history step appends it to the artifact ledger (append_bench_history).
+    LATEST_PATH.write_text(
+        json.dumps(fresh, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 
     if os.environ.get("BENCH_UPDATE"):
         record = dict(fresh)
-        if committed is not None and "pre_table_engine" in committed:
-            record["pre_table_engine"] = committed["pre_table_engine"]
-            baseline_stage_two = committed["pre_table_engine"].get("levelgrow_seconds")
-            if baseline_stage_two:
-                record["speedup_vs_pre_table_engine"] = round(
-                    baseline_stage_two / fresh["levelgrow_seconds"], 1
+        if committed is not None:
+            if "pre_table_engine" in committed:
+                record["pre_table_engine"] = committed["pre_table_engine"]
+                baseline_stage_two = committed["pre_table_engine"].get(
+                    "levelgrow_seconds"
                 )
+                if baseline_stage_two:
+                    record["speedup_vs_pre_table_engine"] = round(
+                        baseline_stage_two / fresh["levelgrow_seconds"], 1
+                    )
+            history = committed.get("history") or []
+            if isinstance(history, dict):  # pre-PR-5 notes format
+                history = [
+                    {"id": key, "note": note} for key, note in sorted(history.items())
+                ]
+            record["history"] = list(history)
         BASELINE_PATH.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
@@ -217,3 +275,22 @@ def test_levelgrow_scaling_no_regression(benchmark):
         f"exceeds committed {committed_normalised:.1f}× by more than "
         f"{REGRESSION_BUDGET:.0%} (budget {budget:.1f}×)"
     )
+
+    # Phase gate: each phase's calibration-normalised time independently,
+    # so a canonicalisation regression cannot hide behind a verification
+    # win.  Baselines predating the phase split skip the check.
+    committed_phases = committed.get("phase_seconds")
+    if committed_phases:
+        for phase in PHASES:
+            fresh_phase = fresh["phase_seconds"][phase] / fresh["calibration_seconds"]
+            committed_phase = (
+                committed_phases[phase] / committed["calibration_seconds"]
+            )
+            phase_budget = (
+                committed_phase * (1 + REGRESSION_BUDGET) + PHASE_NOISE_FLOOR
+            )
+            assert fresh_phase <= phase_budget, (
+                f"Stage-2 {phase} phase regressed: normalised {fresh_phase:.2f}× "
+                f"exceeds committed {committed_phase:.2f}× by more than "
+                f"{REGRESSION_BUDGET:.0%} + {PHASE_NOISE_FLOOR} noise floor"
+            )

@@ -34,6 +34,7 @@ from repro.api.query import Query, QueryStats, Result
 from repro.api.registry import ConstraintSpec, constraint_specs, get_constraint
 from repro.core.database import EdgeDelta, GraphDelta, MiningContext, SupportMeasure
 from repro.core.diammine import Stage1Mode, resolve_stage1_mode
+from repro.core.levelgrow import DiameterDescriptorCache
 from repro.core.patterns import SkinnyPattern
 from repro.graph.io import dataset_fingerprint
 from repro.graph.labeled_graph import LabeledGraph
@@ -110,6 +111,12 @@ class MiningEngine:
             # every path-indexed Stage-1 store key.
             "stage1_mode": self._stage1_mode.value,
         }
+        # Engine-lifetime Loop-Invariant descriptor cache, injected into
+        # each query's driver: a descriptor is a pure function of the
+        # abstract pattern (no data, threshold or measure involved), so it
+        # never goes stale — not even across apply_delta — while the
+        # per-request counters stay on the per-query driver.
+        self._descriptor_cache = DiameterDescriptorCache()
         self.stats_log: List[QueryStats] = []
 
     @property
@@ -302,6 +309,10 @@ class MiningEngine:
         minimal, from_store, stage_one = self._stage_one(spec, query)
         context = self._context(query.min_support, query.measure)
         driver = spec.make_driver(query.params, self._caps, query.include_minimal)
+        if hasattr(driver, "descriptor_cache"):
+            # Share the engine-lifetime descriptor memo with this request's
+            # driver (the driver's counters remain per-request).
+            driver.descriptor_cache = self._descriptor_cache
         parameter = spec.driver_parameter(query.params)
         stage_two_start = time.perf_counter()
         patterns: List[SkinnyPattern] = []
@@ -312,6 +323,10 @@ class MiningEngine:
         patterns = self._ranked(patterns, query.top_k)
         stage_two = time.perf_counter() - stage_two_start
 
+        # Constraint drivers that grow through LevelGrow expose per-request
+        # counters (the driver instance is built fresh for this query, so
+        # the numbers can never leak from an earlier request).
+        level_statistics = getattr(driver, "statistics", None)
         stats = QueryStats(
             request_key=key,
             stage_one_seconds=stage_one,
@@ -321,6 +336,9 @@ class MiningEngine:
             result_cache_hit=False,
             num_minimal_patterns=len(minimal),
             num_patterns=len(patterns),
+            level_statistics=(
+                level_statistics.to_dict() if level_statistics is not None else None
+            ),
         )
         self.stats_log.append(stats)
         self._result_cache[key] = list(patterns)

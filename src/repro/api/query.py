@@ -211,7 +211,17 @@ def query_from_payload(payload: Mapping[str, object]) -> Query:
 
 @dataclass
 class QueryStats:
-    """Per-query timing and provenance accounting."""
+    """Per-query timing and provenance accounting.
+
+    ``level_statistics`` carries the Stage-2 growth counters of *this* query
+    — including the emission-fast-path ones (``canonical_incremental_hits``,
+    ``invariant_cache_hits``, ``probes_batched``) and the phase timings — as
+    a plain dict, or ``None`` when Stage 2 never ran (result-cache hits) or
+    the constraint's driver grows without LevelGrow.  The engine builds one
+    driver per query, so these counters are per-request by construction and
+    never bleed into the next report (the PR-3 ``SkinnyMine`` counter-merge
+    bug class; pinned by ``tests/service``).
+    """
 
     request_key: str
     stage_one_seconds: float = 0.0
@@ -221,6 +231,7 @@ class QueryStats:
     result_cache_hit: bool = False
     num_minimal_patterns: int = 0
     num_patterns: int = 0
+    level_statistics: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -232,6 +243,7 @@ class QueryStats:
             "result_cache_hit": self.result_cache_hit,
             "num_minimal_patterns": self.num_minimal_patterns,
             "num_patterns": self.num_patterns,
+            "level_statistics": self.level_statistics,
         }
 
 

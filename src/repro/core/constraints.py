@@ -212,6 +212,12 @@ def constraint_three_ok_new_vertex(
     that case every new diameter path is a shortest head→v (or tail→v) path
     extended by ``u``; the extension is admissible iff none of those paths is
     lexicographically smaller than L.
+
+    The anchor→v path enumeration does not depend on the pendant's label, and
+    the growth loop proposes one pendant per *label* off the same attachment
+    vertex — so the enumerated label sequences are memoised on the state,
+    keyed by the attachment vertex, and each sibling label only pays the
+    final lexicographic comparisons.
     """
     diameter = state.diameter_len
     parent_head = state.dist_head[parent]
@@ -222,21 +228,32 @@ def constraint_three_ok_new_vertex(
     new_label_key = str(new_label)
     pattern = state.pattern
 
-    endpoints: List[Tuple[VertexId, int]] = []
-    if parent_head == diameter - 1:
-        endpoints.append((state.head, parent_head))
-    if parent_tail == diameter - 1:
-        endpoints.append((state.tail, parent_tail))
+    memo = getattr(state, "_constraint_three_memo", None)
+    if memo is None:
+        memo = {}
+        state._constraint_three_memo = memo
+    prefixes = memo.get(parent)
+    if prefixes is None:
+        endpoints: List[Tuple[VertexId, int]] = []
+        if parent_head == diameter - 1:
+            endpoints.append((state.head, parent_head))
+        if parent_tail == diameter - 1:
+            endpoints.append((state.tail, parent_tail))
+        prefixes = []
+        for anchor, expected_length in endpoints:
+            distances = _bfs_from(pattern, anchor)
+            for path in _shortest_paths_of_length(
+                pattern, anchor, parent, expected_length, distances
+            ):
+                labels = _label_sequence(pattern, path)
+                prefixes.append((labels, tuple(reversed(labels))))
+        memo[parent] = prefixes
 
-    for anchor, expected_length in endpoints:
-        distances = _bfs_from(pattern, anchor)
-        for path in _shortest_paths_of_length(
-            pattern, anchor, parent, expected_length, distances
-        ):
-            candidate_labels = _label_sequence(pattern, path) + (new_label_key,)
-            reverse_labels = tuple(reversed(candidate_labels))
-            if candidate_labels < diameter_labels or reverse_labels < diameter_labels:
-                return False
+    for labels, reversed_labels in prefixes:
+        candidate_labels = labels + (new_label_key,)
+        reverse_labels = (new_label_key,) + reversed_labels
+        if candidate_labels < diameter_labels or reverse_labels < diameter_labels:
+            return False
     return True
 
 

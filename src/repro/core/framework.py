@@ -498,6 +498,16 @@ class SkinnyConstraintDriver:
     The constraint parameter is the pair ``(length, delta)``; minimal patterns
     are the frequent length-``l`` paths, mined under the Stage-1 exactness
     mode (:class:`repro.core.diammine.Stage1Mode`; exact by default).
+
+    The engine builds one driver per query, so the driver instance is the
+    per-request scope: ``statistics`` accumulates the LevelGrow counters
+    (including the emission-fast-path ones — ``canonical_incremental_hits``,
+    ``invariant_cache_hits``, ``probes_batched``) across every cluster of
+    the request.  ``descriptor_cache`` defaults to a fresh per-driver cache
+    shared across the request's clusters; long-lived callers (the engine)
+    inject their own instance so Loop-Invariant descriptors survive across
+    requests — sound, because a descriptor is a pure function of the
+    abstract pattern, independent of the data, threshold or measure.
     """
 
     def __init__(
@@ -507,10 +517,14 @@ class SkinnyConstraintDriver:
         include_minimal: bool = True,
         stage1_mode: Optional[object] = None,
     ) -> None:
+        from repro.core.levelgrow import DiameterDescriptorCache, LevelGrowStatistics
+
         self._max_paths_per_length = max_paths_per_length
         self._max_patterns_per_diameter = max_patterns_per_diameter
         self._include_minimal = include_minimal
         self._stage1_mode = stage1_mode
+        self.descriptor_cache = DiameterDescriptorCache()
+        self.statistics = LevelGrowStatistics()
 
     def mine_minimal(
         self, context: MiningContext, parameter: Tuple[int, int]
@@ -531,7 +545,11 @@ class SkinnyConstraintDriver:
         from repro.core.patterns import initial_state_from_path
 
         _, delta = parameter
-        grower = LevelGrower(context, max_patterns=self._max_patterns_per_diameter)
+        grower = LevelGrower(
+            context,
+            max_patterns=self._max_patterns_per_diameter,
+            descriptor_cache=self.descriptor_cache,
+        )
         root = initial_state_from_path(minimal)
         grower.register(root)
         results: List[SkinnyPattern] = []
@@ -550,6 +568,7 @@ class SkinnyConstraintDriver:
             if not next_frontier:
                 break
             frontier = next_frontier
+        self.statistics.merge(grower.statistics)
         return results
 
 

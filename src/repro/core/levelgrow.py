@@ -32,6 +32,7 @@ matches the paper.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -43,7 +44,11 @@ from repro.core.constraints import (
 )
 from repro.core.database import MiningContext
 from repro.core.patterns import GrowthState
-from repro.graph.canonical import tree_canonical_key, wl_signature
+from repro.graph.canonical import (
+    tree_canonical_key,
+    unicyclic_canonical_key,
+    wl_signature,
+)
 from repro.graph.isomorphism import are_isomorphic
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
@@ -55,37 +60,61 @@ class PatternRegistry:
     plus pendant twigs), and free labeled trees have an exact near-linear
     canonical form — so the registry keys trees by
     :func:`repro.graph.canonical.tree_canonical_key` directly, one set
-    membership test per candidate, memoised across all growth levels.  Only
-    patterns with cycles (edge-closing extensions) fall back to bucketing by
-    a Weisfeiler–Lehman signature with an exact labeled-isomorphism test on
-    collision; the signature records the whole refinement trajectory, which
-    keeps those buckets near-singleton.  (The minimum-DFS-code canonical
-    form is *not* used here: its branch-and-bound is exponential on exactly
-    the twig-heavy patterns the growth loop mass-produces.)  Isomorphic
-    patterns are always detected — tree keys and the VF2 confirmation are
-    exact, the signature is isomorphism-invariant — so the registry never
-    reports a false duplicate nor misses a true one.
+    membership test per candidate, memoised across all growth levels; in the
+    growth loop that key arrives precomputed, derived incrementally from the
+    parent state's carried encodings.  Single-cycle patterns — almost every
+    edge-closing extension — key the same way through
+    :func:`repro.graph.canonical.unicyclic_canonical_key`.  Only patterns
+    with two or more cycles fall back to bucketing by a Weisfeiler–Lehman
+    signature (vertex *and* edge-pair colour histograms per round) with an
+    exact labeled-isomorphism test on collision.  (The minimum-DFS-code
+    canonical form is *not* used here: its branch-and-bound is exponential
+    on exactly the twig-heavy patterns the growth loop mass-produces.)
+    Isomorphic patterns are always detected — the shape-specific keys and
+    the VF2 confirmation are exact, the signature is isomorphism-invariant —
+    so the registry never reports a false duplicate nor misses a true one.
     """
 
     def __init__(self) -> None:
-        self._tree_keys: Set[Tuple] = set()
+        self._exact_keys: Set[Tuple] = set()
         self._buckets: Dict[Tuple, List[LabeledGraph]] = {}
         self._count = 0
 
-    def add_if_new(self, pattern: LabeledGraph) -> bool:
-        """Register ``pattern``; return True if it was not seen before."""
-        if pattern.num_edges() == pattern.num_vertices() - 1:
-            try:
-                key = tree_canonical_key(pattern)
-            except ValueError:
-                key = None  # right edge count but disconnected: not a tree
-            if key is not None:
-                if key in self._tree_keys:
-                    return False
-                self._tree_keys.add(key)
-                self._count += 1
-                return True
-        signature = wl_signature(pattern)
+    def add_if_new(
+        self,
+        pattern: LabeledGraph,
+        exact_key: Optional[Tuple] = None,
+        signature: Optional[Tuple] = None,
+    ) -> bool:
+        """Register ``pattern``; return True if it was not seen before.
+
+        ``exact_key`` / ``signature`` accept keys the caller already holds —
+        the growth loop derives tree keys incrementally from the parent
+        state's carried encodings (see :class:`GrowthState`), so the
+        registry must not recompute them.  Left ``None``, the keys are
+        computed here exactly as before.
+        """
+        if exact_key is None:
+            edge_count = pattern.num_edges()
+            vertex_count = pattern.num_vertices()
+            if edge_count == vertex_count - 1:
+                try:
+                    exact_key = tree_canonical_key(pattern)
+                except ValueError:
+                    exact_key = None  # right edge count but disconnected: not a tree
+            elif edge_count == vertex_count:
+                try:
+                    exact_key = unicyclic_canonical_key(pattern)
+                except ValueError:
+                    exact_key = None  # cycle + separate tree components
+        if exact_key is not None:
+            if exact_key in self._exact_keys:
+                return False
+            self._exact_keys.add(exact_key)
+            self._count += 1
+            return True
+        if signature is None:
+            signature = wl_signature(pattern)
         bucket = self._buckets.setdefault(signature, [])
         for member in bucket:
             if are_isomorphic(pattern, member):
@@ -137,6 +166,24 @@ class LevelGrowStatistics:
     reported); they are *also* counted under
     ``candidates_rejected_constraints`` because, unless a later edge repairs
     them, they contribute nothing to the output.
+
+    The emission-fast-path counters account for the incremental machinery:
+
+    * ``canonical_incremental_hits`` — duplicate-registry keys served from
+      the carried :class:`~repro.graph.canonical.TreeEncodings` (O(depth)
+      derivation) instead of a batch AHU re-canonicalisation;
+    * ``invariant_cache_hits`` — Loop-Invariant verdicts answered from the
+      memoised diameter descriptor of an isomorphic pattern seen earlier
+      (typically in another cluster that generated the same candidate);
+    * ``probes_batched`` — pendant-viability probes resolved by a shared
+      multi-source data-BFS frontier (counted only when the frontier served
+      at least two probes) rather than a dedicated per-candidate walk.
+
+    The ``*_seconds`` fields split Stage-2 wall-clock by phase —
+    canonicalisation (key derivation + duplicate registry), verification
+    (Loop-Invariant checks) and probing (pendant probes + pending-viability
+    BFS) — and feed the CI perf-history gate, which bounds each phase's
+    share independently of the total.
     """
 
     candidates_generated: int = 0
@@ -145,6 +192,12 @@ class LevelGrowStatistics:
     candidates_rejected_duplicate: int = 0
     candidates_pending: int = 0
     patterns_emitted: int = 0
+    canonical_incremental_hits: int = 0
+    invariant_cache_hits: int = 0
+    probes_batched: int = 0
+    canonical_seconds: float = 0.0
+    invariant_seconds: float = 0.0
+    probe_seconds: float = 0.0
 
     def merge(self, other: "LevelGrowStatistics") -> None:
         self.candidates_generated += other.candidates_generated
@@ -153,6 +206,29 @@ class LevelGrowStatistics:
         self.candidates_rejected_duplicate += other.candidates_rejected_duplicate
         self.candidates_pending += other.candidates_pending
         self.patterns_emitted += other.patterns_emitted
+        self.canonical_incremental_hits += other.canonical_incremental_hits
+        self.invariant_cache_hits += other.invariant_cache_hits
+        self.probes_batched += other.probes_batched
+        self.canonical_seconds += other.canonical_seconds
+        self.invariant_seconds += other.invariant_seconds
+        self.probe_seconds += other.probe_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form for per-request stats (engine/service/CLI reporting)."""
+        return {
+            "candidates_generated": self.candidates_generated,
+            "candidates_rejected_constraints": self.candidates_rejected_constraints,
+            "candidates_rejected_support": self.candidates_rejected_support,
+            "candidates_rejected_duplicate": self.candidates_rejected_duplicate,
+            "candidates_pending": self.candidates_pending,
+            "patterns_emitted": self.patterns_emitted,
+            "canonical_incremental_hits": self.canonical_incremental_hits,
+            "invariant_cache_hits": self.invariant_cache_hits,
+            "probes_batched": self.probes_batched,
+            "canonical_seconds": self.canonical_seconds,
+            "invariant_seconds": self.invariant_seconds,
+            "probe_seconds": self.probe_seconds,
+        }
 
 
 def _eccentricities(pattern: LabeledGraph) -> Dict[VertexId, int]:
@@ -212,6 +288,161 @@ def _total_deficiency(state: GrowthState) -> int:
     )
 
 
+def diameter_descriptor(
+    pattern: LabeledGraph,
+    seed_labels: Optional[Tuple[str, ...]] = None,
+) -> Tuple[int, Tuple[str, ...]]:
+    """The pattern's exact canonical-diameter descriptor.
+
+    Returns ``(D, labels)`` where ``D`` is the graph diameter and ``labels``
+    is the lexicographically smallest label sequence over every
+    diameter-realising shortest path, both orientations considered.  Loop
+    Invariant 1 holds for a growth state iff this descriptor equals
+    ``(state.diameter_len, state.diameter_label_sequence())``: the stored
+    diameter L occupies the smallest vertex ids, so the Definition-3 id
+    tie-break favours it whenever the label sequences tie, and only a
+    strictly smaller sequence (which would make ``labels`` differ) can
+    dethrone it.  Constraint II keeps head and tail exactly D(P) apart
+    through every extension, so the diameter-equality half of the old
+    emission check is ``D == diameter_len`` here.
+
+    Crucially the descriptor is a function of the *abstract pattern* alone —
+    not of the cluster, the embedding table or the growth order — which is
+    what makes memoising it by canonical key sound
+    (:class:`DiameterDescriptorCache`).
+
+    Per diameter-realising vertex pair the lex-min label sequence is built
+    greedily layer by layer (O(D·deg) instead of enumerating paths), pruned
+    against the best sequence found so far.  ``seed_labels`` may prime that
+    pruning with a label sequence the caller knows to be *achievable* by
+    some diameter-realising shortest path (the growth loop passes its stored
+    L, achievable exactly when the diameter still equals D(P)): in the
+    common all-pairs-tie case every pair then prunes within a layer or two,
+    matching the cost of the historical compare-against-L check.  A seed
+    never changes the result — it is ignored unless its length matches the
+    diameter, and an achievable unbeaten seed *is* the lex-min.
+    """
+    from collections import deque
+
+    vertices = list(pattern.vertices())
+    label_of = pattern.label_of
+    neighbors = pattern.neighbors
+    distances: Dict[VertexId, Dict[VertexId, int]] = {}
+    diameter = 0
+    for source in vertices:
+        reached = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in neighbors(current):
+                if neighbor not in reached:
+                    reached[neighbor] = reached[current] + 1
+                    queue.append(neighbor)
+        farthest = max(reached.values())
+        if farthest > diameter:
+            diameter = farthest
+        distances[source] = reached
+
+    best: Optional[List[str]] = None
+    if seed_labels is not None and len(seed_labels) == diameter + 1:
+        best = list(seed_labels)
+    for source in vertices:
+        row = distances[source]
+        for target, distance in row.items():
+            if distance != diameter:
+                continue
+            # Greedy lex-min over shortest source→target paths, pruned the
+            # moment its prefix compares above the best sequence so far.
+            sequence = [str(label_of(source))]
+            tied = best is not None and sequence[0] == best[0]
+            if best is not None and sequence[0] > best[0]:
+                continue
+            to_target = distances[target]
+            frontier = {source}
+            for position in range(1, diameter + 1):
+                remaining = diameter - position
+                step = {
+                    neighbor
+                    for vertex in frontier
+                    for neighbor in neighbors(vertex)
+                    if to_target.get(neighbor, -1) == remaining
+                }
+                label = min(str(label_of(vertex)) for vertex in step)
+                if tied:
+                    if label > best[position]:
+                        sequence = None
+                        break
+                    if label < best[position]:
+                        tied = False
+                sequence.append(label)
+                frontier = {v for v in step if str(label_of(v)) == label}
+            if sequence is not None and (best is None or sequence < best):
+                best = sequence
+    assert best is not None  # every graph has at least one farthest pair
+    return (diameter, tuple(best))
+
+
+class DiameterDescriptorCache:
+    """Cross-cluster memo: canonical form → :func:`diameter_descriptor`.
+
+    The same candidate pattern is routinely *generated* in several clusters
+    (each cluster whose diameter it contains proposes it; only the cluster
+    owning its canonical diameter emits it, the rest reject it at the
+    Loop-Invariant gate).  The descriptor is a function of the abstract
+    pattern, so those repeated verifications can share one computation:
+    trees key directly by their (incrementally derived) AHU key; cyclic
+    patterns bucket by WL signature with a VF2 confirmation, mirroring the
+    duplicate registry's exactness argument.  One cache is shared across all
+    the clusters of a miner — and across requests, since verdicts never go
+    stale (they depend on no data, threshold or measure).
+
+    Long-lived owners (the engine, a service) would otherwise grow the memo
+    for the process lifetime — the WL buckets even pin pattern graphs — so
+    the cache is bounded: past ``max_entries`` it is flushed wholesale.
+    Descriptors are cheap to recompute on a miss, and a flush only costs
+    the cross-request warm-up, so the simple policy beats per-hit LRU
+    bookkeeping on the emission hot path.
+    """
+
+    def __init__(self, max_entries: int = 500_000) -> None:
+        self._max_entries = max_entries
+        self._entries = 0
+        self._by_exact_key: Dict[Tuple, Tuple[int, Tuple[str, ...]]] = {}
+        self._buckets: Dict[
+            Tuple, List[Tuple[LabeledGraph, Tuple[int, Tuple[str, ...]]]]
+        ] = {}
+
+    def lookup(
+        self,
+        pattern: LabeledGraph,
+        exact_key: Optional[Tuple],
+        signature: Optional[Tuple],
+    ) -> Optional[Tuple[int, Tuple[str, ...]]]:
+        if exact_key is not None:
+            return self._by_exact_key.get(exact_key)
+        for member, descriptor in self._buckets.get(signature, ()):
+            if are_isomorphic(pattern, member):
+                return descriptor
+        return None
+
+    def store(
+        self,
+        pattern: LabeledGraph,
+        exact_key: Optional[Tuple],
+        signature: Optional[Tuple],
+        descriptor: Tuple[int, Tuple[str, ...]],
+    ) -> None:
+        if self._entries >= self._max_entries:
+            self._by_exact_key.clear()
+            self._buckets.clear()
+            self._entries = 0
+        if exact_key is not None:
+            self._by_exact_key[exact_key] = descriptor
+        else:
+            self._buckets.setdefault(signature, []).append((pattern, descriptor))
+        self._entries += 1
+
+
 @dataclass
 class LevelGrowth:
     """What one ``grow_level`` pass produced.
@@ -241,6 +472,7 @@ class LevelGrower:
         self,
         context: MiningContext,
         max_patterns: Optional[int] = None,
+        descriptor_cache: Optional[DiameterDescriptorCache] = None,
     ) -> None:
         self._context = context
         self._max_patterns = max_patterns
@@ -253,6 +485,13 @@ class LevelGrower:
         self._diameter_ball_cache: Dict[Tuple, Dict[VertexId, int]] = {}
         # Memoised pendant-probe verdicts (see _pendant_probe_viable).
         self._probe_cache: Dict[Tuple, bool] = {}
+        # Loop-Invariant verdicts are derived from memoised diameter
+        # descriptors; the caller (SkinnyMine, the constraint drivers) passes
+        # one cache shared across its clusters so a candidate generated in
+        # several clusters verifies once.
+        self._descriptor_cache = (
+            descriptor_cache if descriptor_cache is not None else DiameterDescriptorCache()
+        )
         self.statistics = LevelGrowStatistics()
 
     # ------------------------------------------------------------------ #
@@ -260,7 +499,8 @@ class LevelGrower:
     # ------------------------------------------------------------------ #
     def register(self, state: GrowthState) -> None:
         """Record a pattern (typically the bare diameter) in the duplicate registry."""
-        self._registry.add_if_new(state.pattern)
+        exact_key, signature = self._canonical_keys(state)
+        self._registry.add_if_new(state.pattern, exact_key=exact_key, signature=signature)
 
     def grow_level(self, state: GrowthState, level: int) -> List[GrowthState]:
         """The reportable patterns of :meth:`grow_level_full` (compatibility view).
@@ -320,7 +560,14 @@ class LevelGrower:
         while worklist:
             current = worklist.pop()
             current_deficient = deficient_of(current)
-            for extension, join in self._candidate_extensions(current, level):
+            extensions = self._candidate_extensions(current, level)
+            # One shared data-BFS frontier answers every sibling pendant
+            # probe of this state (cache-filling pre-pass); the per-candidate
+            # checks below then hit the cache.
+            self._batch_pendant_probes(
+                current, extensions, level, max_level, current_deficient
+            )
+            for extension, join in extensions:
                 if current_deficient and not self._relevant_while_pending(
                     current, current_deficient, extension
                 ):
@@ -372,7 +619,10 @@ class LevelGrower:
                     # ancestor: patterns emitted out of the excursion are
                     # that ancestor's super-patterns.
                     extended.origin = current.origin if current.deficiency else current
-                    if self._pending_registry.add_if_new(extended.pattern):
+                    exact_key, signature = self._canonical_keys(extended)
+                    if self._add_if_new(
+                        self._pending_registry, extended.pattern, exact_key, signature
+                    ):
                         pending.append(extended)
                         worklist.append(extended)
                     continue
@@ -389,11 +639,20 @@ class LevelGrower:
                     if extended.support >= credited.support:
                         credited.equal_support_children += 1
 
-                if not self._registry.add_if_new(extended.pattern):
+                exact_key, signature = self._canonical_keys(extended)
+                if not self._add_if_new(
+                    self._registry, extended.pattern, exact_key, signature
+                ):
                     self.statistics.candidates_rejected_duplicate += 1
                     credit()
                     continue
-                if not self._holds_loop_invariant(extended):
+                if not self._holds_loop_invariant(
+                    extended,
+                    exact_key,
+                    signature,
+                    parent_state=current,
+                    extension=extension,
+                ):
                     # The pattern's true canonical diameter is some other
                     # (smaller-label) length-D(P) path: the pattern belongs
                     # to — and, when it satisfies the constraint at all, is
@@ -406,6 +665,7 @@ class LevelGrower:
                     # — the pattern is not reportable from this cluster.
                     self.statistics.candidates_rejected_constraints += 1
                     continue
+                extended.invariant_verified = True
                 credit()
                 self.statistics.patterns_emitted += 1
                 results.append(extended)
@@ -414,9 +674,64 @@ class LevelGrower:
                     return LevelGrowth(results, pending)
         return LevelGrowth(results, pending)
 
-    @staticmethod
-    def _holds_loop_invariant(state: GrowthState) -> bool:
-        """Loop Invariant 1 verified from scratch before every emission.
+    # ------------------------------------------------------------------ #
+    # canonical keys and the emission-time invariant
+    # ------------------------------------------------------------------ #
+    def _canonical_keys(
+        self, state: GrowthState
+    ) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """``(exact_key, signature)`` for the state's pattern, computed once.
+
+        Tree-shaped states carry :class:`~repro.graph.canonical.TreeEncodings`
+        derived incrementally along the growth chain, so their exact key is an
+        attribute read (counted as ``canonical_incremental_hits``); states
+        without encodings — cycle-closing extensions, or externally built
+        states — fall back to the batch paths the registry always used.
+        Exactly one of the two results is non-``None``.
+        """
+        started = time.perf_counter()
+        exact_key: Optional[Tuple] = None
+        signature: Optional[Tuple] = None
+        encodings = state.tree_encodings
+        if encodings is not None:
+            exact_key = encodings.key
+            self.statistics.canonical_incremental_hits += 1
+        else:
+            pattern = state.pattern
+            edge_count = pattern.num_edges()
+            vertex_count = pattern.num_vertices()
+            # Growth states are connected by construction, so the shape
+            # check alone picks the exact canonical form.
+            if edge_count == vertex_count - 1:
+                exact_key = tree_canonical_key(pattern)
+            elif edge_count == vertex_count:
+                exact_key = unicyclic_canonical_key(pattern)
+            if exact_key is None:
+                signature = wl_signature(pattern)
+        self.statistics.canonical_seconds += time.perf_counter() - started
+        return exact_key, signature
+
+    def _add_if_new(
+        self,
+        registry: PatternRegistry,
+        pattern: LabeledGraph,
+        exact_key: Optional[Tuple],
+        signature: Optional[Tuple],
+    ) -> bool:
+        started = time.perf_counter()
+        result = registry.add_if_new(pattern, exact_key=exact_key, signature=signature)
+        self.statistics.canonical_seconds += time.perf_counter() - started
+        return result
+
+    def _holds_loop_invariant(
+        self,
+        state: GrowthState,
+        exact_key: Optional[Tuple] = None,
+        signature: Optional[Tuple] = None,
+        parent_state: Optional[GrowthState] = None,
+        extension: Optional["Extension"] = None,
+    ) -> bool:
+        """Loop Invariant 1 verified exactly before every emission.
 
         The per-edge Constraints I–III are *local*: they bound distances to
         the head and tail and inspect head–tail paths through the new edge.
@@ -424,60 +739,107 @@ class LevelGrower:
         after a pending repair, and a twig-to-twig *diameter path* with a
         label sequence smaller than L (possible even along never-pending
         growth; found by the randomized cross-check suite).  Both fall out
-        of one exact check on the candidate result: the pattern's diameter
-        must equal D(P), and no diameter-realising shortest path may carry a
-        label sequence lexicographically below L's (ties break toward L by
-        construction — it occupies the smallest vertex ids).  Patterns
-        failing it either violate the constraint outright or belong to
-        another cluster, which emits them itself.
+        of one exact comparison: the pattern's
+        :func:`diameter_descriptor` — its true diameter and the lex-smallest
+        label sequence over diameter-realising shortest paths — must equal
+        the stored ``(D(P), L)``.  Patterns failing it either violate the
+        constraint outright or belong to another cluster, which emits them
+        itself.
 
-        Implementation: all-pairs BFS (patterns are small), then for every
-        vertex pair at distance D(P) the lexicographically smallest label
-        sequence over its shortest paths, computed greedily layer by layer —
-        O(D·deg) per pair instead of enumerating every path.
+        The descriptor depends only on the abstract pattern, so verdicts are
+        memoised in the shared :class:`DiameterDescriptorCache` under the
+        same canonical keys the duplicate registry uses: a candidate that
+        several clusters generate is verified once
+        (``invariant_cache_hits``), and memoisation can never revive a
+        closed soundness gap because a cached descriptor decides each
+        cluster's comparison against *its own* stored diameter.
+        """
+        started = time.perf_counter()
+        if exact_key is None and signature is None:
+            exact_key, signature = self._canonical_keys(state)
+        cache = self._descriptor_cache
+        pattern = state.pattern
+        expected = (state.diameter_len, state.diameter_label_sequence())
+        descriptor = cache.lookup(pattern, exact_key, signature)
+        holds: Optional[bool] = None
+        if descriptor is not None:
+            self.statistics.invariant_cache_hits += 1
+            holds = descriptor == expected
+        elif (
+            parent_state is not None
+            and parent_state.invariant_verified
+            and isinstance(extension, NewVertexExtension)
+        ):
+            # Incremental verification: a pendant changes no existing
+            # distance, so with the parent verified only the pairs involving
+            # the new vertex can break the invariant.  A True verdict pins
+            # the descriptor to the stored (D(P), L) exactly.
+            holds = self._pendant_invariant_holds(state)
+            if holds:
+                cache.store(pattern, exact_key, signature, expected)
+        if holds is None:
+            # The stored L seeds the lex-min pruning; it is achievable
+            # whenever the pattern's diameter still equals D(P) (L is then a
+            # diameter-realising shortest head–tail path) and is ignored by
+            # length otherwise, so the descriptor stays exact and cacheable.
+            descriptor = diameter_descriptor(pattern, seed_labels=expected[1])
+            cache.store(pattern, exact_key, signature, descriptor)
+            holds = descriptor == expected
+        self.statistics.invariant_seconds += time.perf_counter() - started
+        return holds
+
+    @staticmethod
+    def _pendant_invariant_holds(state: GrowthState) -> bool:
+        """Exact Loop-Invariant verdict for a pendant child of a verified parent.
+
+        The parent's verification established that its diameter equals D(P)
+        and no diameter-realising path beats L.  Attaching a degree-1 vertex
+        ``u`` leaves every existing distance untouched, so the child can fail
+        only through ``u``: either ``ecc(u) > D(P)``, or some pair ``(u, x)``
+        at distance exactly D(P) carries a label sequence below L in one of
+        its orientations.  One BFS from ``u`` (plus one per far pair, which
+        are rare) decides this — instead of the all-pairs descriptor scan.
         """
         from collections import deque
 
         pattern = state.pattern
         limit = state.diameter_len
-        vertices = list(pattern.vertices())
-        label_of = pattern.label_of
-        distances: Dict[VertexId, Dict[VertexId, int]] = {}
-        for source in vertices:
+        neighbors = pattern.neighbors
+        # Pendant ids are assigned by next_vertex_id (monotonically
+        # increasing), so the newly attached vertex carries the largest id.
+        pendant = max(state.levels)
+
+        def distances_from(source: VertexId) -> Dict[VertexId, int]:
             reached = {source: 0}
             queue = deque([source])
             while queue:
                 current = queue.popleft()
-                for neighbor in pattern.neighbors(current):
+                for neighbor in neighbors(current):
                     if neighbor not in reached:
                         reached[neighbor] = reached[current] + 1
                         queue.append(neighbor)
-            if max(reached.values()) > limit:
-                return False  # the diameter outgrew D(P)
-            distances[source] = reached
+            return reached
 
+        from_pendant = distances_from(pendant)
+        if max(from_pendant.values()) > limit:
+            return False  # the pendant stretched the diameter beyond D(P)
         diameter_labels = state.diameter_label_sequence()
+        label_of = pattern.label_of
 
-        def direction_beats(source: VertexId, target: VertexId) -> bool:
-            """True iff the lex-min label sequence of a shortest source→target
-            path is strictly smaller than L's — compared layer by layer with
-            early exit, so most pairs resolve within a step or two.
-            """
+        def beats(source: VertexId, to_target: Dict[VertexId, int]) -> bool:
+            """Lex-min label sequence of shortest source→target paths < L?"""
             first = str(label_of(source))
             if first > diameter_labels[0]:
                 return False
             if first < diameter_labels[0]:
-                # A strictly smaller prefix decides the comparison; a full
-                # shortest path always completes from here.
                 return True
-            to_target = distances[target]
             frontier = {source}
             for position in range(1, limit + 1):
                 remaining = limit - position
                 step = {
                     neighbor
                     for vertex in frontier
-                    for neighbor in pattern.neighbors(vertex)
+                    for neighbor in neighbors(vertex)
                     if to_target.get(neighbor, -1) == remaining
                 }
                 best = min(str(label_of(vertex)) for vertex in step)
@@ -489,16 +851,13 @@ class LevelGrower:
                 frontier = {v for v in step if str(label_of(v)) == best}
             return False  # equal to L: the id tie-break keeps L canonical
 
-        for index, u in enumerate(vertices):
-            row = distances[u]
-            for v in vertices[index + 1:]:
-                if row[v] != limit:
-                    continue
-                # A beating sequence must start at a label <= L's first.
-                if min(str(label_of(u)), str(label_of(v))) > diameter_labels[0]:
-                    continue
-                if direction_beats(u, v) or direction_beats(v, u):
-                    return False
+        for far_vertex, distance in from_pendant.items():
+            if distance != limit:
+                continue
+            if beats(far_vertex, from_pendant):
+                return False
+            if beats(pendant, distances_from(far_vertex)):
+                return False
         return True
 
     @staticmethod
@@ -566,11 +925,13 @@ class LevelGrower:
         relaxation propagates along existing edges).  The BFS visits at most
         ``_VIABILITY_BFS_CAP`` vertices per row; on overflow it answers True.
         """
+        started = time.perf_counter()
         limit = state.diameter_len
         levels = state.levels
         if deficient_set is None:
             deficient_set = _deficient_vertices(state)
         if not deficient_set:
+            self.statistics.probe_seconds += time.perf_counter() - started
             return True
         table = state.table
         pattern = state.pattern
@@ -633,7 +994,166 @@ class LevelGrower:
                 ):
                     marked.add(d)
                     changed = True
+        self.statistics.probe_seconds += time.perf_counter() - started
         return len(marked) == len(deficient_set)
+
+    def _batch_pendant_probes(
+        self,
+        state: GrowthState,
+        extensions: Sequence[Tuple["Extension", "ExtensionJoin"]],
+        level: int,
+        max_level: Optional[int],
+        deficient: Optional[Set[VertexId]] = None,
+    ) -> None:
+        """Answer the state's pendant-viability probes with shared BFS frontiers.
+
+        :meth:`_pendant_probe_viable` models each probe as a data-BFS from
+        one would-be pendant image toward one row's diameter images.  Sibling
+        extensions of the same state ask many such probes against the *same*
+        terminal set and ball — every row of a cluster shares its root's
+        diameter images — so this pre-pass groups the uncached probes by
+        ``(graph, diameter images, side)`` and answers each group with one
+        multi-source BFS (:meth:`_probe_bfs_batch`) whose frontier carries a
+        per-source bitmask.  Results land in ``_probe_cache`` under exactly
+        the keys the per-candidate check reads, so verdicts are identical to
+        the dedicated walks they replace; ``probes_batched`` counts probes
+        that shared a frontier with at least one other.
+        """
+        started = time.perf_counter()
+        limit = state.diameter_len
+        levels = state.levels
+        horizon = max_level if max_level is not None else level + limit
+        table = state.table
+        prefixes = table.prefixes(limit + 1)
+        graph_ids = table.graph_ids
+        cache = self._probe_cache
+        # (graph_index, diameter_images, side) -> ordered distinct sources.
+        groups: Dict[Tuple[int, Tuple[VertexId, ...], int], Dict[VertexId, None]] = {}
+        for extension, join in extensions:
+            if not isinstance(extension, NewVertexExtension):
+                break  # candidate ordering puts all new-vertex extensions first
+            if deficient and not self._relevant_while_pending(
+                state, deficient, extension
+            ):
+                # The growth loop skips this extension outright on a pending
+                # state; probing for it would be work the solo path never did.
+                continue
+            parent = extension.parent
+            pendant_head, pendant_tail = new_vertex_distances(state, parent)
+            if pendant_head <= limit and pendant_tail <= limit:
+                continue
+            deficient_parent = (
+                state.dist_head[parent] > limit or state.dist_tail[parent] > limit
+            )
+            if deficient_parent and levels[parent] + 2 <= limit:
+                continue  # the transitive shortcut answers without probing
+            for side, pendant_distance in ((0, pendant_head), (1, pendant_tail)):
+                if pendant_distance <= limit:
+                    continue
+                needed: List[Tuple[int, Tuple[VertexId, ...], VertexId]] = []
+                satisfied = False
+                for row_index, data_vertex in join:
+                    graph_index = graph_ids[row_index]
+                    diameter_images = prefixes[row_index]
+                    cached = cache.get(
+                        (graph_index, data_vertex, side, level, diameter_images)
+                    )
+                    if cached:
+                        satisfied = True
+                        break
+                    if cached is None:
+                        needed.append((graph_index, diameter_images, data_vertex))
+                if satisfied:
+                    continue
+                for graph_index, diameter_images, data_vertex in needed:
+                    groups.setdefault(
+                        (graph_index, diameter_images, side), {}
+                    ).setdefault(data_vertex)
+        for (graph_index, diameter_images, side), sources in groups.items():
+            starts = list(sources)
+            results = self._probe_bfs_batch(
+                graph_index, starts, side, level, limit, horizon, diameter_images
+            )
+            if len(starts) >= 2:
+                self.statistics.probes_batched += len(starts)
+            for data_vertex, verdict in results.items():
+                cache[
+                    (graph_index, data_vertex, side, level, diameter_images)
+                ] = verdict
+        self.statistics.probe_seconds += time.perf_counter() - started
+
+    def _probe_bfs_batch(
+        self,
+        graph_index: int,
+        starts: Sequence[VertexId],
+        side: int,
+        level: int,
+        limit: int,
+        horizon: int,
+        diameter_images: Tuple[VertexId, ...],
+    ) -> Dict[VertexId, bool]:
+        """Multi-source variant of :meth:`_probe_bfs`, one frontier per group.
+
+        Each source owns one bit; a vertex's visited mask records which
+        sources have reached it, so bit ``b`` propagates to exactly the
+        vertices the solo BFS from ``starts[b]`` would visit, layer for
+        layer.  Per-source visit counts reproduce the solo
+        ``_VIABILITY_BFS_CAP`` give-up (conservative True), and sources
+        resolve out of the frontier as soon as a terminal answers them — the
+        shared frontier only merges work, never changes a verdict.
+        """
+        graph = self._context.graph(graph_index)
+        ball = self._diameter_ball(graph_index, diameter_images, limit, horizon)
+        terminal = {image: position for position, image in enumerate(diameter_images)}
+        bit_of = {vertex: 1 << index for index, vertex in enumerate(starts)}
+        full = (1 << len(starts)) - 1
+        counts = [1] * len(starts)  # each solo BFS counts its start as visited
+        resolved = 0  # sources answered True (terminal reached or cap give-up)
+        visited: Dict[VertexId, int] = dict(bit_of)
+        frontier: Dict[VertexId, int] = dict(bit_of)
+        cap = self._VIABILITY_BFS_CAP
+        depth = 0
+        while frontier and depth + 1 <= limit and resolved != full:
+            next_frontier: Dict[VertexId, int] = {}
+            for data_vertex, mask in frontier.items():
+                mask &= ~resolved
+                if not mask:
+                    continue
+                for neighbor in graph.neighbors(data_vertex):
+                    if neighbor in terminal:
+                        if depth == 0 and level > 1:
+                            # A direct pendant–diameter edge spans levels
+                            # (level, 0); only iteration 1 proposes those.
+                            continue
+                        position = terminal[neighbor]
+                        distance = position if side == 0 else limit - position
+                        if distance + depth + 1 <= limit:
+                            resolved |= mask
+                            break
+                    else:
+                        fresh = mask & ~visited.get(neighbor, 0)
+                        if fresh:
+                            visited[neighbor] = visited.get(neighbor, 0) | fresh
+                            # Per-source cap bookkeeping (bit iteration; the
+                            # masks are a handful of bits in practice).
+                            bits = fresh
+                            while bits:
+                                low = bits & -bits
+                                bits ^= low
+                                source_index = low.bit_length() - 1
+                                counts[source_index] += 1
+                                if counts[source_index] > cap:
+                                    resolved |= low  # give up conservatively
+                            fresh &= ~resolved
+                            if fresh and ball.get(neighbor, horizon + 1) <= horizon:
+                                next_frontier[neighbor] = (
+                                    next_frontier.get(neighbor, 0) | fresh
+                                )
+            frontier = next_frontier
+            depth += 1
+        return {
+            vertex: bool(resolved & bit) for vertex, bit in bit_of.items()
+        }
 
     def _pendant_probe_viable(
         self,
@@ -664,15 +1184,18 @@ class LevelGrower:
         constraint checks for the overwhelmingly common case of an endpoint
         twig with no cycle through it in the data.
         """
+        started = time.perf_counter()
         limit = state.diameter_len
         levels = state.levels
         horizon = max_level if max_level is not None else level + limit
         pendant_head, pendant_tail = new_vertex_distances(state, parent)
         table = state.table
+        prefixes = table.prefixes(limit + 1)
         deficient_parent = (
             state.dist_head[parent] > limit or state.dist_tail[parent] > limit
         )
 
+        result = True
         for side, pendant_distance in ((0, pendant_head), (1, pendant_tail)):
             if pendant_distance <= limit:
                 continue
@@ -683,7 +1206,7 @@ class LevelGrower:
             satisfied = False
             for row_index, data_vertex in join_pairs:
                 graph_index = table.graph_ids[row_index]
-                diameter_images = table.rows[row_index][: limit + 1]
+                diameter_images = prefixes[row_index]
                 key = (graph_index, data_vertex, side, level, diameter_images)
                 cached = self._probe_cache.get(key)
                 if cached is None:
@@ -696,8 +1219,10 @@ class LevelGrower:
                     satisfied = True
                     break
             if not satisfied:
-                return False
-        return True
+                result = False
+                break
+        self.statistics.probe_seconds += time.perf_counter() - started
+        return result
 
     def _probe_bfs(
         self,
@@ -865,10 +1390,16 @@ class LevelGrower:
             graph = context.graph(graph_index)
             neighbors = graph.neighbors
             label_of = graph.label_of
+            # One inverse map per row turns the repeated `neighbor in row` /
+            # `row.index(neighbor)` tuple scans into single dict probes — the
+            # row is consulted once per adjacent data vertex of every scanned
+            # column, which dwarfs the cost of building the map.
+            position_of = {vertex: position for position, vertex in enumerate(row)}
             for parent, parent_position in parents:
                 for neighbor in neighbors(row[parent_position]):
-                    if neighbor in row:
-                        other = columns[row.index(neighbor)]
+                    mapped_position = position_of.get(neighbor)
+                    if mapped_position is not None:
+                        other = columns[mapped_position]
                         if (
                             levels.get(other) == level
                             and not pattern.has_edge(parent, other)
@@ -880,8 +1411,9 @@ class LevelGrower:
                         ).append((row_index, neighbor))
             for current, current_position in currents:
                 for neighbor in neighbors(row[current_position]):
-                    if neighbor in row:
-                        other = columns[row.index(neighbor)]
+                    mapped_position = position_of.get(neighbor)
+                    if mapped_position is not None:
+                        other = columns[mapped_position]
                         if (
                             levels.get(other) == level
                             and other != current
@@ -937,13 +1469,15 @@ class LevelGrower:
             self.statistics.candidates_rejected_support += 1
             return None
 
-        pattern = state.pattern.copy()
-        pattern.add_vertex(new_vertex, extension.label)
-        pattern.add_edge(extension.parent, new_vertex)
-        support = self._context.support_of_table(table, pattern)
+        # The support measures read only the table, so the frequency gate
+        # runs before the per-candidate pattern copy is paid for.
+        support = self._context.support_of_table(table)
         if not self._context.is_frequent(support):
             self.statistics.candidates_rejected_support += 1
             return None
+        pattern = state.pattern.copy()
+        pattern.add_vertex(new_vertex, extension.label)
+        pattern.add_edge(extension.parent, new_vertex)
 
         dist_head, dist_tail = new_vertex_distances(state, extension.parent)
         levels = dict(state.levels)
@@ -971,6 +1505,15 @@ class LevelGrower:
         extended.deficiency = (
             _total_deficiency(extended) if extended.tainted else 0
         )
+        if state.tree_encodings is not None:
+            # A pendant keeps the pattern a tree: derive the child's rooted
+            # AHU encodings (and thereby its canonical key) from the parent's
+            # in O(depth) instead of re-canonicalising from scratch.
+            started = time.perf_counter()
+            extended.tree_encodings = state.tree_encodings.extend(
+                extension.parent, new_vertex, extension.label
+            )
+            self.statistics.canonical_seconds += time.perf_counter() - started
         return extended
 
     def _apply_existing_edge(
@@ -989,12 +1532,12 @@ class LevelGrower:
             self.statistics.candidates_rejected_support += 1
             return None
 
-        pattern = state.pattern.copy()
-        pattern.add_edge(u, v)
-        support = self._context.support_of_table(table, pattern)
+        support = self._context.support_of_table(table)
         if not self._context.is_frequent(support):
             self.statistics.candidates_rejected_support += 1
             return None
+        pattern = state.pattern.copy()
+        pattern.add_edge(u, v)
 
         carrier = GrowthState(
             pattern=pattern,

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.orders import canonical_label_orientation
-from repro.graph.canonical import canonical_key
+from repro.graph.canonical import TreeEncodings, canonical_key, tree_encodings
 from repro.graph.embeddings import Embedding, EmbeddingTable
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
@@ -156,6 +156,21 @@ class GrowthState:
     # pending flow).  Tainted states pay the exact eccentricity-based
     # deficiency; untainted ones keep the cheap head/tail bookkeeping.
     tainted: bool = False
+    # True once this state passed the emission-time Loop-Invariant check (or
+    # is the bare canonical diameter, which realises L trivially).  A pendant
+    # extension of a verified state changes no existing distance, so its own
+    # check reduces to the pairs involving the new vertex — the growth
+    # loop's incremental verification path (see LevelGrower).
+    invariant_verified: bool = False
+    # Carried rooted AHU encodings while the pattern is still a tree (the
+    # overwhelmingly common case for grown skinny patterns): the duplicate
+    # registry's canonical key is then derived from the parent's encodings in
+    # O(depth) per pendant extension instead of re-canonicalising the whole
+    # tree (see repro.graph.canonical.TreeEncodings).  ``None`` once a
+    # cycle-closing edge lands (those patterns key by WL signature + VF2) or
+    # when an incremental derivation was not possible.  Runtime-only: never
+    # serialised, shared by reference across copies (immutable).
+    tree_encodings: Optional[TreeEncodings] = None
     # For pending states: the nearest *reportable* ancestor.  Emissions
     # reached through a pending excursion are super-patterns of that
     # ancestor, so the closed/maximal child accounting must credit it (the
@@ -196,9 +211,15 @@ class GrowthState:
         return [vertex for vertex, lvl in self.levels.items() if lvl == level]
 
     def diameter_label_sequence(self) -> Tuple[str, ...]:
-        return tuple(
-            str(self.pattern.label_of(vertex)) for vertex in self.diameter_vertices
-        )
+        # Hot in the constraint checks; the diameter's labels never change
+        # after construction, so the tuple is built once per state.
+        cached = getattr(self, "_diameter_labels", None)
+        if cached is None:
+            cached = tuple(
+                str(self.pattern.label_of(vertex)) for vertex in self.diameter_vertices
+            )
+            self._diameter_labels = cached
+        return cached
 
     def canonical_form(self) -> Tuple:
         return canonical_key(self.pattern)
@@ -213,6 +234,8 @@ class GrowthState:
             table=self.table.copy(),
             support=self.support,
             last_extension=self.last_extension,
+            invariant_verified=self.invariant_verified,
+            tree_encodings=self.tree_encodings,
             deficiency=self.deficiency,
             tainted=self.tainted,
             origin=self.origin,
@@ -275,4 +298,11 @@ def initial_state_from_path(path: PathPattern) -> GrowthState:
         dist_tail=dist_tail,
         table=table,
         support=support,
+        # The bare canonical diameter realises L as its own lex-min diameter
+        # path (the canonical orientation is the smaller reading), so Loop
+        # Invariant 1 holds by construction.
+        invariant_verified=True,
+        # Seed the incremental canonical-key fast path: every pendant
+        # extension derives its key from these encodings in O(depth).
+        tree_encodings=tree_encodings(graph),
     )

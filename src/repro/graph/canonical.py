@@ -239,7 +239,7 @@ def canonical_key(graph: LabeledGraph) -> Tuple:
     return (canonical.code, canonical.num_vertices, canonical.isolated_labels)
 
 
-def wl_signature(graph: LabeledGraph, rounds: int = 3) -> Tuple:
+def wl_signature(graph: LabeledGraph, rounds: int = 2) -> Tuple:
     """A cheap isomorphism-*invariant* signature (Weisfeiler–Lehman colouring).
 
     Isomorphic graphs always produce equal signatures; non-isomorphic graphs
@@ -252,14 +252,23 @@ def wl_signature(graph: LabeledGraph, rounds: int = 3) -> Tuple:
 
     The colour of a vertex starts as its (label, degree) pair and is refined
     ``rounds`` times from the multiset of neighbour colours; the signature
-    records the sorted colour histogram of *every* round (the whole
-    refinement trajectory discriminates far better than the final round
-    alone, which keeps collision buckets near-singleton for the growth
-    engine's duplicate registry).  Colours are compressed to canonical small
+    records, for *every* round, the sorted colour histogram **and** the
+    sorted histogram of per-edge colour pairs (the whole refinement
+    trajectory discriminates far better than the final round alone).  The
+    edge-pair histograms matter in practice: the growth engine's cyclic
+    patterns — a diameter path with twigs and one cycle-closing edge — often
+    share every vertex-colour histogram while wiring the colour classes
+    differently, and the vertex-only signature once produced collision
+    buckets over a hundred deep, each member paying an exact isomorphism
+    test.  Recording which colour pairs the edges connect collapses those
+    buckets to near-singletons.  Colours are compressed to canonical small
     integers each round — the palette is assigned in sorted key order, so
     the numbering, and therefore the signature, is independent of vertex
     iteration order — which keeps refinement allocation-light: the growth
-    engine computes one signature per candidate pattern.
+    engine computes one signature per candidate pattern.  Two refinement
+    rounds are the default: with the edge-pair histograms in place the third
+    round no longer separated any bucket in practice, and the signature is
+    on the per-candidate hot path.
     """
     vertices = list(graph.vertices())
     degree = graph.degree
@@ -274,7 +283,19 @@ def wl_signature(graph: LabeledGraph, rounds: int = 3) -> Tuple:
         vertex: palette[initial[vertex]] for vertex in vertices
     }
     neighbors = graph.neighbors
-    histograms: List[Tuple] = [_color_histogram(colors)]
+    edges = [edge.endpoints() for edge in graph.edges()]
+
+    def edge_pair_histogram(coloring: Dict[VertexId, int]) -> Tuple:
+        histogram: Dict[Tuple[int, int], int] = {}
+        for u, v in edges:
+            cu, cv = coloring[u], coloring[v]
+            pair = (cu, cv) if cu <= cv else (cv, cu)
+            histogram[pair] = histogram.get(pair, 0) + 1
+        return tuple(sorted(histogram.items()))
+
+    histograms: List[Tuple] = [
+        (_color_histogram(colors), edge_pair_histogram(colors))
+    ]
     for _ in range(rounds):
         keys = {
             vertex: (
@@ -285,7 +306,7 @@ def wl_signature(graph: LabeledGraph, rounds: int = 3) -> Tuple:
         }
         palette = {key: index for index, key in enumerate(sorted(set(keys.values())))}
         colors = {vertex: palette[keys[vertex]] for vertex in vertices}
-        histograms.append(_color_histogram(colors))
+        histograms.append((_color_histogram(colors), edge_pair_histogram(colors)))
     return (
         graph.num_vertices(),
         graph.num_edges(),
@@ -298,6 +319,31 @@ def _color_histogram(colors: Dict[VertexId, int]) -> Tuple:
     for color in colors.values():
         histogram[color] = histogram.get(color, 0) + 1
     return tuple(sorted(histogram.items()))
+
+
+def _tree_centers(
+    degrees: Dict[VertexId, int],
+    neighbors_of,
+    order: int,
+) -> List[VertexId]:
+    """The 1 or 2 centres of a tree by iterative leaf stripping.
+
+    ``degrees`` is consumed; ``neighbors_of(v)`` yields the tree adjacency.
+    """
+    remaining = order
+    layer = [vertex for vertex, deg in degrees.items() if deg <= 1]
+    while remaining > 2:
+        next_layer: List[VertexId] = []
+        for leaf in layer:
+            degrees[leaf] = 0
+            for neighbor in neighbors_of(leaf):
+                if degrees[neighbor] > 0:
+                    degrees[neighbor] -= 1
+                    if degrees[neighbor] == 1:
+                        next_layer.append(neighbor)
+        remaining -= len(layer)
+        layer = next_layer
+    return sorted(layer)
 
 
 def tree_canonical_key(tree: LabeledGraph) -> Tuple:
@@ -327,22 +373,439 @@ def tree_canonical_key(tree: LabeledGraph) -> Tuple:
 
     # Find the 1 or 2 centres by iterative leaf stripping.
     degrees = {vertex: tree.degree(vertex) for vertex in tree.vertices()}
-    remaining = order
-    layer = [vertex for vertex, deg in degrees.items() if deg <= 1]
-    while remaining > 2:
+    centers = _tree_centers(degrees, tree.neighbors, order)
+
+    return ("t", min(_rooted_tree_encoding(tree, center) for center in centers))
+
+
+def unicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
+    """Exact canonical key for a *connected* graph with exactly one cycle.
+
+    Connected graphs with ``|E| = |V|`` carry a unique cycle with a (possibly
+    trivial) rooted tree hanging off each cycle vertex.  Any isomorphism must
+    map the cycle onto the cycle — as a rotation or reflection — and hanging
+    trees onto isomorphic hanging trees, so the canonical form is the
+    lexicographically smallest rotation/reflection of the cyclic sequence
+    ``(hanging-tree AHU encoding, next-cycle-edge label)``.  Exactly the
+    duplicate-registry trick :func:`tree_canonical_key` plays for trees, one
+    cycle up: the growth engine's cycle-closing candidates are almost always
+    unicyclic, and this key spares them the WL-bucket + VF2 confirmation.
+
+    Raises ``ValueError`` when the edge count is wrong or the graph is
+    disconnected (an ``|E| = |V|`` graph may also be a cycle plus separate
+    trees, whose hanging forests this construction would silently ignore).
+    """
+    order = graph.num_vertices()
+    if graph.num_edges() != order or not graph.is_connected():
+        raise ValueError("unicyclic_canonical_key requires one connected cycle")
+
+    # Strip degree-1 vertices; what survives is exactly the cycle.
+    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
+    layer = [vertex for vertex, deg in degrees.items() if deg == 1]
+    while layer:
         next_layer: List[VertexId] = []
         for leaf in layer:
             degrees[leaf] = 0
-            for neighbor in tree.neighbors(leaf):
-                if degrees[neighbor] > 0:
+            for neighbor in graph.neighbors(leaf):
+                if degrees[neighbor] > 1:
                     degrees[neighbor] -= 1
                     if degrees[neighbor] == 1:
                         next_layer.append(neighbor)
-        remaining -= len(layer)
         layer = next_layer
-    centers = sorted(layer)
+    cycle_set = {vertex for vertex, deg in degrees.items() if deg >= 2}
 
-    return ("t", min(_rooted_tree_encoding(tree, center) for center in centers))
+    # Walk the cycle once to fix a traversal order.
+    start = min(cycle_set)
+    cycle: List[VertexId] = [start]
+    previous: Optional[VertexId] = None
+    current = start
+    while True:
+        step = next(
+            neighbor
+            for neighbor in graph.neighbors(current)
+            if neighbor in cycle_set and neighbor != previous
+        )
+        if step == start:
+            break
+        cycle.append(step)
+        previous, current = current, step
+    length = len(cycle)
+
+    # Rooted AHU encoding of each hanging tree (root = its cycle vertex).
+    edge_labels = graph._edge_labels
+
+    def edge_key(u: VertexId, v: VertexId) -> str:
+        raw = edge_labels.get((u, v) if u < v else (v, u))
+        return "" if raw is None else _label_key(raw)
+
+    def hanging_encoding(root: VertexId) -> Tuple:
+        parent: Dict[VertexId, Optional[VertexId]] = {root: None}
+        ordering = [root]
+        for vertex in ordering:
+            for neighbor in graph.neighbors(vertex):
+                if neighbor not in parent and neighbor not in cycle_set:
+                    parent[neighbor] = vertex
+                    ordering.append(neighbor)
+        encoding: Dict[VertexId, Tuple] = {}
+        for vertex in reversed(ordering):
+            up = parent[vertex]
+            encoding[vertex] = (
+                _label_key(graph.label_of(vertex)),
+                "" if up is None else edge_key(vertex, up),
+                tuple(
+                    sorted(
+                        encoding[child]
+                        for child in graph.neighbors(vertex)
+                        if parent.get(child) == vertex
+                    )
+                ),
+            )
+        return encoding[root]
+
+    trees = [hanging_encoding(vertex) for vertex in cycle]
+    edges = [
+        edge_key(cycle[index], cycle[(index + 1) % length])
+        for index in range(length)
+    ]
+    best: Optional[Tuple] = None
+    for offset in range(length):
+        forward = tuple(
+            (trees[(offset + j) % length], edges[(offset + j) % length])
+            for j in range(length)
+        )
+        if best is None or forward < best:
+            best = forward
+        backward = tuple(
+            (trees[(offset - j) % length], edges[(offset - j - 1) % length])
+            for j in range(length)
+        )
+        if backward < best:
+            best = backward
+    return ("u", length, best)
+
+
+class TreeEncodings:
+    """Rooted AHU encodings of a free labeled tree, extensible one leaf at a time.
+
+    The batch :func:`tree_canonical_key` re-encodes the whole tree — every
+    vertex's sorted-children tuple is rebuilt — on each call.  During pattern
+    growth, however, consecutive trees differ by exactly one pendant edge, so
+    only the encodings on the path from the attachment vertex up to the root
+    can change.  ``TreeEncodings`` carries the rooted structure (parent map,
+    children lists, per-vertex encoding) needed to re-canonicalise just that
+    path: :meth:`extend` derives the child tree's encodings — and its
+    canonical :attr:`key`, equal to the batch key — in O(depth · degree)
+    tuple work instead of a full re-encode.
+
+    Invariants: :attr:`root` is always a centre of the tree, and :attr:`enc`
+    holds, for every vertex, the same ``(vertex label, edge-to-parent label,
+    sorted child encodings)`` triple :func:`_rooted_tree_encoding` would
+    produce under that rooting.  Adding a leaf moves the centre by at most
+    one edge toward it, so :meth:`extend` re-roots stepwise (each step is a
+    local O(degree) exchange between the old root and one child) rather than
+    re-encoding from scratch.
+
+    Centres are maintained through the classic endpoint recurrence instead
+    of leaf stripping: the instance carries one diameter endpoint pair
+    ``(e1, e2)`` with the per-vertex distance maps ``d1`` / ``d2``.  After
+    adding leaf ``u``, ``ecc(u) = max(d1[u], d2[u])`` and the new diameter
+    is ``max(diam, ecc(u))`` (every farthest-vertex path in a tree ends at a
+    diameter endpoint), so the maps extend by one entry in O(1) — a full
+    re-BFS happens only on the rare extension that actually lengthens the
+    diameter, which constraint-preserving growth almost never does.  The
+    centres are then the middle vertices of the ``e1``–``e2`` path:
+    ``d1[v] + d2[v] == diam`` with both distances within ``⌈diam/2⌉``.
+
+    Instances are immutable from the caller's perspective: :meth:`extend`
+    returns a new object and never mutates its receiver (growth states share
+    their encodings with every candidate they spawn).
+    """
+
+    __slots__ = (
+        "root", "parent", "children", "enc", "key",
+        "e1", "e2", "diam", "d1", "d2",
+    )
+
+    def __init__(self, root, parent, children, enc, key):
+        self.root: VertexId = root
+        self.parent: Dict[VertexId, Optional[VertexId]] = parent
+        self.children: Dict[VertexId, List[VertexId]] = children
+        self.enc: Dict[VertexId, Tuple] = enc
+        self.key: Tuple = key
+        # Diameter-endpoint bookkeeping (set by from_tree / extend).
+        self.e1: VertexId = root
+        self.e2: VertexId = root
+        self.diam: int = 0
+        self.d1: Dict[VertexId, int] = {root: 0}
+        self.d2: Dict[VertexId, int] = {root: 0}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tree(cls, tree: LabeledGraph) -> "TreeEncodings":
+        """Batch-build the encodings of ``tree`` (validates the tree shape)."""
+        order = tree.num_vertices()
+        if order == 0:
+            raise ValueError("cannot canonise the empty tree")
+        if tree.num_edges() != order - 1 or not tree.is_connected():
+            raise ValueError("TreeEncodings requires a connected tree")
+        if order == 1:
+            vertex = next(iter(tree.vertices()))
+            label = _label_key(tree.label_of(vertex))
+            return cls(
+                vertex,
+                {vertex: None},
+                {vertex: []},
+                {vertex: (label, "", ())},
+                ("t", label),
+            )
+        degrees = {vertex: tree.degree(vertex) for vertex in tree.vertices()}
+        centers = _tree_centers(degrees, tree.neighbors, order)
+        root = centers[0]
+
+        parent: Dict[VertexId, Optional[VertexId]] = {root: None}
+        ordering: List[VertexId] = [root]
+        children: Dict[VertexId, List[VertexId]] = {}
+        for vertex in ordering:
+            kids: List[VertexId] = []
+            for neighbor in tree.neighbors(vertex):
+                if neighbor not in parent:
+                    parent[neighbor] = vertex
+                    ordering.append(neighbor)
+                    kids.append(neighbor)
+            children[vertex] = kids
+        edge_labels = tree._edge_labels
+        enc: Dict[VertexId, Tuple] = {}
+        for vertex in reversed(ordering):
+            up = parent[vertex]
+            if up is None:
+                edge = ""
+            else:
+                raw = edge_labels.get((vertex, up) if vertex < up else (up, vertex))
+                edge = "" if raw is None else _label_key(raw)
+            enc[vertex] = (
+                _label_key(tree.label_of(vertex)),
+                edge,
+                tuple(sorted(enc[child] for child in children[vertex])),
+            )
+        instance = cls(root, parent, children, enc, ())
+        # Diameter endpoints by double BFS over the rooted structure.
+        probe = instance._distances_from(root)
+        e1 = max(probe, key=lambda v: (probe[v], v))
+        d1 = instance._distances_from(e1)
+        e2 = max(d1, key=lambda v: (d1[v], v))
+        instance.e1, instance.e2 = e1, e2
+        instance.d1 = d1
+        instance.d2 = instance._distances_from(e2)
+        instance.diam = d1[e2]
+        instance.key = instance._key_for(centers)
+        return instance
+
+    # ------------------------------------------------------------------ #
+    # one-leaf extension
+    # ------------------------------------------------------------------ #
+    def extend(
+        self,
+        attach: VertexId,
+        new_vertex: VertexId,
+        vertex_label: Optional[Label],
+        edge_label: Optional[Label] = None,
+    ) -> "TreeEncodings":
+        """Encodings of the tree with leaf ``new_vertex`` hung off ``attach``."""
+        if attach not in self.parent:
+            raise ValueError(f"attachment vertex {attach!r} is not in the tree")
+        if new_vertex in self.parent:
+            raise ValueError(f"vertex {new_vertex!r} is already in the tree")
+        parent = dict(self.parent)
+        children = dict(self.children)
+        enc = dict(self.enc)
+        parent[new_vertex] = attach
+        children[new_vertex] = []
+        children[attach] = children[attach] + [new_vertex]
+        enc[new_vertex] = (
+            _label_key(vertex_label),
+            "" if edge_label is None else _label_key(edge_label),
+            (),
+        )
+        # Only the attach→root path's sorted-children tuples can change.
+        vertex: Optional[VertexId] = attach
+        while vertex is not None:
+            label, edge, _ = enc[vertex]
+            enc[vertex] = (
+                label,
+                edge,
+                tuple(sorted(enc[child] for child in children[vertex])),
+            )
+            vertex = parent[vertex]
+        extended = TreeEncodings(self.root, parent, children, enc, ())
+        d1 = dict(self.d1)
+        d2 = dict(self.d2)
+        to_e1 = d1[attach] + 1
+        to_e2 = d2[attach] + 1
+        d1[new_vertex] = to_e1
+        d2[new_vertex] = to_e2
+        extended.e1, extended.e2 = self.e1, self.e2
+        extended.d1, extended.d2 = d1, d2
+        extended.diam = self.diam
+        if to_e1 > self.diam or to_e2 > self.diam:
+            # The leaf lengthened the diameter: its farthest vertex is one of
+            # the old endpoints, so (old endpoint, leaf) is a new diameter
+            # pair; re-BFS the replaced endpoint's map (rare under
+            # constraint-preserving growth, which keeps D(P) fixed).
+            if to_e1 >= to_e2:
+                extended.e2 = new_vertex
+                extended.diam = to_e1
+                extended.d2 = extended._distances_from(new_vertex)
+            else:
+                extended.e1 = new_vertex
+                extended.diam = to_e2
+                extended.d1 = extended._distances_from(new_vertex)
+                extended.d2 = d2
+        centers = extended._centers()
+        if extended.root not in centers:
+            extended._reroot_to(centers[0])
+        extended.key = extended._key_for(centers)
+        return extended
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _neighbors(self, vertex: VertexId) -> List[VertexId]:
+        up = self.parent[vertex]
+        kids = self.children[vertex]
+        return kids if up is None else kids + [up]
+
+    def _distances_from(self, source: VertexId) -> Dict[VertexId, int]:
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[VertexId] = []
+            for vertex in frontier:
+                base = distances[vertex] + 1
+                for neighbor in self._neighbors(vertex):
+                    if neighbor not in distances:
+                        distances[neighbor] = base
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def _centers(self) -> List[VertexId]:
+        """The 1 or 2 centres: middle vertices of the ``e1``–``e2`` path.
+
+        A vertex lies on that diameter path iff ``d1[v] + d2[v] == diam``;
+        the centres are the on-path vertices whose larger endpoint distance
+        is ``⌈diam/2⌉`` — one vertex for even diameters, two adjacent ones
+        for odd.  Tree centres are unique, so the scan stops once the
+        expected count is found.
+        """
+        diam = self.diam
+        if diam == 0:
+            return [self.root]
+        half = (diam + 1) // 2
+        wanted = 1 if diam % 2 == 0 else 2
+        centers: List[VertexId] = []
+        d2 = self.d2
+        for vertex, near in self.d1.items():
+            far = d2[vertex]
+            if near + far == diam and near <= half and far <= half:
+                centers.append(vertex)
+                if len(centers) == wanted:
+                    break
+        return sorted(centers)
+
+    def _reroot_to(self, target: VertexId) -> None:
+        """Re-root stepwise along the ancestor path of ``target`` (in place).
+
+        Each step exchanges the root with one of its children: only those two
+        encodings change, everything else stays valid under the new rooting.
+        """
+        path: List[VertexId] = []
+        vertex: Optional[VertexId] = target
+        while vertex is not None and vertex != self.root:
+            path.append(vertex)
+            vertex = self.parent[vertex]
+        if vertex is None:  # pragma: no cover - structure is always a tree
+            raise ValueError(f"vertex {target!r} is not in the tree")
+        for step in reversed(path):
+            root = self.root
+            self.children[root] = [c for c in self.children[root] if c != step]
+            self.children[step] = self.children[step] + [root]
+            self.parent[root] = step
+            self.parent[step] = None
+            root_label, _, _ = self.enc[root]
+            step_label, step_edge, _ = self.enc[step]
+            self.enc[root] = (
+                root_label,
+                step_edge,  # the (root, step) edge label, read from the old child
+                tuple(sorted(self.enc[c] for c in self.children[root])),
+            )
+            self.enc[step] = (
+                step_label,
+                "",
+                tuple(sorted(self.enc[c] for c in self.children[step])),
+            )
+            self.root = step
+
+    def _key_for(self, centers: List[VertexId]) -> Tuple:
+        """The canonical key, given that ``self.root`` is one of ``centers``.
+
+        For bicentral trees the second centre is adjacent to the root, so its
+        rooted encoding is derived by a *view* of the one-step re-root (no
+        mutation): the root becomes a child of the other centre and only
+        those two encodings differ.
+        """
+        if len(self.parent) == 1:
+            return ("t", self.enc[self.root][0])
+        root = self.root
+        enc = self.enc
+        best = enc[root]
+        if len(centers) == 2:
+            other = centers[0] if centers[1] == root else centers[1]
+            root_as_child = (
+                enc[root][0],
+                enc[other][1],
+                tuple(sorted(enc[c] for c in self.children[root] if c != other)),
+            )
+            rerooted = (
+                enc[other][0],
+                "",
+                tuple(sorted([enc[c] for c in self.children[other]] + [root_as_child])),
+            )
+            if rerooted < best:
+                best = rerooted
+        return ("t", best)
+
+
+def tree_encodings(tree: LabeledGraph) -> "TreeEncodings":
+    """Batch-build :class:`TreeEncodings` for ``tree`` (see its docstring)."""
+    return TreeEncodings.from_tree(tree)
+
+
+def tree_canonical_key_incremental(
+    parent_encodings: "TreeEncodings",
+    edge: Tuple,
+) -> "TreeEncodings":
+    """Derive a one-leaf extension's canonical key from its parent's encodings.
+
+    ``edge`` is ``(attach_vertex, new_vertex, vertex_label)`` or
+    ``(attach_vertex, new_vertex, vertex_label, edge_label)``.  Returns the
+    extension's :class:`TreeEncodings`; its ``key`` attribute equals
+    ``tree_canonical_key`` of the extended tree (property-tested over random
+    pendant-extension chains in ``tests/graph/test_canonical.py``), but is
+    derived by re-canonicalising only the attach→root path — O(depth) tuple
+    work — instead of re-encoding every vertex.
+    """
+    if len(edge) == 3:
+        attach, new_vertex, vertex_label = edge
+        edge_label: Optional[Label] = None
+    elif len(edge) == 4:
+        attach, new_vertex, vertex_label, edge_label = edge
+    else:
+        raise ValueError(
+            "edge must be (attach, new_vertex, vertex_label[, edge_label])"
+        )
+    return parent_encodings.extend(attach, new_vertex, vertex_label, edge_label)
 
 
 def _rooted_tree_encoding(tree: LabeledGraph, root: VertexId) -> Tuple:

@@ -177,6 +177,7 @@ class EmbeddingTable:
         "_embedding_support",
         "_transaction_support",
         "_mni_support",
+        "_prefix_cache",
     )
 
     def __init__(
@@ -199,6 +200,7 @@ class EmbeddingTable:
         self._embedding_support: Optional[int] = None
         self._transaction_support: Optional[int] = None
         self._mni_support: Optional[int] = None
+        self._prefix_cache: Optional[Dict[int, List[Tuple[VertexId, ...]]]] = None
 
     # ------------------------------------------------------------------ #
     # construction bridges
@@ -284,6 +286,24 @@ class EmbeddingTable:
             (graph_index, tuple(sorted(row)))
             for graph_index, row in zip(self.graph_ids, self.rows)
         }
+
+    def prefixes(self, width: int) -> List[Tuple[VertexId, ...]]:
+        """Per-row ``row[:width]`` tuples, computed once and cached.
+
+        The growth engine keys its probe caches and diameter balls by each
+        row's diameter images — the first ``D(P) + 1`` row entries — and
+        consults them once per candidate probe; caching the slices turns the
+        repeated per-probe tuple copies into one list build per table.  Like
+        the lazy support measures, the cache assumes rows are not mutated
+        after the first query (tables are built, then read).
+        """
+        cache = self._prefix_cache
+        if cache is None:
+            cache = self._prefix_cache = {}
+        slices = cache.get(width)
+        if slices is None:
+            slices = cache[width] = [row[:width] for row in self.rows]
+        return slices
 
     def copy(self) -> "EmbeddingTable":
         clone = EmbeddingTable(self.columns)

@@ -19,7 +19,12 @@ keeps the historical skinny-specific surface alive:
   ``precompute_queries`` (which owns the ``multiprocessing`` pool).
 
 Every request is timed; ``stats_log`` keeps per-request accounting in the
-shape the paper's scalability figures report (Stage-1 / Stage-2 split).
+shape the paper's scalability figures report (Stage-1 / Stage-2 split), and
+since the emission fast path (PR 5) each skinny response also carries its
+own Stage-2 growth counters (``stats.level_statistics``:
+``canonical_incremental_hits``, ``invariant_cache_hits``,
+``probes_batched``, phase timings) — scoped to that single request, never
+merged across requests.
 """
 
 from __future__ import annotations

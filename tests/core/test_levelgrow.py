@@ -188,3 +188,61 @@ class TestLevelGrow:
             one.candidates_pending,
             one.patterns_emitted,
         ) == (11, 22, 33, 44, 55, 66)
+
+    def test_fast_path_statistics_merge(self):
+        from repro.core.levelgrow import LevelGrowStatistics
+
+        one = LevelGrowStatistics(
+            canonical_incremental_hits=1,
+            invariant_cache_hits=2,
+            probes_batched=3,
+            canonical_seconds=0.25,
+            invariant_seconds=0.5,
+            probe_seconds=0.75,
+        )
+        one.merge(
+            LevelGrowStatistics(
+                canonical_incremental_hits=10,
+                invariant_cache_hits=20,
+                probes_batched=30,
+                canonical_seconds=1.0,
+                invariant_seconds=2.0,
+                probe_seconds=3.0,
+            )
+        )
+        assert (
+            one.canonical_incremental_hits,
+            one.invariant_cache_hits,
+            one.probes_batched,
+            one.canonical_seconds,
+            one.invariant_seconds,
+            one.probe_seconds,
+        ) == (11, 22, 33, 1.25, 2.5, 3.75)
+        payload = one.to_dict()
+        assert payload["probes_batched"] == 33
+        assert payload["canonical_seconds"] == 1.25
+
+    def test_incremental_keys_and_batched_probes_on_growth(self):
+        # Two labels hang off the *head* vertex of both copies: each pendant
+        # violates Constraint I (distance D(P)+1 from the tail), so both
+        # trigger viability probes against the same diameter images — one
+        # shared frontier must answer them (probes_batched >= 2) — while the
+        # frequent middle twigs exercise the incremental key derivation.
+        graph = graph_from_paths([list("abc"), list("abc")])
+        for base, labels in ((0, "zy"), (3, "zy")):
+            for offset, label in enumerate(labels):
+                vertex = 600 + 10 * base + offset
+                graph.add_vertex(vertex, label)
+                graph.add_edge(base, vertex)
+        for base, vertex in ((1, 700), (4, 701)):
+            graph.add_vertex(vertex, "w")
+            graph.add_edge(base, vertex)
+        context = MiningContext(graph, 2)
+        root = initial_state_from_path(backbone_path(context))
+        grower = LevelGrower(context)
+        grower.register(root)
+        grown = grower.grow_level(root, 1)
+        assert grown  # the frequent 'w' twig
+        assert grower.statistics.canonical_incremental_hits >= len(grown)
+        assert grower.statistics.probes_batched >= 2
+        assert grower.statistics.canonical_seconds >= 0.0

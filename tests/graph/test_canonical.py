@@ -14,6 +14,9 @@ from repro.graph.canonical import (
     canonical_key,
     minimum_dfs_code,
     tree_canonical_key,
+    tree_canonical_key_incremental,
+    tree_encodings,
+    unicyclic_canonical_key,
     wl_signature,
 )
 from repro.graph.generators import random_skinny_pattern, random_tree_pattern
@@ -168,6 +171,128 @@ class TestTreeCanonicalKey:
         assert (
             tree_canonical_key(left) == tree_canonical_key(right)
         ) == are_isomorphic(left, right)
+
+
+def _random_pendant_chain(rng, length, num_labels, edge_labels=False):
+    """Yield (graph, attach, new_vertex, vertex_label, edge_label) growth steps."""
+    labels = "abcdef"[:num_labels]
+    graph = build_graph({0: rng.choice(labels)}, [])
+    for step in range(1, length):
+        attach = rng.choice(list(graph.vertices()))
+        vertex_label = rng.choice(labels)
+        edge_label = rng.choice(["x", "y"]) if edge_labels and rng.random() < 0.5 else None
+        graph.add_vertex(step, vertex_label)
+        graph.add_edge(attach, step, edge_label)
+        yield graph, attach, step, vertex_label, edge_label
+
+
+class TestIncrementalTreeKey:
+    """The ISSUE-5 parity contract: incremental keys equal the batch key."""
+
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_chain_parity_with_batch_key(self, length, num_labels, edge_labels, seed):
+        rng = random.Random(seed)
+        encodings = None
+        for graph, attach, new_vertex, vertex_label, edge_label in _random_pendant_chain(
+            rng, length, num_labels, edge_labels
+        ):
+            if encodings is None:
+                # Chain start: batch-build the 2-vertex tree's encodings.
+                encodings = tree_encodings(graph)
+            else:
+                encodings = tree_canonical_key_incremental(
+                    encodings, (attach, new_vertex, vertex_label, edge_label)
+                )
+            assert encodings.key == tree_canonical_key(graph)
+
+    def test_extend_does_not_mutate_parent(self):
+        graph = build_graph({0: "a", 1: "b"}, [(0, 1)])
+        parent = tree_encodings(graph)
+        key_before = parent.key
+        root_before = parent.root
+        child = parent.extend(0, 2, "c")
+        # Parent encodings untouched: growth states share them by reference.
+        assert parent.key == key_before and parent.root == root_before
+        assert 2 not in parent.parent
+        graph.add_vertex(2, "c")
+        graph.add_edge(0, 2)
+        assert child.key == tree_canonical_key(graph)
+
+    def test_invalid_edge_tuples_rejected(self):
+        parent = tree_encodings(build_graph({0: "a", 1: "b"}, [(0, 1)]))
+        with pytest.raises(ValueError):
+            tree_canonical_key_incremental(parent, (0, 2))
+        with pytest.raises(ValueError):
+            parent.extend(99, 2, "c")  # unknown attachment vertex
+        with pytest.raises(ValueError):
+            parent.extend(0, 1, "c")  # vertex already present
+
+
+def _random_unicyclic(rng, size, num_labels, edge_labels=False):
+    labels = "abcdef"[:num_labels]
+    cycle = rng.randint(3, max(3, size - 1)) if size > 3 else 3
+    cycle = min(cycle, size)
+    graph = LabeledGraph()
+    for vertex in range(cycle):
+        graph.add_vertex(vertex, rng.choice(labels))
+    for vertex in range(cycle):
+        label = rng.choice("xy") if edge_labels and rng.random() < 0.5 else None
+        graph.add_edge(vertex, (vertex + 1) % cycle, label)
+    for vertex in range(cycle, size):
+        graph.add_vertex(vertex, rng.choice(labels))
+        label = rng.choice("xy") if edge_labels and rng.random() < 0.5 else None
+        graph.add_edge(rng.randrange(vertex), vertex, label)
+    return graph
+
+
+class TestUnicyclicCanonicalKey:
+    @given(
+        st.integers(min_value=3, max_value=11),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=0, max_value=50_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariant_under_relabeling(self, size, num_labels, edge_labels, seed, shuffle):
+        graph = _random_unicyclic(random.Random(seed), size, num_labels, edge_labels)
+        rng = random.Random(shuffle)
+        ids = list(graph.vertices())
+        targets = [i + 500 for i in ids]
+        rng.shuffle(targets)
+        renamed = graph.relabel_vertices(dict(zip(ids, targets)))
+        assert unicyclic_canonical_key(graph) == unicyclic_canonical_key(renamed)
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_key_equality_matches_isomorphism(self, size, seed_a, seed_b):
+        left = _random_unicyclic(random.Random(seed_a), size, 2)
+        right = _random_unicyclic(random.Random(seed_b), size, 2)
+        assert (
+            unicyclic_canonical_key(left) == unicyclic_canonical_key(right)
+        ) == are_isomorphic(left, right)
+
+    def test_rejects_trees_and_cycle_plus_component(self):
+        with pytest.raises(ValueError):
+            unicyclic_canonical_key(build_graph({0: "a", 1: "a"}, [(0, 1)]))
+        # |E| == |V| but disconnected: triangle + a detached edge... needs
+        # 5 vertices 5 edges: triangle (3e) + path of 3 vertices (2e).
+        pseudo = build_graph(
+            {0: "a", 1: "a", 2: "a", 3: "a", 4: "a", 5: "a"},
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        with pytest.raises(ValueError):
+            unicyclic_canonical_key(pseudo)
 
 
 class TestWLSignature:

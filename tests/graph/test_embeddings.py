@@ -88,6 +88,18 @@ def _parity_pair(embeddings):
 
 
 class TestEmbeddingTable:
+    def test_prefixes_cached_per_width(self):
+        embeddings = [
+            Embedding.from_dict({0: 10, 1: 11, 2: 12}, graph_index=0),
+            Embedding.from_dict({0: 20, 1: 21, 2: 22}, graph_index=1),
+        ]
+        table = EmbeddingTable.from_embeddings(embeddings)
+        prefixes = table.prefixes(2)
+        assert prefixes == [(10, 11), (20, 21)]
+        # Cached: the same list object answers repeat queries.
+        assert table.prefixes(2) is prefixes
+        assert table.prefixes(3) == [(10, 11, 12), (20, 21, 22)]
+
     def test_round_trip_preserves_embeddings(self):
         embeddings = [
             Embedding.from_dict({0: 10, 1: 11, 2: 12}, graph_index=0),

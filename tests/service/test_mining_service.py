@@ -176,6 +176,65 @@ class TestPrecompute:
         assert response.stats.served_from_store
 
 
+class TestLevelStatistics:
+    """Per-request Stage-2 counters (the emission fast path, ISSUE 5)."""
+
+    def test_response_carries_level_statistics(self, data_graph):
+        service = MiningService(data_graph)
+        response = service.mine(REQUEST)
+        stats = response.stats.level_statistics
+        assert stats is not None
+        assert stats["patterns_emitted"] > 0
+        assert stats["canonical_incremental_hits"] > 0
+        for counter in ("invariant_cache_hits", "probes_batched"):
+            assert stats[counter] >= 0
+        for phase in ("canonical_seconds", "invariant_seconds", "probe_seconds"):
+            assert stats[phase] >= 0.0
+        # The wire form includes the counters too.
+        assert (
+            response.stats.to_dict()["level_statistics"]["canonical_incremental_hits"]
+            == stats["canonical_incremental_hits"]
+        )
+
+    def test_back_to_back_queries_report_independent_counters(self, data_graph):
+        # The PR-3 bug class: SkinnyMine once merged LevelGrow counters into
+        # the *previous* request's report.  Two fresh engine queries must
+        # each report their own canonical_incremental_hits — equal work,
+        # not zero, and not accumulated across requests.
+        service = MiningService(data_graph)
+        first = service.mine(MineRequest(length=5, delta=1, min_support=2))
+        second = service.mine(MineRequest(length=4, delta=1, min_support=2))
+        third = service.mine(MineRequest(length=5, delta=1, min_support=2))
+        stats_one = first.stats.level_statistics
+        stats_two = second.stats.level_statistics
+        assert stats_one["canonical_incremental_hits"] > 0
+        assert stats_two["canonical_incremental_hits"] > 0
+        # Different requests did different work under different counters.
+        assert stats_one is not stats_two
+        # The repeat of the first request was served from the result cache:
+        # no Stage 2 ran, so no counters — rather than a stale merged copy.
+        assert third.stats.result_cache_hit
+        assert third.stats.level_statistics is None
+
+    def test_identical_cold_queries_report_identical_counters(self, data_graph):
+        # Two services, same query: the counters are a pure function of the
+        # request, so nothing from the first run may leak into the second.
+        one = MiningService(data_graph).mine(REQUEST).stats.level_statistics
+        two = MiningService(data_graph).mine(REQUEST).stats.level_statistics
+        counters = (
+            "candidates_generated",
+            "candidates_rejected_constraints",
+            "candidates_rejected_support",
+            "candidates_rejected_duplicate",
+            "candidates_pending",
+            "patterns_emitted",
+            "canonical_incremental_hits",
+            "invariant_cache_hits",
+            "probes_batched",
+        )
+        assert {k: one[k] for k in counters} == {k: two[k] for k in counters}
+
+
 class TestDeltas:
     def test_apply_delta_keeps_responses_consistent(self, data_graph):
         graph = data_graph.copy()

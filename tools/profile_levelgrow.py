@@ -1,0 +1,116 @@
+"""Profile the BENCH_levelgrow scenario under cProfile and dump the evidence.
+
+CI's non-gating ``bench-profile`` job runs this and uploads the results, so
+the next perf PR starts from data instead of re-profiling locally:
+
+* ``levelgrow.pstats`` — the raw :mod:`pstats` dump, loadable with
+  ``python -m pstats`` or snakeviz;
+* ``levelgrow_profile.txt`` — the top-N functions by cumulative and by
+  internal time, plus the miner's own phase split
+  (canonicalisation / verification / probing seconds and the fast-path
+  counters from ``LevelGrowStatistics``).
+
+Stdlib only.  ``--quick`` shrinks the scenario (~1s) for smoke use::
+
+    PYTHONPATH=src python tools/profile_levelgrow.py --output-dir profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def run(output_dir: Path, top: int, quick: bool) -> dict:
+    from test_levelgrow_scaling import SCENARIO, build_scenario_graph
+
+    from repro.core.skinnymine import SkinnyMine
+    from repro.graph.generators import (
+        erdos_renyi_graph,
+        inject_pattern,
+        random_skinny_pattern,
+    )
+
+    if quick:
+        graph = erdos_renyi_graph(80, 2.0, 8, seed=3)
+        planted = random_skinny_pattern(4, 1, 6, 8, seed=4)
+        inject_pattern(graph, planted, copies=3, seed=5)
+        length, delta, min_support = 4, 1, 2
+    else:
+        graph = build_scenario_graph()
+        length = SCENARIO["length"]
+        delta = SCENARIO["delta"]
+        min_support = SCENARIO["min_support"]
+
+    miner = SkinnyMine(graph, min_support=min_support)
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    patterns = miner.mine(length, delta)
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    output_dir.mkdir(parents=True, exist_ok=True)
+    stats = pstats.Stats(profiler)
+    stats.dump_stats(output_dir / "levelgrow.pstats")
+
+    report = miner.last_report
+    level = report.level_statistics
+    header = {
+        "scenario": "quick" if quick else "BENCH_levelgrow",
+        "wall_seconds": round(wall, 3),
+        "levelgrow_seconds": round(report.levelgrow_seconds, 3),
+        "num_patterns": len(patterns),
+        "phase_seconds": {
+            "canonical": round(level.canonical_seconds, 3),
+            "invariant": round(level.invariant_seconds, 3),
+            "probe": round(level.probe_seconds, 3),
+        },
+        "fast_path_counters": {
+            "canonical_incremental_hits": level.canonical_incremental_hits,
+            "invariant_cache_hits": level.invariant_cache_hits,
+            "probes_batched": level.probes_batched,
+        },
+    }
+
+    buffer = io.StringIO()
+    buffer.write(json.dumps(header, indent=2, sort_keys=True) + "\n\n")
+    for sort_key in ("cumulative", "tottime"):
+        buffer.write(f"=== top {top} by {sort_key} ===\n")
+        table = pstats.Stats(profiler, stream=buffer)
+        table.sort_stats(sort_key).print_stats(top)
+        buffer.write("\n")
+    (output_dir / "levelgrow_profile.txt").write_text(
+        buffer.getvalue(), encoding="utf-8"
+    )
+    return header
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", type=Path, default=Path("profile-artifacts"))
+    parser.add_argument("--top", type=int, default=20)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="profile the small calibration-sized scenario instead (~1s)",
+    )
+    args = parser.parse_args(argv)
+    header = run(args.output_dir, args.top, args.quick)
+    print(json.dumps(header, indent=2, sort_keys=True))
+    print(f"wrote {args.output_dir}/levelgrow.pstats and levelgrow_profile.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Telemetry overhead: the tracer must be free when disabled, cheap when enabled.
+
+The ``repro.obs`` spans sit inside the mining hot path (per Stage-1 ladder
+rung, per Stage-2 level), so the instrumentation itself has to be provably
+cheap or the observability PR would quietly tax every miner.  Two gates:
+
+* **disabled mode** — mining with the default ``NULL_TRACER`` versus mining
+  with an *enabled* tracer on the same scenario.  The disabled run must not
+  be slower than ``enabled`` (sanity) and the enabled run may cost at most
+  ``OVERHEAD_BUDGET`` (3%) plus a small absolute epsilon over the disabled
+  one, with a byte-identical pattern set — tracing never changes results.
+  Because the disabled path *is* the instrumented production path, this
+  bounds the full telemetry tax end-to-end.
+* **no-op span micro-bench** — the disabled ``Tracer.span()`` context
+  manager must stay within a small constant factor of an empty function
+  call; accidental allocation or clock reads on that path would show up as
+  a 100x ratio.
+
+The measured numbers are recorded to ``BENCH_obs.json`` next to this file;
+the headline overhead ratio is also noted in ``BENCH_levelgrow.json``'s
+history (entry ``pr6_telemetry``).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import run_once
+from test_levelgrow_scaling import pattern_set_sha256
+
+from repro.core.skinnymine import SkinnyMine
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    inject_pattern,
+    random_skinny_pattern,
+)
+from repro.obs import Tracer
+
+LENGTH = 4
+DELTA = 1
+MIN_SUPPORT = 2
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.03  # enabled tracing may cost at most 3% extra latency
+JITTER_EPSILON_SECONDS = 0.02
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_obs.json"
+
+
+def _scenario_graph():
+    """The quick profile scenario (same as ``profile_levelgrow.py --quick``)."""
+    graph = erdos_renyi_graph(80, 2.0, 8, seed=3)
+    planted = random_skinny_pattern(4, 1, 6, 8, seed=4)
+    inject_pattern(graph, planted, copies=3, seed=5)
+    return graph
+
+
+def _timed_mine(graph, tracer):
+    samples = []
+    patterns = None
+    for _ in range(ROUNDS):
+        miner = SkinnyMine(graph, min_support=MIN_SUPPORT, tracer=tracer)
+        started = time.perf_counter()
+        patterns = miner.mine(LENGTH, DELTA)
+        samples.append(time.perf_counter() - started)
+        if tracer is not None:
+            tracer.drain()  # don't let span trees accumulate across rounds
+    return patterns, samples
+
+
+def _measure():
+    graph = _scenario_graph()
+    # Warm-up: JIT-free Python still benefits from warmed allocator/caches.
+    _timed_mine(graph, None)
+
+    disabled_patterns, disabled_samples = _timed_mine(graph, None)
+    tracer = Tracer()
+    enabled_patterns, enabled_samples = _timed_mine(graph, tracer)
+
+    disabled_sha = pattern_set_sha256(disabled_patterns)
+    enabled_sha = pattern_set_sha256(enabled_patterns)
+    return {
+        "scenario": {
+            "background": {"num_vertices": 80, "avg_degree": 2.0, "num_labels": 8, "seed": 3},
+            "planted": "random_skinny_pattern(4, 1, 6, 8, seed=4) x3 (seed=5)",
+            "length": LENGTH,
+            "delta": DELTA,
+            "min_support": MIN_SUPPORT,
+        },
+        "rounds": ROUNDS,
+        "num_patterns": len(disabled_patterns),
+        "pattern_set_sha256": disabled_sha,
+        "enabled_pattern_set_sha256": enabled_sha,
+        "disabled_best_seconds": min(disabled_samples),
+        "disabled_median_seconds": statistics.median(disabled_samples),
+        "enabled_best_seconds": min(enabled_samples),
+        "enabled_median_seconds": statistics.median(enabled_samples),
+        "overhead_ratio_best": min(enabled_samples) / min(disabled_samples),
+    }
+
+
+def test_tracing_overhead_within_budget(benchmark):
+    result = run_once(benchmark, _measure)
+
+    BASELINE_PATH.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\ntracing overhead (l={LENGTH}, δ={DELTA}, "
+        f"{result['num_patterns']} patterns): "
+        f"disabled best {result['disabled_best_seconds'] * 1000:.3f} ms, "
+        f"enabled best {result['enabled_best_seconds'] * 1000:.3f} ms, "
+        f"ratio {result['overhead_ratio_best']:.3f}"
+    )
+
+    # Tracing must never change what gets mined.
+    assert result["enabled_pattern_set_sha256"] == result["pattern_set_sha256"]
+
+    budget = (
+        result["disabled_best_seconds"] * (1 + OVERHEAD_BUDGET)
+        + JITTER_EPSILON_SECONDS
+    )
+    assert result["enabled_best_seconds"] <= budget, result
+
+
+def test_noop_span_cost_is_bounded(benchmark):
+    """Disabled span() must stay within ~15x of an empty call (no clock reads)."""
+    from repro.obs import NULL_TRACER
+
+    def noop():
+        pass
+
+    def baseline(iterations):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            noop()
+        return time.perf_counter() - started
+
+    def traced(iterations):
+        span = NULL_TRACER.span
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with span("op"):
+                pass
+        return time.perf_counter() - started
+
+    def measure():
+        iterations = 100_000
+        baseline(iterations), traced(iterations)  # warm-up
+        base = min(baseline(iterations) for _ in range(3))
+        cost = min(traced(iterations) for _ in range(3))
+        return {
+            "iterations": iterations,
+            "baseline_seconds": base,
+            "noop_span_seconds": cost,
+            "ratio": cost / base if base else float("inf"),
+        }
+
+    result = run_once(benchmark, measure)
+    print(
+        f"\nno-op span cost: {result['noop_span_seconds'] * 1e9 / result['iterations']:.1f} ns"
+        f"/span, ratio {result['ratio']:.1f}x over an empty call"
+    )
+    assert result["noop_span_seconds"] <= result["baseline_seconds"] * 15 + 0.01, result

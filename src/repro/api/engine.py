@@ -40,6 +40,8 @@ from repro.graph.io import dataset_fingerprint
 from repro.graph.labeled_graph import LabeledGraph
 from repro.index.incremental import IndexMaintainer, RepairReport
 from repro.index.store import IndexEntry, MemoryPatternStore, PatternStore, StoreKey
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class MiningEngine:
@@ -72,6 +74,18 @@ class MiningEngine:
         always part of the :class:`~repro.index.store.StoreKey` parameter,
         so exact and pruned entries never alias and pruned entries are
         invalidated rather than repaired on data edits.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When enabled, every query is
+        wrapped in a span tree (dispatch, result cache, Stage-1 store
+        access, Stage-2 per-level growth, aggregate emission phases) and the
+        tree is attached to ``stats.trace``.  Defaults to the shared no-op
+        tracer, whose per-span cost is bounded (the bench-smoke overhead
+        gate holds it under 3% of Stage 2).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; defaults to the
+        process-wide :func:`repro.obs.default_registry`.  The engine
+        publishes query/stage latencies and cache/store hit counters per
+        query (see ``docs/OBSERVABILITY.md`` for the metric catalogue).
 
     Examples
     --------
@@ -92,6 +106,8 @@ class MiningEngine:
         max_paths_per_length: Optional[int] = None,
         max_patterns_per_diameter: Optional[int] = None,
         stage1_mode: Union[str, Stage1Mode, None] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._graphs: List[LabeledGraph] = (
             [graphs] if isinstance(graphs, LabeledGraph) else list(graphs)
@@ -117,7 +133,19 @@ class MiningEngine:
         # never goes stale — not even across apply_delta — while the
         # per-request counters stay on the per-query driver.
         self._descriptor_cache = DiameterDescriptorCache()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else default_registry()
         self.stats_log: List[QueryStats] = []
+
+    @property
+    def tracer(self) -> Tracer:
+        """The engine's tracer (the shared no-op instance when disabled)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this engine publishes metrics into."""
+        return self._metrics
 
     @property
     def stage1_mode(self) -> Stage1Mode:
@@ -164,14 +192,28 @@ class MiningEngine:
         """
         key = self._stage_one_key(spec, query)
         started = time.perf_counter()
-        entry = self._store.get(key)
+        with self._tracer.span("store.get", constraint=spec.constraint_id) as span:
+            entry = self._store.get(key)
+            span.annotate(hit=entry is not None)
         if entry is not None:
+            self._metrics.counter(
+                "repro_store_hits_total", "Stage-1 store lookups answered from the index"
+            ).inc()
             return entry.patterns, True, time.perf_counter() - started
+        self._metrics.counter(
+            "repro_store_misses_total", "Stage-1 store lookups that fell through to mining"
+        ).inc()
         context = self._context(query.min_support, query.measure)
         driver = spec.make_driver(query.params, self._caps, True)
-        minimal = driver.mine_minimal(context, spec.driver_parameter(query.params))
+        if hasattr(driver, "tracer"):
+            driver.tracer = self._tracer
+        with self._tracer.span("stage1.mine", constraint=spec.constraint_id):
+            minimal = driver.mine_minimal(context, spec.driver_parameter(query.params))
         seconds = time.perf_counter() - started
-        self._store.put(IndexEntry(key=key, patterns=list(minimal), build_seconds=seconds))
+        with self._tracer.span("store.put", constraint=spec.constraint_id):
+            self._store.put(
+                IndexEntry(key=key, patterns=list(minimal), build_seconds=seconds)
+            )
         return minimal, False, seconds
 
     def precompute_queries(
@@ -289,22 +331,57 @@ class MiningEngine:
         return ranked if top_k is None else ranked[:top_k]
 
     def run(self, query: Query) -> Result:
-        """Serve one query (result cache → warm index → cold compute)."""
+        """Serve one query (result cache → warm index → cold compute).
+
+        The returned ``stats`` satisfy ``total_seconds == stage_one_seconds
+        + stage_two_seconds + overhead_seconds`` exactly: the residual the
+        engine spends outside the two stages (dispatch, cache bookkeeping,
+        stats assembly) is derived and surfaced instead of silently drifting
+        into ``total_seconds``.  With an enabled tracer the per-query span
+        tree is attached to ``stats.trace``.
+        """
+        with self._tracer.span("query", constraint=query.constraint_id) as query_span:
+            patterns, stats = self._serve(query, query_span)
+        if self._tracer.enabled:
+            stats.trace = query_span.to_dict()
+        labels = {"constraint": query.constraint_id}
+        self._metrics.counter(
+            "repro_queries_total", "Queries served by the engine", labels=labels
+        ).inc()
+        self._metrics.histogram(
+            "repro_query_seconds", "End-to-end query latency", labels=labels
+        ).observe(stats.total_seconds)
+        self.stats_log.append(stats)
+        return Result(query=query, patterns=patterns, stats=stats)
+
+    def _serve(self, query: Query, query_span) -> Tuple[List[SkinnyPattern], QueryStats]:
+        """The :meth:`run` body, executed inside the per-query span."""
         key = query.cache_key()
         started = time.perf_counter()
         cached = self._result_cache.get(key)
         if cached is not None:
             self._result_cache.move_to_end(key)
+            query_span.annotate(result_cache_hit=True)
+            self._metrics.counter(
+                "repro_result_cache_hits_total",
+                "Queries answered from the canonical-key result cache",
+            ).inc()
+            measured = time.perf_counter() - started
             stats = QueryStats(
                 request_key=key,
-                total_seconds=time.perf_counter() - started,
+                total_seconds=measured,
+                # No stage ran: the whole measured time is engine overhead.
+                overhead_seconds=measured,
                 served_from_store=False,  # the store was never consulted
                 result_cache_hit=True,
                 num_patterns=len(cached),
             )
-            self.stats_log.append(stats)
-            return Result(query=query, patterns=list(cached), stats=stats)
+            return list(cached), stats
 
+        self._metrics.counter(
+            "repro_result_cache_misses_total",
+            "Queries that missed the result cache and ran the pipeline",
+        ).inc()
         spec = get_constraint(query.constraint_id)
         minimal, from_store, stage_one = self._stage_one(spec, query)
         context = self._context(query.min_support, query.measure)
@@ -313,25 +390,38 @@ class MiningEngine:
             # Share the engine-lifetime descriptor memo with this request's
             # driver (the driver's counters remain per-request).
             driver.descriptor_cache = self._descriptor_cache
+        if hasattr(driver, "tracer"):
+            driver.tracer = self._tracer
         parameter = spec.driver_parameter(query.params)
         stage_two_start = time.perf_counter()
         patterns: List[SkinnyPattern] = []
-        for minimal_pattern in minimal:
-            patterns.extend(driver.grow(context, minimal_pattern, parameter))
-        if spec.deduplicate:
-            patterns = self._deduplicated(patterns)
-        patterns = self._ranked(patterns, query.top_k)
+        with self._tracer.span("stage2", constraint=spec.constraint_id) as stage_span:
+            for minimal_pattern in minimal:
+                patterns.extend(driver.grow(context, minimal_pattern, parameter))
+            if spec.deduplicate:
+                patterns = self._deduplicated(patterns)
+            patterns = self._ranked(patterns, query.top_k)
+            stage_span.annotate(patterns=len(patterns))
+            # Constraint drivers that grow through LevelGrow expose
+            # per-request counters (the driver instance is built fresh for
+            # this query, so the numbers can never leak from an earlier
+            # request).  Emission phases are accumulated per candidate —
+            # far too hot for a span each — and attached here as pre-timed
+            # aggregate spans.
+            level_statistics = getattr(driver, "statistics", None)
+            if level_statistics is not None:
+                for phase, seconds in level_statistics.phase_seconds().items():
+                    self._tracer.record("stage2.phase." + phase, seconds)
         stage_two = time.perf_counter() - stage_two_start
 
-        # Constraint drivers that grow through LevelGrow expose per-request
-        # counters (the driver instance is built fresh for this query, so
-        # the numbers can never leak from an earlier request).
-        level_statistics = getattr(driver, "statistics", None)
+        measured = time.perf_counter() - started
+        overhead = max(0.0, measured - stage_one - stage_two)
         stats = QueryStats(
             request_key=key,
             stage_one_seconds=stage_one,
             stage_two_seconds=stage_two,
-            total_seconds=time.perf_counter() - started,
+            overhead_seconds=overhead,
+            total_seconds=stage_one + stage_two + overhead,
             served_from_store=from_store,
             result_cache_hit=False,
             num_minimal_patterns=len(minimal),
@@ -340,15 +430,68 @@ class MiningEngine:
                 level_statistics.to_dict() if level_statistics is not None else None
             ),
         )
-        self.stats_log.append(stats)
+        self._publish_stage_metrics(spec.constraint_id, stats)
         self._result_cache[key] = list(patterns)
         while len(self._result_cache) > self._result_cache_size:
             self._result_cache.popitem(last=False)
-        return Result(query=query, patterns=patterns, stats=stats)
+        return patterns, stats
+
+    def _publish_stage_metrics(self, constraint_id: str, stats: QueryStats) -> None:
+        """Publish one cold query's stage latencies and LevelGrow counters."""
+        labels = {"constraint": constraint_id}
+        self._metrics.histogram(
+            "repro_stage_one_seconds", "Stage-1 (store or mine) latency", labels=labels
+        ).observe(stats.stage_one_seconds)
+        self._metrics.histogram(
+            "repro_stage_two_seconds", "Stage-2 (growth) latency", labels=labels
+        ).observe(stats.stage_two_seconds)
+        level = stats.level_statistics
+        if not level:
+            return
+        for field, metric_name, help_text in (
+            (
+                "canonical_incremental_hits",
+                "repro_canonical_incremental_hits_total",
+                "Canonical keys derived incrementally instead of recomputed",
+            ),
+            (
+                "invariant_cache_hits",
+                "repro_invariant_cache_hits_total",
+                "Diameter-invariant descriptor cache hits",
+            ),
+            (
+                "probes_batched",
+                "repro_probes_batched_total",
+                "Existence probes answered by the batched prefilter",
+            ),
+            (
+                "patterns_emitted",
+                "repro_patterns_emitted_total",
+                "Patterns emitted by Stage-2 growth",
+            ),
+        ):
+            value = level.get(field, 0)
+            if value:
+                self._metrics.counter(metric_name, help_text, labels=labels).inc(value)
 
     def run_batch(self, queries: Sequence[Query]) -> List[Result]:
-        """Serve a batch in order; duplicate queries hit the result cache."""
-        return [self.run(query) for query in queries]
+        """Serve a batch in order; duplicate queries hit the result cache.
+
+        Like :meth:`MiningService.serve_batch <repro.service.mining.MiningService.serve_batch>`,
+        the whole batch becomes one ``service.batch`` span with each query's
+        span tree nested under it, and the batch count and latency land in
+        the metrics registry.
+        """
+        started = time.perf_counter()
+        with self._tracer.span("service.batch", size=len(queries)):
+            results = [self.run(query) for query in queries]
+        self._metrics.counter(
+            "repro_batches_total", "Request batches served by the mining service"
+        ).inc()
+        self._metrics.histogram(
+            "repro_batch_seconds", "End-to-end batch latency (mining service)"
+        ).observe(time.perf_counter() - started)
+        return results
 
     # ------------------------------------------------------------------ #
     # incremental maintenance
@@ -369,9 +512,10 @@ class MiningEngine:
         specs = constraint_specs()
         repairable = [spec.constraint_id for spec in specs if spec.path_indexed]
         invalidatable = {spec.constraint_id for spec in specs if not spec.path_indexed}
-        maintainer = IndexMaintainer(self._store, repairable)
+        maintainer = IndexMaintainer(self._store, repairable, metrics=self._metrics)
         try:
-            report = maintainer.apply_delta(self._graphs, delta)
+            with self._tracer.span("engine.apply_delta"):
+                report = maintainer.apply_delta(self._graphs, delta)
             for key in list(self._store.keys()):
                 if (
                     key.fingerprint == report.old_fingerprint

@@ -221,17 +221,31 @@ class QueryStats:
     driver per query, so these counters are per-request by construction and
     never bleed into the next report (the PR-3 ``SkinnyMine`` counter-merge
     bug class; pinned by ``tests/service``).
+
+    Timing invariant: ``total_seconds == stage_one_seconds +
+    stage_two_seconds + overhead_seconds`` always holds — the engine derives
+    the residual (dispatch, cache probes, dedup/ranking) explicitly as
+    ``overhead_seconds`` instead of letting an independently measured total
+    drift against the stage sum.  On a result-cache hit both stage times are
+    zero and the whole total is overhead.
+
+    ``trace`` is the per-query span tree (:meth:`repro.obs.Span.to_dict`
+    form) when the engine ran with tracing enabled, else ``None``; it
+    round-trips through :meth:`to_dict`/:meth:`from_dict` and
+    :meth:`Result.to_dict`/:meth:`Result.from_dict`.
     """
 
     request_key: str
     stage_one_seconds: float = 0.0
     stage_two_seconds: float = 0.0
     total_seconds: float = 0.0
+    overhead_seconds: float = 0.0
     served_from_store: bool = False
     result_cache_hit: bool = False
     num_minimal_patterns: int = 0
     num_patterns: int = 0
     level_statistics: Optional[Dict[str, object]] = None
+    trace: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -239,12 +253,39 @@ class QueryStats:
             "stage_one_seconds": self.stage_one_seconds,
             "stage_two_seconds": self.stage_two_seconds,
             "total_seconds": self.total_seconds,
+            "overhead_seconds": self.overhead_seconds,
             "served_from_store": self.served_from_store,
             "result_cache_hit": self.result_cache_hit,
             "num_minimal_patterns": self.num_minimal_patterns,
             "num_patterns": self.num_patterns,
             "level_statistics": self.level_statistics,
+            "trace": self.trace,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QueryStats":
+        """Inverse of :meth:`to_dict` (exact round trip, trace included)."""
+        if not isinstance(payload, Mapping) or "request" not in payload:
+            raise MalformedQueryError(
+                f"query stats payload must be an object with a 'request' field, "
+                f"got {payload!r}"
+            )
+        request_key = json.dumps(
+            payload["request"], sort_keys=True, separators=(",", ":")
+        )
+        return cls(
+            request_key=request_key,
+            stage_one_seconds=float(payload.get("stage_one_seconds", 0.0)),
+            stage_two_seconds=float(payload.get("stage_two_seconds", 0.0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            overhead_seconds=float(payload.get("overhead_seconds", 0.0)),
+            served_from_store=bool(payload.get("served_from_store", False)),
+            result_cache_hit=bool(payload.get("result_cache_hit", False)),
+            num_minimal_patterns=int(payload.get("num_minimal_patterns", 0)),
+            num_patterns=int(payload.get("num_patterns", 0)),
+            level_statistics=payload.get("level_statistics"),
+            trace=payload.get("trace"),
+        )
 
 
 @dataclass
@@ -287,3 +328,21 @@ class Result:
                 for pattern in self.patterns
             ]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Result":
+        """Rebuild the stats side of a serialised result.
+
+        The query is reconstructed from the stats' request envelope and the
+        :class:`QueryStats` (trace included) round-trip exactly; pattern
+        objects are summaries on the wire, not full embeddings, so
+        ``patterns`` comes back empty — ``stats.num_patterns`` keeps the
+        count.
+        """
+        if not isinstance(payload, Mapping) or "stats" not in payload:
+            raise MalformedQueryError(
+                f"result payload must be an object with a 'stats' field, got {payload!r}"
+            )
+        stats = QueryStats.from_dict(payload["stats"])
+        query = Query.from_dict(json.loads(stats.request_key))
+        return cls(query=query, patterns=[], stats=stats)

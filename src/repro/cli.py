@@ -8,6 +8,12 @@ unified constraint-plugin API (:mod:`repro.api`):
 * ``repro index info``    — inspect a store (entries, sizes, build times)
 * ``repro mine``          — answer one query (warm store = no Stage 1)
 * ``repro serve-batch``   — answer a JSON file of batched queries
+* ``repro stats``         — render a metrics snapshot written by ``--emit-metrics``
+
+Telemetry (see ``docs/OBSERVABILITY.md``): ``mine`` and ``serve-batch``
+accept ``--trace-out PATH`` (append per-query span trees as JSONL) and
+``--emit-metrics PATH`` (write a metrics-registry snapshot as JSON);
+``mine --stats`` prints a human-readable per-query statistics table.
 
 Every mining command takes ``--constraint <id>`` (default ``skinny``) and
 constraint parameters as repeatable ``--param name=value`` flags; ``-l`` and
@@ -124,6 +130,63 @@ def _collect_params(args: argparse.Namespace) -> Dict[str, object]:
 
 def _format_params(params: Dict[str, object]) -> str:
     return " ".join(f"{name}={value}" for name, value in sorted(params.items()))
+
+
+# --------------------------------------------------------------------- #
+# telemetry plumbing
+# --------------------------------------------------------------------- #
+def _telemetry(args: argparse.Namespace):
+    """(tracer, registry) for a mining command, or (None, None) when unused.
+
+    ``--trace-out`` switches on an enabled tracer; ``--emit-metrics`` gets a
+    *fresh* registry so the written snapshot covers exactly this invocation
+    (the process-wide default registry is shared and unbounded).
+    """
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    registry = MetricsRegistry() if getattr(args, "emit_metrics", None) else None
+    return tracer, registry
+
+
+def _export_telemetry(args: argparse.Namespace, engine, event: str, **payload) -> None:
+    """Write the trace JSONL and/or metrics snapshot a command asked for."""
+    if getattr(args, "trace_out", None):
+        from repro.obs import TraceJsonlWriter
+
+        with TraceJsonlWriter(args.trace_out) as writer:
+            writer.write_event(event, **payload)
+            for root in engine.tracer.drain():
+                writer.write_trace(root)
+    if getattr(args, "emit_metrics", None):
+        snapshot = engine.metrics.snapshot()
+        Path(args.emit_metrics).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def _print_stats_table(stats) -> None:
+    """Human-readable per-query statistics (the ``mine --stats`` table)."""
+    rows: List[tuple] = [
+        ("stage 1 seconds", f"{stats.stage_one_seconds:.4f}"),
+        ("stage 2 seconds", f"{stats.stage_two_seconds:.4f}"),
+        ("overhead seconds", f"{stats.overhead_seconds:.4f}"),
+        ("total seconds", f"{stats.total_seconds:.4f}"),
+        ("minimal patterns", str(stats.num_minimal_patterns)),
+        ("patterns", str(stats.num_patterns)),
+        ("served from store", "yes" if stats.served_from_store else "no"),
+        ("result cache hit", "yes" if stats.result_cache_hit else "no"),
+    ]
+    for name, value in (stats.level_statistics or {}).items():
+        label = name.replace("_", " ")
+        if isinstance(value, float):
+            rows.append((label, f"{value:.4f}"))
+        else:
+            rows.append((label, str(value)))
+    width = max(len(name) for name, _ in rows)
+    print("query statistics:")
+    for name, value in rows:
+        print(f"  {name:<{width}}  {value}")
 
 
 # --------------------------------------------------------------------- #
@@ -263,8 +326,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.index.store import DiskPatternStore
 
     graphs = load_dataset(args.data)
-    store = DiskPatternStore(args.store) if args.store else None
-    engine = MiningEngine(graphs, store=store)
+    tracer, registry = _telemetry(args)
+    store = (
+        DiskPatternStore(args.store, metrics=registry) if args.store else None
+    )
+    engine = MiningEngine(graphs, store=store, tracer=tracer, metrics=registry)
     query = Query(
         constraint_id=args.constraint,
         params=_collect_params(args),
@@ -273,6 +339,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         support_measure=args.support_measure,
     )
     result = engine.run(query)
+    _export_telemetry(
+        args,
+        engine,
+        "mine",
+        constraint=query.constraint_id,
+        params=dict(query.params),
+        min_support=query.min_support,
+    )
     if args.json:
         print(
             json.dumps(
@@ -295,6 +369,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             f"  #{rank:<3d} support={pattern.support:<4d} |V|={pattern.num_vertices:<3d}"
             f" |E|={pattern.num_edges:<3d} diameter={'-'.join(pattern.diameter_labels())}"
         )
+    if args.stats:
+        _print_stats_table(stats)
     return 0
 
 
@@ -303,13 +379,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.index.store import DiskPatternStore
 
     graphs = load_dataset(args.data)
-    store = DiskPatternStore(args.store) if args.store else None
-    engine = MiningEngine(graphs, store=store)
+    tracer, registry = _telemetry(args)
+    store = (
+        DiskPatternStore(args.store, metrics=registry) if args.store else None
+    )
+    engine = MiningEngine(graphs, store=store, tracer=tracer, metrics=registry)
     payload = json.loads(Path(args.requests).read_text(encoding="utf-8"))
     if not isinstance(payload, list):
         raise ValueError(f"{args.requests}: expected a JSON list of request objects")
     queries = [query_from_payload(item) for item in payload]
     responses = engine.run_batch(queries)
+    _export_telemetry(args, engine, "serve-batch", size=len(queries))
     results = [
         response.to_dict(include_patterns=args.include_patterns)
         for response in responses
@@ -320,6 +400,63 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         print(f"wrote {len(results)} response(s) to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _metric_series_name(metric) -> str:
+    if not metric.labels:
+        return metric.name
+    body = ",".join(f'{key}="{value}"' for key, value in metric.labels)
+    return "%s{%s}" % (metric.name, body)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+
+    payload = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
+    registry = MetricsRegistry.from_snapshot(payload)
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    if args.format == "prom":
+        sys.stdout.write(registry.render_text())
+        return 0
+    sections = {"counter": [], "gauge": [], "histogram": []}
+    for kind, metric in registry.iter_metrics():
+        if kind == "histogram":
+            summary = metric.summary()
+            sections[kind].append(
+                (
+                    _metric_series_name(metric),
+                    "count=%d sum=%.4fs p50=%.4fs p95=%.4fs p99=%.4fs"
+                    % (
+                        summary["count"],
+                        summary["sum"],
+                        summary["p50"],
+                        summary["p95"],
+                        summary["p99"],
+                    ),
+                )
+            )
+        else:
+            value = metric.value
+            rendered = str(int(value)) if value == int(value) else f"{value:.4f}"
+            sections[kind].append((_metric_series_name(metric), rendered))
+    if not any(sections.values()):
+        print(f"{args.metrics}: no metrics recorded")
+        return 0
+    for kind, title in (
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+        ("histogram", "histograms"),
+    ):
+        rows = sections[kind]
+        if not rows:
+            continue
+        print(f"{title}:")
+        width = max(len(name) for name, _ in rows)
+        for name, value in rows:
+            print(f"  {name:<{width}}  {value}")
     return 0
 
 
@@ -340,6 +477,21 @@ def _add_measure_argument(parser: argparse.ArgumentParser) -> None:
         default="embeddings",
         choices=["embeddings", "transactions", "mni"],
         help="support measure (default: embeddings)",
+    )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="append per-query span traces to this JSONL file",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help="write a metrics-registry snapshot (JSON) to this file",
     )
 
 
@@ -419,6 +571,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top-k", type=int, default=None)
     _add_measure_argument(mine)
     mine.add_argument("--json", action="store_true", help="machine-readable output")
+    mine.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-query statistics summary table",
+    )
+    _add_telemetry_arguments(mine)
     mine.set_defaults(handler=_cmd_mine)
 
     batch = subparsers.add_parser("serve-batch", help="answer a JSON batch of queries")
@@ -437,7 +595,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include full pattern graphs in the responses",
     )
+    _add_telemetry_arguments(batch)
     batch.set_defaults(handler=_cmd_serve_batch)
+
+    stats = subparsers.add_parser(
+        "stats", help="render a metrics snapshot written by --emit-metrics"
+    )
+    stats.add_argument("metrics", help="metrics snapshot JSON file")
+    stats.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "prom", "json"],
+        help="output format (default: table; 'prom' is Prometheus text exposition)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 

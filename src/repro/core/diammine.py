@@ -31,6 +31,7 @@ from repro.core.database import MiningContext
 from repro.core.orders import canonical_label_orientation
 from repro.core.patterns import PathPattern
 from repro.graph.labeled_graph import VertexId
+from repro.obs.trace import NULL_TRACER, Tracer
 
 # A directed occurrence of a path: (graph index, ordered data-vertex tuple).
 DirectedOccurrence = Tuple[int, Tuple[VertexId, ...]]
@@ -133,6 +134,11 @@ class DiamMine:
         Deprecated boolean spelling of ``mode`` kept for backward
         compatibility; an explicit value overrides ``mode`` (``True`` →
         pruned, ``False`` → exact).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when enabled, every cold ladder
+        rung (``stage1.ladder``, one span per power-of-two length) and the
+        Step-II merge (``stage1.merge``) become spans.  Defaults to the
+        shared no-op tracer.
 
     Examples
     --------
@@ -151,9 +157,11 @@ class DiamMine:
         max_paths_per_length: Optional[int] = None,
         mode: Union[str, Stage1Mode, None] = None,
         prune_intermediate: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._context = context
         self._max_paths_per_length = max_paths_per_length
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._mode = resolve_stage1_mode(mode, prune_intermediate)
         # Cache of the doubling ladder: length -> directed label seq -> set.
         self._ladder: Dict[int, Dict[LabelSeq, _DirectedPathSet]] = {}
@@ -200,25 +208,27 @@ class DiamMine:
     def _frequent_edges(self) -> Dict[LabelSeq, _DirectedPathSet]:
         if 1 in self._ladder:
             return self._ladder[1]
-        collected: Dict[LabelSeq, _DirectedPathSet] = {}
-        for graph_index in self._context.graph_indices():
-            graph = self._context.graph(graph_index)
-            for edge in graph.edges():
-                label_u = str(graph.label_of(edge.u))
-                label_v = str(graph.label_of(edge.v))
-                for sequence, vertices in (
-                    ((label_u, label_v), (edge.u, edge.v)),
-                    ((label_v, label_u), (edge.v, edge.u)),
-                ):
-                    entry = collected.setdefault(
-                        sequence, _DirectedPathSet(labels=sequence)
-                    )
-                    entry.occurrences.add((graph_index, vertices))
-        frequent = {
-            labels: paths
-            for labels, paths in collected.items()
-            if self._intermediate_frequent(paths.undirected_support(self._context))
-        }
+        with self._tracer.span("stage1.ladder", length=1) as span:
+            collected: Dict[LabelSeq, _DirectedPathSet] = {}
+            for graph_index in self._context.graph_indices():
+                graph = self._context.graph(graph_index)
+                for edge in graph.edges():
+                    label_u = str(graph.label_of(edge.u))
+                    label_v = str(graph.label_of(edge.v))
+                    for sequence, vertices in (
+                        ((label_u, label_v), (edge.u, edge.v)),
+                        ((label_v, label_u), (edge.v, edge.u)),
+                    ):
+                        entry = collected.setdefault(
+                            sequence, _DirectedPathSet(labels=sequence)
+                        )
+                        entry.occurrences.add((graph_index, vertices))
+            frequent = {
+                labels: paths
+                for labels, paths in collected.items()
+                if self._intermediate_frequent(paths.undirected_support(self._context))
+            }
+            span.annotate(paths=len(frequent))
         self._ladder[1] = frequent
         return frequent
 
@@ -250,7 +260,11 @@ class DiamMine:
         if half * 2 != length:
             raise ValueError("the doubling ladder only holds powers of two")
         halves = self._paths_of_length(half)
-        joined = self._concatenate(halves, halves, overlap_vertices=1, target_length=length)
+        with self._tracer.span("stage1.ladder", length=length) as span:
+            joined = self._concatenate(
+                halves, halves, overlap_vertices=1, target_length=length
+            )
+            span.annotate(paths=len(joined))
         self._ladder[length] = joined
         return joined
 
@@ -333,12 +347,15 @@ class DiamMine:
         overlap_edges = 2 * largest_power - length
         if overlap_edges >= 1:
             # Merge two length-2^k paths overlapping in `overlap_edges` edges.
-            return self._concatenate(
-                base,
-                base,
-                overlap_vertices=overlap_edges + 1,
-                target_length=length,
-            )
+            with self._tracer.span("stage1.merge", length=length) as span:
+                merged = self._concatenate(
+                    base,
+                    base,
+                    overlap_vertices=overlap_edges + 1,
+                    target_length=length,
+                )
+                span.annotate(paths=len(merged))
+            return merged
         # length > 2 * largest_power cannot happen (largest_power is maximal),
         # except when largest_power == 1 and length == 2, handled by doubling.
         return self._concatenate(base, base, overlap_vertices=1, target_length=length)

@@ -52,6 +52,7 @@ from repro.core.diameter import is_l_long_delta_skinny
 from repro.core.patterns import SkinnyPattern
 from repro.graph.canonical import canonical_key
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import NULL_TRACER
 
 
 # --------------------------------------------------------------------- #
@@ -525,6 +526,9 @@ class SkinnyConstraintDriver:
         self._stage1_mode = stage1_mode
         self.descriptor_cache = DiameterDescriptorCache()
         self.statistics = LevelGrowStatistics()
+        # Injected by the engine (hasattr protocol, like descriptor_cache);
+        # defaults to the shared no-op tracer.
+        self.tracer = NULL_TRACER
 
     def mine_minimal(
         self, context: MiningContext, parameter: Tuple[int, int]
@@ -536,6 +540,7 @@ class SkinnyConstraintDriver:
             context,
             max_paths_per_length=self._max_paths_per_length,
             mode=self._stage1_mode,
+            tracer=self.tracer,
         ).mine(length)
 
     def grow(
@@ -559,12 +564,14 @@ class SkinnyConstraintDriver:
         # can repair them) but are never reported — mirrors SkinnyMine.
         frontier = [root]
         for level in range(1, delta + 1):
-            next_frontier = []
-            for state in frontier:
-                growth = grower.grow_level_full(state, level, max_level=delta)
-                next_frontier.extend(growth.emitted)
-                next_frontier.extend(growth.pending)
-                results.extend(grown.to_pattern() for grown in growth.emitted)
+            with self.tracer.span("stage2.level", level=level) as span:
+                next_frontier = []
+                for state in frontier:
+                    growth = grower.grow_level_full(state, level, max_level=delta)
+                    next_frontier.extend(growth.emitted)
+                    next_frontier.extend(growth.pending)
+                    results.extend(grown.to_pattern() for grown in growth.emitted)
+                span.annotate(frontier=len(frontier), grown=len(next_frontier))
             if not next_frontier:
                 break
             frontier = next_frontier
@@ -591,6 +598,7 @@ class PathConstraintDriver:
         self._max_paths_per_length = max_paths_per_length
         self._include_minimal = include_minimal
         self._stage1_mode = stage1_mode
+        self.tracer = NULL_TRACER
 
     def mine_minimal(self, context: MiningContext, parameter: int) -> List[object]:
         from repro.core.diammine import DiamMine
@@ -599,6 +607,7 @@ class PathConstraintDriver:
             context,
             max_paths_per_length=self._max_paths_per_length,
             mode=self._stage1_mode,
+            tracer=self.tracer,
         ).mine(int(parameter))
 
     def grow(

@@ -213,6 +213,20 @@ class LevelGrowStatistics:
         self.invariant_seconds += other.invariant_seconds
         self.probe_seconds += other.probe_seconds
 
+    def phase_seconds(self) -> Dict[str, float]:
+        """Phase-name → accumulated seconds (the telemetry aggregate-span feed).
+
+        The phase timers are accumulated inline per candidate (a method call
+        per sample would be measurable on the emission hot path); this
+        accessor is the read-side view the tracer turns into pre-timed
+        ``stage2.phase.*`` spans.
+        """
+        return {
+            "canonical": self.canonical_seconds,
+            "invariant": self.invariant_seconds,
+            "probe": self.probe_seconds,
+        }
+
     def to_dict(self) -> Dict[str, object]:
         """Wire form for per-request stats (engine/service/CLI reporting)."""
         return {

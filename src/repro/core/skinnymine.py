@@ -40,6 +40,7 @@ from repro.core.patterns import (
     initial_state_from_path,
 )
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -84,6 +85,12 @@ class SkinnyMine:
     prune_intermediate:
         Deprecated boolean spelling of ``stage1_mode`` (``True`` → pruned,
         ``False`` → exact); an explicit value overrides ``stage1_mode``.
+    tracer:
+        Optional :class:`repro.obs.Tracer` for standalone (non-engine) use —
+        the profiler and benchmarks drive :class:`SkinnyMine` directly.
+        When enabled, each request gets ``stage1``/``stage2`` spans,
+        per-level ``stage2.level`` spans and aggregate ``stage2.phase.*``
+        spans; defaults to the shared no-op tracer.
 
     Examples
     --------
@@ -108,13 +115,16 @@ class SkinnyMine:
         max_patterns_per_diameter: Optional[int] = None,
         stage1_mode: Union[str, Stage1Mode, None] = None,
         prune_intermediate: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._context = MiningContext(graphs, min_support, support_measure)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._diammine = DiamMine(
             self._context,
             max_paths_per_length=max_paths_per_length,
             mode=stage1_mode,
             prune_intermediate=prune_intermediate,
+            tracer=self._tracer,
         )
         self._max_patterns_per_diameter = max_patterns_per_diameter
         self._diameter_index: Dict[int, List[PathPattern]] = {}
@@ -198,25 +208,34 @@ class SkinnyMine:
 
         report = MiningReport(length=length, delta=delta)
         started = time.perf_counter()
-        diameters = self.diameters_for(length)
+        with self._tracer.span("stage1", length=length) as span:
+            diameters = self.diameters_for(length)
+            span.annotate(diameters=len(diameters))
         report.diammine_seconds = time.perf_counter() - started
         report.num_diameters = len(diameters)
 
         results: List[SkinnyPattern] = []
         started = time.perf_counter()
-        for path in diameters:
-            # Each cluster merges its LevelGrow statistics into *this*
-            # request's report (it used to merge into the previous request's
-            # last_report, leaving the counters permanently zeroed).
-            cluster_results = self._grow_cluster(
-                path,
-                delta,
-                include_minimal,
-                report=report,
-                closed_only=closed_only,
-                maximal_only=maximal_only,
-            )
-            results.extend(cluster_results)
+        with self._tracer.span("stage2", length=length, delta=delta) as span:
+            for path in diameters:
+                # Each cluster merges its LevelGrow statistics into *this*
+                # request's report (it used to merge into the previous
+                # request's last_report, leaving the counters permanently
+                # zeroed).
+                cluster_results = self._grow_cluster(
+                    path,
+                    delta,
+                    include_minimal,
+                    report=report,
+                    closed_only=closed_only,
+                    maximal_only=maximal_only,
+                )
+                results.extend(cluster_results)
+            span.annotate(patterns=len(results))
+            # The emission phases are accumulated inline per candidate (too
+            # hot for a span each); attach them as pre-timed aggregates.
+            for phase, seconds in report.level_statistics.phase_seconds().items():
+                self._tracer.record("stage2.phase." + phase, seconds)
         report.levelgrow_seconds = time.perf_counter() - started
         report.num_patterns = len(results)
         self.last_report = report
@@ -271,12 +290,14 @@ class SkinnyMine:
         # still repair); only the former are ever collected.
         frontier: List[GrowthState] = [root]
         for level in range(1, delta + 1):
-            next_frontier: List[GrowthState] = []
-            for state in frontier:
-                growth = grower.grow_level_full(state, level, max_level=delta)
-                next_frontier.extend(growth.emitted)
-                next_frontier.extend(growth.pending)
-                collected.extend((grown, True) for grown in growth.emitted)
+            with self._tracer.span("stage2.level", level=level) as span:
+                next_frontier: List[GrowthState] = []
+                for state in frontier:
+                    growth = grower.grow_level_full(state, level, max_level=delta)
+                    next_frontier.extend(growth.emitted)
+                    next_frontier.extend(growth.pending)
+                    collected.extend((grown, True) for grown in growth.emitted)
+                span.annotate(frontier=len(frontier), grown=len(next_frontier))
             if not next_frontier:
                 break
             frontier = next_frontier

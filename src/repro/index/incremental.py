@@ -36,8 +36,9 @@ cannot reproduce.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.database import (
     EdgeDelta,
@@ -53,6 +54,7 @@ from repro.core.patterns import PathPattern
 from repro.graph.io import dataset_fingerprint
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 from repro.index.store import IndexEntry, PatternStore, StoreKey
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 SKINNY_CONSTRAINT_ID = "skinny"
 
@@ -284,17 +286,23 @@ class IndexMaintainer:
     constraint and the l-long path constraint of :mod:`repro.api`) is
     repaired under the same rules, since their entries share the
     ``{length, min_support, support_measure}`` parameter scheme.
+
+    ``metrics`` (optional) is the registry each repair batch reports into
+    (``repro_deltas_total``, ``repro_delta_repair_seconds``); defaults to
+    the process-wide registry.
     """
 
     def __init__(
         self,
         store: PatternStore,
         constraint_id: Union[str, Sequence[str]] = SKINNY_CONSTRAINT_ID,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._store = store
         self._constraint_ids: Tuple[str, ...] = (
             (constraint_id,) if isinstance(constraint_id, str) else tuple(constraint_id)
         )
+        self._metrics = metrics if metrics is not None else default_registry()
 
     def apply_delta(
         self,
@@ -309,6 +317,7 @@ class IndexMaintainer:
         under the final fingerprint — one disk write per surviving entry per
         batch, however many operations the delta holds.
         """
+        started = time.perf_counter()
         operations = list(delta)
         old_fingerprint = dataset_fingerprint(graphs)
         report = RepairReport(
@@ -398,4 +407,10 @@ class IndexMaintainer:
                     created_at=entry.created_at,
                 )
             )
+        self._metrics.counter(
+            "repro_deltas_total", "Delta batches applied through the index maintainer"
+        ).inc()
+        self._metrics.histogram(
+            "repro_delta_repair_seconds", "In-place index repair latency per delta batch"
+        ).observe(time.perf_counter() - started)
         return report

@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Optional, Union
 from urllib.parse import quote
 
 from repro.index.codec import decode_record, encode_record
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 FORMAT_NAME = "repro-pattern-index"
 FORMAT_VERSION = 1
@@ -217,12 +218,19 @@ class DiskPatternStore(PatternStore):
     same directory and are published with ``os.replace``, so readers never
     observe a half-written entry.  Decoded entries are cached in memory until
     invalidated by ``put``/``delete``.
+
+    ``metrics`` (optional) is the :class:`repro.obs.MetricsRegistry` the
+    store publishes I/O latencies into — ``repro_store_read_seconds`` per
+    cold entry decode and ``repro_store_write_seconds`` per ``put``;
+    defaults to the process-wide registry.  Cache-served ``get`` calls are
+    not observed (they cost a dict lookup).
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, metrics: Optional[MetricsRegistry] = None) -> None:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._cache: Dict[StoreKey, IndexEntry] = {}
+        self._metrics = metrics if metrics is not None else default_registry()
 
     @property
     def root(self) -> Path:
@@ -250,11 +258,16 @@ class DiskPatternStore(PatternStore):
         path = self._path_for(key)
         if not path.exists():
             return None
+        started = time.perf_counter()
         entry = self._read_entry(path, expected_key=key)
+        self._metrics.histogram(
+            "repro_store_read_seconds", "Cold index-entry decode latency (disk store)"
+        ).observe(time.perf_counter() - started)
         self._cache[key] = entry
         return entry
 
     def put(self, entry: IndexEntry) -> None:
+        started = time.perf_counter()
         path = self._path_for(entry.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         header = {
@@ -284,6 +297,9 @@ class DiskPatternStore(PatternStore):
             if os.path.exists(temp_name):
                 os.unlink(temp_name)
             raise
+        self._metrics.histogram(
+            "repro_store_write_seconds", "Index-entry encode+fsync latency (disk store)"
+        ).observe(time.perf_counter() - started)
         self._cache[entry.key] = entry
 
     def delete(self, key: StoreKey) -> bool:

@@ -1,0 +1,38 @@
+"""``repro.obs`` — the zero-dependency telemetry subsystem.
+
+Three pieces, all stdlib-only (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` context managers
+  with monotonic timing, nested parent ids and a bounded-overhead no-op
+  mode (:data:`NULL_TRACER`) for the tracing-disabled hot path;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` holding counters,
+  gauges and fixed-bucket latency histograms (p50/p95/p99 summaries,
+  Prometheus-style text exposition via
+  :meth:`MetricsRegistry.render_text`); :func:`default_registry` is the
+  process-wide instance the engine/store/service publish into by default;
+* :mod:`repro.obs.export` — the JSONL trace/event sink behind the CLI's
+  ``--trace-out`` flag (schema validated by ``tools/check_trace_schema.py``).
+"""
+
+from repro.obs.export import TraceJsonlWriter, flatten_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "TraceJsonlWriter",
+    "Tracer",
+    "default_registry",
+    "flatten_trace",
+]

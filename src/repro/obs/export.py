@@ -1,0 +1,87 @@
+"""Structured telemetry export: the JSONL trace/event sink.
+
+The CLI's ``--trace-out PATH`` writes one JSON object per line:
+
+* ``{"type": "span", "trace_id": ..., "span_id": ..., "parent_id": ...,
+  "name": ..., "start_seconds": ..., "seconds": ..., "attrs": {...}}`` —
+  one line per span, the tree flattened depth-first (children follow their
+  parent, linked by ``parent_id``);
+* ``{"type": "event", "event": ..., ...}`` — free-form marker lines (the
+  CLI writes one per query with the request envelope).
+
+``tools/check_trace_schema.py`` validates this format in CI.  Span ids are
+unique within a trace; ``parent_id`` is ``null`` exactly for root spans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+
+def flatten_trace(root: Mapping[str, Any], trace_id: str) -> List[Dict[str, Any]]:
+    """One flat span row per node of a :meth:`Span.to_dict` tree."""
+    rows: List[Dict[str, Any]] = []
+
+    def visit(node: Mapping[str, Any]) -> None:
+        rows.append(
+            {
+                "type": "span",
+                "trace_id": trace_id,
+                "span_id": node["span_id"],
+                "parent_id": node.get("parent_id"),
+                "name": node["name"],
+                "start_seconds": node.get("start_seconds", 0.0),
+                "seconds": node["seconds"],
+                "attrs": dict(node.get("attrs") or {}),
+            }
+        )
+        for child in node.get("children") or ():
+            visit(child)
+
+    visit(root)
+    return rows
+
+
+class TraceJsonlWriter:
+    """Append-mode JSONL sink for trace trees and event markers."""
+
+    def __init__(self, path: Union[str, "os.PathLike"]) -> None:
+        self._handle = open(path, "a", encoding="utf-8")
+        self._next_trace = 0
+
+    def write_trace(
+        self, root: Mapping[str, Any], trace_id: Optional[str] = None
+    ) -> str:
+        """Flatten one span tree to lines; returns the trace id used."""
+        if trace_id is None:
+            self._next_trace += 1
+            trace_id = "t%d" % self._next_trace
+        for row in flatten_trace(root, trace_id):
+            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return trace_id
+
+    def write_event(self, event: str, **payload: Any) -> None:
+        row: Dict[str, Any] = {"type": "event", "event": event}
+        row.update(payload)
+        self._handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceJsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.close()
+        return False
+
+
+def iter_trace_lines(path: Union[str, "os.PathLike"]) -> Iterator[Dict[str, Any]]:
+    """Parsed rows of a trace JSONL file (skipping blank lines)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,377 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket latency histograms.
+
+A :class:`MetricsRegistry` holds named metrics, optionally labelled::
+
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", labels={"constraint": "skinny"}).inc()
+    registry.histogram("repro_query_seconds").observe(0.042)
+
+Histograms use fixed upper-bound buckets (defaulting to
+:data:`DEFAULT_LATENCY_BUCKETS`, 1 ms – 60 s) and estimate p50/p95/p99 by
+linear interpolation inside the bucket holding the target rank — the same
+estimation Prometheus' ``histogram_quantile`` performs server-side, done
+here so the CLI can print percentiles without a metrics server.
+
+``snapshot()``/``from_snapshot()`` round-trip the registry through plain
+JSON (the CLI's ``--emit-metrics`` / ``repro stats`` pipeline), and
+``render_text()`` emits Prometheus text exposition format.
+
+:func:`default_registry` returns the process-wide registry that the engine,
+store and service publish into when no explicit registry is injected;
+constructing a private :class:`MetricsRegistry` per engine keeps runs
+independent (the pattern the telemetry tests pin).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 1 ms to 60 s, roughly logarithmic.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, object]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, _escape_label_value(value)) for key, value in items
+    )
+    return "{%s}" % body
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for %r" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (current sizes, last-seen timings)."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``buckets`` are ascending upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow.  ``observe`` is O(log buckets); percentiles are
+    estimated by linear interpolation within the bucket containing the
+    target rank, clamped to the largest observed value so a lone sample in
+    a wide bucket is not reported above anything actually seen.
+    """
+
+    __slots__ = ("name", "labels", "help", "buckets", "counts", "count", "sum", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value > self._max:
+            self._max = value
+
+    def percentile(self, quantile: float) -> float:
+        """Estimated value at ``quantile`` in [0, 1]; 0.0 when empty."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be within [0, 1], got %r" % quantile)
+        if self.count == 0:
+            return 0.0
+        target = quantile * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.buckets[index] if index < len(self.buckets) else self._max
+                )
+                if upper <= lower or not math.isfinite(upper):
+                    return min(lower, self._max)
+                fraction = (target - previous) / bucket_count
+                return min(lower + (upper - lower) * fraction, self._max)
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named (optionally labelled) metrics."""
+
+    def __init__(self) -> None:
+        # name -> (kind, help, {label items -> metric}); insertion-ordered.
+        self._families: "Dict[str, Tuple[str, str, Dict[LabelItems, object]]]" = {}
+
+    # ------------------------------------------------------------------ #
+    # metric accessors
+    # ------------------------------------------------------------------ #
+    def _family(self, name: str, kind: str, help: str) -> Dict[LabelItems, object]:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError("invalid metric name %r" % name)
+        family = self._families.get(name)
+        if family is None:
+            family = (kind, help, {})
+            self._families[name] = family
+        elif family[0] != kind:
+            raise ValueError(
+                "metric %r already registered as a %s, not a %s"
+                % (name, family[0], kind)
+            )
+        return family[2]
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Counter:
+        items = _label_items(labels)
+        series = self._family(name, "counter", help)
+        metric = series.get(items)
+        if metric is None:
+            metric = Counter(name, items, help)
+            series[items] = metric
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Gauge:
+        items = _label_items(labels)
+        series = self._family(name, "gauge", help)
+        metric = series.get(items)
+        if metric is None:
+            metric = Gauge(name, items, help)
+            series[items] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        items = _label_items(labels)
+        series = self._family(name, "histogram", help)
+        metric = series.get(items)
+        if metric is None:
+            metric = Histogram(name, items, help, buckets=buckets)
+            series[items] = metric
+        return metric
+
+    def reset(self) -> None:
+        self._families.clear()
+
+    def iter_metrics(self) -> Iterable[Tuple[str, object]]:
+        """Yield ``(kind, metric)`` pairs in registration order.
+
+        ``kind`` is ``"counter"``/``"gauge"``/``"histogram"``; the metric is
+        the live object (so histogram percentiles can be computed by the
+        consumer — the ``repro stats`` table uses this).
+        """
+        for _name, (kind, _help, series) in self._families.items():
+            for metric in series.values():
+                yield kind, metric
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """Plain-JSON form of every metric (the ``--emit-metrics`` payload)."""
+        payload: Dict[str, List[Dict[str, object]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for name, (kind, help, series) in self._families.items():
+            for items, metric in series.items():
+                row: Dict[str, object] = {
+                    "name": name,
+                    "help": help,
+                    "labels": dict(items),
+                }
+                if kind == "histogram":
+                    row.update(
+                        {
+                            "buckets": list(metric.buckets),
+                            "counts": list(metric.counts),
+                            "count": metric.count,
+                            "sum": metric.sum,
+                            "max": metric._max,
+                        }
+                    )
+                    payload["histograms"].append(row)
+                else:
+                    row["value"] = metric.value
+                    payload["%ss" % kind].append(row)
+        return payload
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (exact for all kinds)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("metrics snapshot must be an object, got %r" % (payload,))
+        registry = cls()
+        for row in payload.get("counters", ()):
+            metric = registry.counter(row["name"], row.get("help", ""), row.get("labels"))
+            metric.value = float(row["value"])
+        for row in payload.get("gauges", ()):
+            metric = registry.gauge(row["name"], row.get("help", ""), row.get("labels"))
+            metric.value = float(row["value"])
+        for row in payload.get("histograms", ()):
+            metric = registry.histogram(
+                row["name"], row.get("help", ""), row.get("labels"), row.get("buckets")
+            )
+            counts = list(row["counts"])
+            if len(counts) != len(metric.counts):
+                raise ValueError(
+                    "histogram %r snapshot has %d bucket counts for %d buckets"
+                    % (row["name"], len(counts), len(metric.counts))
+                )
+            metric.counts = [int(value) for value in counts]
+            metric.count = int(row["count"])
+            metric.sum = float(row["sum"])
+            metric._max = float(row.get("max", 0.0))
+        return registry
+
+    def render_text(self) -> str:
+        """Prometheus text exposition format (content-type ``text/plain``)."""
+        lines: List[str] = []
+        for name, (kind, help, series) in self._families.items():
+            if help:
+                lines.append("# HELP %s %s" % (name, help.replace("\n", " ")))
+            lines.append("# TYPE %s %s" % (name, kind))
+            for items, metric in series.items():
+                if kind == "histogram":
+                    cumulative = 0
+                    for bound, bucket_count in zip(metric.buckets, metric.counts):
+                        cumulative += bucket_count
+                        bucket_items = items + (("le", _format_value(bound)),)
+                        lines.append(
+                            "%s_bucket%s %d"
+                            % (name, _render_labels(bucket_items), cumulative)
+                        )
+                    lines.append(
+                        "%s_bucket%s %d"
+                        % (name, _render_labels(items + (("le", "+Inf"),)), metric.count)
+                    )
+                    lines.append(
+                        "%s_sum%s %s"
+                        % (name, _render_labels(items), _format_value(metric.sum))
+                    )
+                    lines.append(
+                        "%s_count%s %d" % (name, _render_labels(items), metric.count)
+                    )
+                else:
+                    lines.append(
+                        "%s%s %s"
+                        % (name, _render_labels(items), _format_value(metric.value))
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and math.isfinite(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used when no explicit one is injected."""
+    return _DEFAULT_REGISTRY
+
+
+def load_snapshot(path: str) -> MetricsRegistry:
+    """Read a ``--emit-metrics`` JSON file back into a registry."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return MetricsRegistry.from_snapshot(json.load(handle))

@@ -1,0 +1,190 @@
+"""Span tracing: nested, monotonic-timed spans with a no-op disabled mode.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    tracer = Tracer()
+    with tracer.span("query", constraint="skinny"):
+        with tracer.span("stage1"):
+            ...
+
+Spans nest through a per-tracer stack: the span open when another starts
+becomes its parent, so the ``with`` structure of the instrumented code *is*
+the trace tree.  Timing uses ``time.perf_counter()`` (monotonic); each span
+records its start offset from the tracer's epoch and its duration, so within
+one tracer span starts are comparable and children are always contained in
+their parents.
+
+Disabled tracing must cost next to nothing on the mining hot path (the
+bench-smoke gate bounds it at ≤3% of Stage-2): a disabled tracer's
+:meth:`Tracer.span` returns one shared :data:`_NULL_SPAN` whose
+``__enter__``/``__exit__`` do nothing — no allocation, no clock read.
+:data:`NULL_TRACER` is the module-wide disabled instance instrumented code
+defaults to.
+
+Aggregate phases (LevelGrow's canonicalisation / verification / probing
+seconds) are accumulated per candidate inside the miner — far too hot for a
+span each — and surfaced as pre-timed spans via :meth:`Tracer.record`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed operation in a trace tree (use via :meth:`Tracer.span`)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "start_seconds",
+        "seconds",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.start_seconds: float = 0.0
+        self.seconds: float = 0.0
+        self.children: List["Span"] = []
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        self.start_seconds = time.perf_counter() - self._tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.seconds = (time.perf_counter() - self._tracer._epoch) - self.start_seconds
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered after the span opened (e.g. a hit flag)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as plain JSON-serialisable data."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_seconds": self.start_seconds,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans and collects the finished trace trees.
+
+    ``enabled=False`` is the bounded-overhead no-op mode: every
+    :meth:`span` call returns the same shared null span and nothing is
+    recorded.  Completed *root* spans (spans with no open parent) accumulate
+    until :meth:`drain` hands them over as dicts — the CLI's JSONL export
+    path; callers holding a specific span (the engine attaching a per-query
+    trace to its stats) read ``span.to_dict()`` directly instead.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._epoch = time.perf_counter()
+        self._stack: List[Span] = []
+        self._roots: List[Span] = []
+        self._next_id = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def span(self, name: str, **attrs: Any):
+        """A context manager timing one operation; nests under the open span."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def record(self, name: str, seconds: float, **attrs: Any) -> None:
+        """Attach a pre-timed span (an aggregate too hot to trace per call).
+
+        The span lands under the currently open span (or as a root) with the
+        given duration and no start offset of its own — it represents time
+        accumulated across many non-contiguous slices.
+        """
+        if not self._enabled:
+            return
+        span = Span(self, name, attrs)
+        span.seconds = float(seconds)
+        self._assign_id(span)
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.start_seconds = self._stack[-1].start_seconds
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Completed root-span trees as dicts; clears the collected roots."""
+        roots, self._roots = self._roots, []
+        return [root.to_dict() for root in roots]
+
+    # ------------------------------------------------------------------ #
+    # span lifecycle (called by Span)
+    # ------------------------------------------------------------------ #
+    def _assign_id(self, span: Span) -> None:
+        self._next_id += 1
+        span.span_id = "s%d" % self._next_id
+
+    def _open(self, span: Span) -> None:
+        self._assign_id(span)
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate exception-driven unwinding: pop back to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if span.parent_id is None:
+            self._roots.append(span)
+        elif self._stack and self._stack[-1].span_id == span.parent_id:
+            self._stack[-1].children.append(span)
+        else:
+            # The parent closed first (unwinding); keep the subtree as a root.
+            self._roots.append(span)
+
+
+#: The shared disabled tracer instrumented code defaults to.
+NULL_TRACER = Tracer(enabled=False)

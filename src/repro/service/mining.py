@@ -29,6 +29,7 @@ merged across requests.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -256,8 +257,22 @@ class MiningService(MiningEngine):
     def serve_batch(
         self, requests: Sequence[Union[MineRequest, Query]]
     ) -> List[MineResponse]:
-        """Serve a batch in order; duplicate requests hit the result cache."""
-        return [self.mine(request) for request in requests]
+        """Serve a batch in order; duplicate requests hit the result cache.
+
+        With an enabled tracer the whole batch becomes one ``service.batch``
+        span with each query's span tree nested under it; the batch count
+        and latency are published to the service's metrics registry.
+        """
+        started = time.perf_counter()
+        with self.tracer.span("service.batch", size=len(requests)):
+            responses = [self.mine(request) for request in requests]
+        self.metrics.counter(
+            "repro_batches_total", "Request batches served by the mining service"
+        ).inc()
+        self.metrics.histogram(
+            "repro_batch_seconds", "End-to-end batch latency (mining service)"
+        ).observe(time.perf_counter() - started)
+        return responses
 
 
 # Re-exported for callers that imported these from repro.service.mining.

@@ -1,0 +1,193 @@
+"""Tests for the metrics registry: counters, histograms, export formats."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry, default_registry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, load_snapshot
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc()
+        registry.counter("hits_total").inc(4)
+        assert registry.counter("hits_total").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits_total").inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", labels={"constraint": "skinny"}).inc()
+        registry.counter("queries_total", labels={"constraint": "path"}).inc(2)
+        assert registry.counter("queries_total", labels={"constraint": "skinny"}).value == 1
+        assert registry.counter("queries_total", labels={"constraint": "path"}).value == 2
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(7)
+        gauge.inc(-3)
+        assert gauge.value == 4
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestHistogramPercentiles:
+    def test_uniform_distribution(self):
+        """Percentiles on 1..1000 ms uniform must land near the true values."""
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=[i / 100 for i in range(1, 101)]
+        )
+        values = [i / 1000 for i in range(1, 1001)]  # 0.001 .. 1.000
+        for value in values:
+            histogram.observe(value)
+        assert histogram.count == 1000
+        assert histogram.sum == pytest.approx(sum(values))
+        # Bucket width is 10ms, so the interpolation error is < 10ms.
+        assert histogram.percentile(0.50) == pytest.approx(0.500, abs=0.011)
+        assert histogram.percentile(0.95) == pytest.approx(0.950, abs=0.011)
+        assert histogram.percentile(0.99) == pytest.approx(0.990, abs=0.011)
+
+    def test_known_small_distribution(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 0.5, 1.5, 3.0):
+            histogram.observe(value)
+        # p50: target rank 2 falls in the first bucket (2 samples, bound 1.0).
+        assert 0.0 < histogram.percentile(0.50) <= 1.0
+        # p99: rank 3.96 falls in the (2.0, 4.0] bucket.
+        assert 2.0 < histogram.percentile(0.99) <= 4.0
+
+    def test_percentile_clamped_to_observed_max(self):
+        """A lone sample in a wide bucket is never reported above itself."""
+        histogram = MetricsRegistry().histogram("latency")  # default buckets
+        histogram.observe(0.0011)
+        assert histogram.percentile(0.99) <= 0.0011
+
+    def test_overflow_bucket_uses_max(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=[1.0])
+        histogram.observe(50.0)
+        histogram.observe(70.0)
+        p99 = histogram.percentile(0.99)
+        assert 1.0 <= p99 <= 70.0
+        assert math.isfinite(p99)
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.summary() == {
+            "count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_random_distribution_percentiles_bracket_truth(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.0005, 8.0) for _ in range(5000)]
+        histogram = MetricsRegistry().histogram("latency")  # default buckets
+        for value in values:
+            histogram.observe(value)
+        ranked = sorted(values)
+        for quantile in (0.50, 0.95, 0.99):
+            true_value = ranked[int(quantile * len(ranked)) - 1]
+            estimate = histogram.percentile(quantile)
+            # The estimate must land within the true value's bucket.
+            bounds = [0.0] + list(DEFAULT_LATENCY_BUCKETS)
+            bucket = next(
+                (low, high)
+                for low, high in zip(bounds, bounds[1:] + [float("inf")])
+                if low < true_value <= high or high == float("inf")
+            )
+            assert bucket[0] <= estimate <= min(bucket[1], max(values))
+
+    def test_quantile_validation(self):
+        histogram = MetricsRegistry().histogram("latency")
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_bucket_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("latency", buckets=[2.0, 1.0])
+
+
+class TestExport:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "Queries", {"constraint": "skinny"}).inc(3)
+        registry.gauge("depth", "Depth").set(2.5)
+        histogram = registry.histogram("latency", "Latency", buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        return registry
+
+    def test_snapshot_round_trip(self):
+        registry = self.build()
+        payload = json.loads(json.dumps(registry.snapshot()))
+        rebuilt = MetricsRegistry.from_snapshot(payload)
+        assert rebuilt.snapshot() == registry.snapshot()
+        histogram = rebuilt.histogram("latency", buckets=[0.1, 1.0])
+        assert histogram.count == 3
+        assert histogram.percentile(0.99) == pytest.approx(
+            registry.histogram("latency", buckets=[0.1, 1.0]).percentile(0.99)
+        )
+
+    def test_snapshot_rejects_wrong_bucket_count(self):
+        payload = self.build().snapshot()
+        payload["histograms"][0]["counts"] = [1, 2]  # needs 3 (2 bounds + inf)
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot(payload)
+
+    def test_load_snapshot_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(self.build().snapshot()), encoding="utf-8")
+        assert load_snapshot(path).counter(
+            "queries_total", labels={"constraint": "skinny"}
+        ).value == 3
+
+    def test_render_text_prometheus_format(self):
+        text = self.build().render_text()
+        lines = text.strip().splitlines()
+        assert "# TYPE queries_total counter" in lines
+        assert 'queries_total{constraint="skinny"} 3' in lines
+        assert "# TYPE latency histogram" in lines
+        # Cumulative buckets: 1 below 0.1, 2 below 1.0, 3 below +Inf.
+        assert 'latency_bucket{le="0.1"} 1' in lines
+        assert 'latency_bucket{le="1"} 2' in lines
+        assert 'latency_bucket{le="+Inf"} 3' in lines
+        assert "latency_count 3" in lines
+        # Every non-comment line parses as "name{labels} value".
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+
+    def test_iter_metrics_yields_live_objects(self):
+        registry = self.build()
+        kinds = sorted(kind for kind, _metric in registry.iter_metrics())
+        assert kinds == ["counter", "gauge", "histogram"]
+
+    def test_reset_clears(self):
+        registry = self.build()
+        registry.reset()
+        assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}

@@ -1,0 +1,162 @@
+"""Telemetry through the engine: trace coverage, stats invariant, metrics isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import MiningEngine, Query
+from repro.api.query import QueryStats, Result
+from repro.obs import MetricsRegistry, Tracer
+from repro.graph.labeled_graph import build_graph
+
+
+def chains_graph():
+    return build_graph(
+        {
+            0: "a", 1: "b", 2: "c", 3: "d",
+            10: "a", 11: "b", 12: "c", 13: "d",
+            20: "x", 21: "y",
+        },
+        [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12), (12, 13), (20, 21), (3, 20)],
+    )
+
+
+SKINNY = Query("skinny", {"length": 3, "delta": 1}, min_support=2)
+
+
+def span_names(tree):
+    """Every span name in a ``Span.to_dict`` tree, depth-first."""
+    names = [tree["name"]]
+    for child in tree.get("children", []):
+        names.extend(span_names(child))
+    return names
+
+
+def traced_engine():
+    return MiningEngine(chains_graph(), tracer=Tracer(), metrics=MetricsRegistry())
+
+
+class TestTraceCoverage:
+    def test_trace_attached_and_covers_both_stages(self):
+        engine = traced_engine()
+        result = engine.run(SKINNY)
+        trace = result.stats.trace
+        assert isinstance(trace, dict)
+        assert trace["name"] == "query"
+        names = set(span_names(trace))
+        assert {"store.get", "stage1.mine", "stage2", "stage2.level"} <= names
+        for phase in ("canonical", "invariant", "probe"):
+            assert f"stage2.phase.{phase}" in names
+        # Stage-1 mined inline (no prebuilt store), so the ladder ran too.
+        assert "stage1.ladder" in names
+
+    def test_disabled_tracer_leaves_trace_none(self):
+        engine = MiningEngine(chains_graph(), metrics=MetricsRegistry())
+        result = engine.run(SKINNY)
+        assert result.stats.trace is None
+        # The envelope still round-trips with a null trace.
+        rebuilt = Result.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.stats.trace is None
+
+    def test_trace_round_trips_through_result_envelope(self):
+        engine = traced_engine()
+        result = engine.run(SKINNY)
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = Result.from_dict(payload)
+        assert rebuilt.stats.trace == result.stats.trace
+        assert rebuilt.stats.to_dict() == result.stats.to_dict()
+        assert rebuilt.query == result.query
+
+    def test_query_stats_round_trip_alone(self):
+        engine = traced_engine()
+        stats = engine.run(SKINNY).stats
+        rebuilt = QueryStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt == stats
+
+    def test_cache_hit_trace_is_flat(self):
+        engine = traced_engine()
+        engine.run(SKINNY)
+        hit = engine.run(SKINNY)
+        assert hit.stats.result_cache_hit
+        trace = hit.stats.trace
+        assert trace["name"] == "query"
+        assert trace["attrs"].get("result_cache_hit") is True
+        assert "stage2" not in span_names(trace)
+
+
+class TestTimingInvariant:
+    def test_cold_query_total_is_exact_sum(self):
+        engine = traced_engine()
+        stats = engine.run(SKINNY).stats
+        assert stats.overhead_seconds >= 0.0
+        assert stats.total_seconds == (
+            stats.stage_one_seconds + stats.stage_two_seconds + stats.overhead_seconds
+        )
+
+    def test_cache_hit_total_is_all_overhead(self):
+        engine = traced_engine()
+        engine.run(SKINNY)
+        stats = engine.run(SKINNY).stats
+        assert stats.result_cache_hit
+        assert stats.stage_one_seconds == stats.stage_two_seconds == 0.0
+        assert stats.total_seconds == stats.overhead_seconds
+
+    def test_invariant_holds_without_tracing(self):
+        engine = MiningEngine(chains_graph(), metrics=MetricsRegistry())
+        for query in (SKINNY, Query("path", {"length": 3}, min_support=2)):
+            stats = engine.run(query).stats
+            assert stats.total_seconds == (
+                stats.stage_one_seconds + stats.stage_two_seconds + stats.overhead_seconds
+            )
+
+
+class TestMetricsPublication:
+    def test_counters_reflect_query_flow(self):
+        registry = MetricsRegistry()
+        engine = MiningEngine(chains_graph(), metrics=registry)
+        engine.run(SKINNY)
+        engine.run(SKINNY)  # result-cache hit
+        labels = {"constraint": "skinny"}
+        assert registry.counter("repro_queries_total", labels=labels).value == 2
+        assert registry.counter("repro_result_cache_misses_total").value == 1
+        assert registry.counter("repro_result_cache_hits_total").value == 1
+        assert registry.counter("repro_store_misses_total").value == 1
+        assert registry.histogram("repro_query_seconds", labels=labels).count == 2
+        assert registry.histogram("repro_stage_two_seconds", labels=labels).count == 1
+
+    def test_registries_are_independent_across_engines(self):
+        """Two engines with private registries publish identical counter values."""
+        snapshots = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            MiningEngine(chains_graph(), metrics=registry).run(SKINNY)
+            counters = {
+                (metric.name, metric.labels): metric.value
+                for kind, metric in registry.iter_metrics()
+                if kind == "counter"
+            }
+            snapshots.append(counters)
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]  # something was actually published
+
+    def test_level_statistics_counters_published(self):
+        """Nonzero fast-path counters surface as labelled process counters."""
+        registry = MetricsRegistry()
+        result = MiningEngine(chains_graph(), metrics=registry).run(SKINNY)
+        assert result.stats.level_statistics["canonical_incremental_hits"] >= 1
+        labels = {"constraint": "skinny"}
+        hits = registry.counter("repro_canonical_incremental_hits_total", labels=labels).value
+        assert hits == result.stats.level_statistics["canonical_incremental_hits"]
+
+    @pytest.mark.parametrize("query", [SKINNY, Query("diam-le", {"k": 2}, min_support=2)])
+    def test_render_text_parses_after_real_queries(self, query):
+        registry = MetricsRegistry()
+        MiningEngine(chains_graph(), metrics=registry).run(query)
+        for line in registry.render_text().strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)

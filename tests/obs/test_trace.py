@@ -1,0 +1,190 @@
+"""Tests for the span tracer: nesting, timing, the no-op mode's overhead."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.export import TraceJsonlWriter, flatten_trace, iter_trace_lines
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_with_structure_is_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert [child["name"] for child in tree["children"]] == ["child-a", "child-b"]
+        assert tree["children"][0]["children"][0]["name"] == "grandchild"
+        assert tree["parent_id"] is None
+        assert tree["children"][0]["parent_id"] == tree["span_id"]
+
+    def test_span_ids_unique_within_tracer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        rows = [row for root in tracer.drain() for row in flatten_trace(root, "t")]
+        ids = [row["span_id"] for row in rows]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_drain_returns_roots_once(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        roots = tracer.drain()
+        assert [root["name"] for root in roots] == ["first", "second"]
+        assert tracer.drain() == []
+
+    def test_exception_annotates_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        (root,) = tracer.drain()
+        assert root["attrs"]["error"] == "RuntimeError"
+        assert root["children"][0]["attrs"]["error"] == "RuntimeError"
+        # The stack fully unwound: a new span is again a root.
+        with tracer.span("after"):
+            pass
+        assert [root["name"] for root in tracer.drain()] == ["after"]
+
+    def test_annotate_merges_attrs(self):
+        tracer = Tracer()
+        with tracer.span("op", fixed=1) as span:
+            span.annotate(hit=True)
+        assert span.to_dict()["attrs"] == {"fixed": 1, "hit": True}
+
+
+class TestTiming:
+    def test_children_contained_in_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                time.sleep(0.002)
+        assert child.seconds > 0
+        assert parent.seconds >= child.seconds
+        assert parent.start_seconds <= child.start_seconds
+        assert (
+            child.start_seconds + child.seconds
+            <= parent.start_seconds + parent.seconds + 1e-9
+        )
+
+    def test_sibling_starts_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for index in range(5):
+                with tracer.span("step", index=index):
+                    pass
+        starts = [child["start_seconds"] for child in root.to_dict()["children"]]
+        assert starts == sorted(starts)
+        assert all(start >= 0 for start in starts)
+
+    def test_record_attaches_pretimed_aggregate(self):
+        tracer = Tracer()
+        with tracer.span("stage2") as span:
+            tracer.record("stage2.phase.canonical", 0.125, samples=10)
+        (child,) = span.to_dict()["children"]
+        assert child["name"] == "stage2.phase.canonical"
+        assert child["seconds"] == 0.125
+        assert child["attrs"] == {"samples": 10}
+
+    def test_record_without_open_span_is_a_root(self):
+        tracer = Tracer()
+        tracer.record("aggregate", 1.5)
+        (root,) = tracer.drain()
+        assert root["name"] == "aggregate"
+        assert root["seconds"] == 1.5
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_the_shared_null_span(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.span("anything", attr=1) is _NULL_SPAN
+        assert NULL_TRACER.span("other") is _NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op") as span:
+            span.annotate(ignored=True)
+        tracer.record("aggregate", 1.0)
+        assert tracer.drain() == []
+        assert span.to_dict() is None
+
+    def test_noop_span_overhead_bounded(self):
+        """The disabled span() path must stay within ~10x of a no-op call."""
+
+        def noop():
+            pass
+
+        def baseline(iterations):
+            started = time.perf_counter()
+            for _ in range(iterations):
+                noop()
+            return time.perf_counter() - started
+
+        def traced(iterations):
+            span = NULL_TRACER.span
+            started = time.perf_counter()
+            for _ in range(iterations):
+                with span("op"):
+                    pass
+            return time.perf_counter() - started
+
+        iterations = 50_000
+        baseline(iterations), traced(iterations)  # warm-up
+        base = min(baseline(iterations) for _ in range(3))
+        cost = min(traced(iterations) for _ in range(3))
+        # A generous ceiling (context-manager protocol + method dispatch);
+        # what it guards against is accidental allocation or clock reads on
+        # the disabled path, which send this ratio into the hundreds.
+        assert cost <= base * 10 + 0.01
+
+
+class TestJsonlExport:
+    def test_flatten_parent_before_child(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        (root,) = tracer.drain()
+        rows = flatten_trace(root, "t1")
+        names = [row["name"] for row in rows]
+        assert names == ["root", "child", "grandchild"]
+        seen = set()
+        for row in rows:
+            if row["parent_id"] is not None:
+                assert row["parent_id"] in seen
+            seen.add(row["span_id"])
+
+    def test_writer_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        with tracer.span("query", constraint="skinny"):
+            with tracer.span("stage1"):
+                pass
+        with TraceJsonlWriter(path) as writer:
+            writer.write_event("mine", min_support=2)
+            for root in tracer.drain():
+                writer.write_trace(root)
+        rows = list(iter_trace_lines(path))
+        assert rows[0] == {"type": "event", "event": "mine", "min_support": 2}
+        spans = [row for row in rows if row["type"] == "span"]
+        assert [span["name"] for span in spans] == ["query", "stage1"]
+        assert spans[0]["attrs"] == {"constraint": "skinny"}
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+        assert all(span["trace_id"] == "t1" for span in spans)

@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 import json
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import _parse_lengths, load_dataset, main
 from repro.graph.io import write_lg
 from repro.graph.labeled_graph import build_graph
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+from check_trace_schema import check_trace_file  # noqa: E402
 
 
 @pytest.fixture
@@ -343,6 +349,122 @@ class TestConstraintDispatch:
         assert all(result["num_patterns"] >= 1 for result in results)
         assert results[1]["stats"]["request"]["constraint"] == "diam-le"
         assert results[2]["stats"]["request"]["constraint"] == "skinny"
+
+
+class TestTelemetryFlags:
+    def mine_arguments(self, lg_file):
+        return [
+            "mine",
+            "--data", str(lg_file),
+            "-l", "3",
+            "-d", "1",
+            "--min-support", "2",
+        ]
+
+    def test_mine_stats_table(self, lg_file, capsys):
+        assert main(self.mine_arguments(lg_file) + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "query statistics:" in out
+        assert "overhead seconds" in out
+        assert "stage 2 seconds" in out
+        # Stage-2 fast-path counters appear with underscores humanised.
+        assert "canonical incremental hits" in out
+
+    def test_trace_out_writes_valid_jsonl(self, lg_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.mine_arguments(lg_file) + ["--trace-out", str(trace)]) == 0
+        required = ["stage1", "stage2.level", "stage2.phase.canonical", "store"]
+        assert check_trace_file(trace, required) == []
+        rows = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        assert rows[0]["type"] == "event"
+        assert rows[0]["event"] == "mine"
+        assert any(row.get("name") == "query" for row in rows)
+
+    def test_emit_metrics_snapshot_loads(self, lg_file, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        metrics = tmp_path / "metrics.json"
+        assert main(self.mine_arguments(lg_file) + ["--emit-metrics", str(metrics)]) == 0
+        payload = json.loads(metrics.read_text(encoding="utf-8"))
+        registry = MetricsRegistry.from_snapshot(payload)
+        assert registry.counter(
+            "repro_queries_total", labels={"constraint": "skinny"}
+        ).value == 1
+        assert registry.histogram(
+            "repro_query_seconds", labels={"constraint": "skinny"}
+        ).count == 1
+
+    def test_serve_batch_trace_covers_all_queries(self, lg_file, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(
+            json.dumps(
+                [
+                    {"constraint": "skinny", "params": {"length": 3, "delta": 1},
+                     "min_support": 2},
+                    {"constraint": "path", "params": {"length": 3}, "min_support": 2},
+                ]
+            ),
+            encoding="utf-8",
+        )
+        trace = tmp_path / "batch.jsonl"
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data", str(lg_file),
+                    "--requests", str(requests),
+                    "--trace-out", str(trace),
+                ]
+            )
+            == 0
+        )
+        assert check_trace_file(trace, ["service.batch", "query"]) == []
+        rows = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        queries = [row for row in rows if row.get("name") == "query"]
+        assert len(queries) == 2
+        batch = next(row for row in rows if row.get("name") == "service.batch")
+        assert all(row["parent_id"] == batch["span_id"] for row in queries)
+
+    def test_stats_verb_table_prom_json(self, lg_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        main(self.mine_arguments(lg_file) + ["--emit-metrics", str(metrics)])
+        capsys.readouterr()
+
+        assert main(["stats", str(metrics)]) == 0
+        table = capsys.readouterr().out
+        assert "counters:" in table
+        assert 'repro_queries_total{constraint="skinny"}' in table
+        assert "p50=" in table and "p99=" in table
+
+        assert main(["stats", str(metrics), "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in prom
+        for line in prom.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+
+        assert main(["stats", str(metrics), "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert {"counters", "gauges", "histograms"} <= set(snapshot)
+
+    def test_stats_verb_empty_registry(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        metrics = tmp_path / "empty.json"
+        metrics.write_text(
+            json.dumps(MetricsRegistry().snapshot()), encoding="utf-8"
+        )
+        assert main(["stats", str(metrics)]) == 0
+        assert "no metrics recorded" in capsys.readouterr().out
 
 
 class TestErrors:

@@ -1,0 +1,142 @@
+"""Validate a ``--trace-out`` JSONL file (used by CI's bench-smoke job).
+
+Checks, per line:
+
+* every row is a JSON object with a ``type`` of ``"span"`` or ``"event"``;
+* span rows carry ``trace_id``, ``span_id``, ``parent_id``, ``name``,
+  ``start_seconds`` and ``seconds`` with sane types (non-negative numeric
+  timings);
+* within one trace, span ids are unique and every non-null ``parent_id``
+  references a span id seen *earlier in the same trace* (the writer flattens
+  depth-first, so parents always precede children);
+* event rows carry a non-empty ``event`` string.
+
+``--require-span PREFIX`` (repeatable) additionally asserts that at least one
+span whose name equals the prefix or starts with ``PREFIX.`` exists — CI uses
+this to pin the instrumentation coverage (``stage1``, ``stage2.level``,
+``stage2.phase.canonical``, ``store`` …) so a refactor cannot silently drop a
+span family.
+
+Stdlib only.  Exit codes: 0 valid, 1 invalid (violations on stderr), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+SPAN_FIELDS = ("trace_id", "span_id", "parent_id", "name", "start_seconds", "seconds")
+
+
+def check_trace_file(path: Path, required: List[str]) -> List[str]:
+    """All schema violations found in ``path`` (empty list = valid)."""
+    violations: List[str] = []
+    seen_by_trace: Dict[str, Set[str]] = {}
+    span_names: List[str] = []
+    spans = 0
+    events = 0
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{number}"
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            violations.append(f"{where}: not valid JSON ({error})")
+            continue
+        if not isinstance(row, dict):
+            violations.append(f"{where}: row is not a JSON object")
+            continue
+        kind = row.get("type")
+        if kind == "event":
+            events += 1
+            if not isinstance(row.get("event"), str) or not row["event"]:
+                violations.append(f"{where}: event row without a non-empty 'event'")
+            continue
+        if kind != "span":
+            violations.append(f"{where}: unknown row type {kind!r}")
+            continue
+
+        spans += 1
+        missing = [field for field in SPAN_FIELDS if field not in row]
+        if missing:
+            violations.append(f"{where}: span row missing {', '.join(missing)}")
+            continue
+        if not isinstance(row["name"], str) or not row["name"]:
+            violations.append(f"{where}: span name must be a non-empty string")
+            continue
+        for field in ("start_seconds", "seconds"):
+            value = row[field]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                violations.append(f"{where}: {field} is not numeric ({value!r})")
+            elif value < 0:
+                violations.append(f"{where}: {field} is negative ({value!r})")
+        if "attrs" in row and not isinstance(row["attrs"], dict):
+            violations.append(f"{where}: attrs is not an object")
+
+        trace_id = str(row["trace_id"])
+        span_id = row["span_id"]
+        parent_id = row["parent_id"]
+        seen = seen_by_trace.setdefault(trace_id, set())
+        if not isinstance(span_id, str) or not span_id:
+            violations.append(f"{where}: span_id must be a non-empty string")
+            continue
+        if span_id in seen:
+            violations.append(f"{where}: duplicate span_id {span_id!r} in trace {trace_id!r}")
+        if parent_id is not None:
+            if not isinstance(parent_id, str):
+                violations.append(f"{where}: parent_id must be a string or null")
+            elif parent_id not in seen:
+                violations.append(
+                    f"{where}: parent_id {parent_id!r} not seen earlier in trace "
+                    f"{trace_id!r} (depth-first order violated or dangling)"
+                )
+        seen.add(span_id)
+        span_names.append(row["name"])
+
+    if spans == 0 and events == 0 and not violations:
+        violations.append(f"{path}: no trace rows at all")
+    for prefix in required:
+        if not any(
+            name == prefix or name.startswith(prefix + ".") for name in span_names
+        ):
+            violations.append(
+                f"{path}: no span named {prefix!r} (or {prefix}.*) — "
+                "instrumentation coverage regressed"
+            )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace JSONL file to validate")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="require at least one span named PREFIX or PREFIX.* (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    violations = check_trace_file(args.trace, args.require_span)
+    if violations:
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(violations)} violation(s))", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,12 @@ the next perf PR starts from data instead of re-profiling locally:
   (canonicalisation / verification / probing seconds and the fast-path
   counters from ``LevelGrowStatistics``).
 
-Stdlib only.  ``--quick`` shrinks the scenario (~1s) for smoke use::
+Stdlib only.  ``--quick`` shrinks the scenario (~1s) for smoke use, and
+``--json`` prints the top-N functions by cumulative time as a JSON list
+(machine-readable; for dashboards and scripted diffing)::
 
     PYTHONPATH=src python tools/profile_levelgrow.py --output-dir profile
+    PYTHONPATH=src python tools/profile_levelgrow.py --quick --json
 """
 
 from __future__ import annotations
@@ -31,7 +34,25 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 
-def run(output_dir: Path, top: int, quick: bool) -> dict:
+def top_functions(profiler: cProfile.Profile, top: int) -> list:
+    """The ``top`` functions by cumulative time as JSON-ready rows."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime"], row["function"]))
+    return rows[:top]
+
+
+def run(output_dir: Path, top: int, quick: bool) -> tuple:
     from test_levelgrow_scaling import SCENARIO, build_scenario_graph
 
     from repro.core.skinnymine import SkinnyMine
@@ -93,7 +114,7 @@ def run(output_dir: Path, top: int, quick: bool) -> dict:
     (output_dir / "levelgrow_profile.txt").write_text(
         buffer.getvalue(), encoding="utf-8"
     )
-    return header
+    return header, top_functions(profiler, top)
 
 
 def main(argv=None) -> int:
@@ -105,8 +126,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="profile the small calibration-sized scenario instead (~1s)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the top-N functions by cumulative time as a JSON list",
+    )
     args = parser.parse_args(argv)
-    header = run(args.output_dir, args.top, args.quick)
+    header, top_rows = run(args.output_dir, args.top, args.quick)
+    if args.json:
+        print(json.dumps(top_rows, indent=2, sort_keys=True))
+        return 0
     print(json.dumps(header, indent=2, sort_keys=True))
     print(f"wrote {args.output_dir}/levelgrow.pstats and levelgrow_profile.txt")
     return 0

@@ -1,0 +1,137 @@
+"""Service-tier latency gate: p99 under concurrent mixed load.
+
+Drives the ``tools/load_service.py`` quick scenario against a spawned
+``repro serve`` subprocess: concurrent NDJSON clients in a closed loop over
+a mixed skinny/path/diam-le workload, with one edge delta applied mid-load
+through a control connection.  Three gates:
+
+* **correctness is absolute** — a wrong answer (any response that is not
+  byte-identical to a direct single-user ``MiningEngine.run`` at the
+  generation the service reports) or any error response fails the bench
+  outright, in baseline-update mode too;
+* **snapshot isolation actually exercised** — the run must have served
+  answers from at least two generations, i.e. the delta landed mid-load;
+* **p99 latency** — the calibration-normalised p99 may exceed the
+  committed ``BENCH_service.json`` baseline by at most
+  ``REGRESSION_BUDGET`` (25%) plus a small absolute noise floor.
+
+The same machine-speed probe as the LevelGrow gate normalises the timing
+(service overhead is pure-Python work, so the ratio transfers across
+runners).  Refresh the baseline after an intentional serving-tier change::
+
+    BENCH_UPDATE=1 pytest benchmarks/test_service_latency.py -q
+
+The fresh measurement always lands in ``BENCH_service.latest.json``; on
+main, CI appends it to the artifact-chain ledger
+(``tools/append_bench_history.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from conftest import run_once
+from test_levelgrow_scaling import _calibration_seconds
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import load_service  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_service.json"
+LATEST_PATH = Path(__file__).parent / "BENCH_service.latest.json"
+REGRESSION_BUDGET = 0.25
+#: Absolute slack (in calibration units) on top of the p99 budget: p99 of a
+#: few hundred requests rides on scheduler/event-loop timing that the
+#: mining-speed calibration cannot fully normalise away.
+NOISE_FLOOR = 0.5
+
+#: The quick scenario (see tools/load_service.py for the full 200-client run).
+SCENARIO_ARGS = [
+    "--clients", "60",
+    "--requests-per-client", "5",
+    "--workers", "4",
+    "--delta-at", "0.4",
+]
+
+
+def _measure():
+    calibration_before = _calibration_seconds()
+    args = load_service.build_parser().parse_args(SCENARIO_ARGS)
+    summary = load_service.run_load(args)
+    calibration = (calibration_before + _calibration_seconds()) / 2
+    return {
+        "scenario": summary["scenario"],
+        "calibration_seconds": calibration,
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p95_ms": summary["latency_ms"]["p95"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "normalised_p99": (summary["latency_ms"]["p99"] / 1000.0) / calibration,
+        "throughput_rps": summary["throughput_rps"],
+        "wall_seconds": summary["wall_seconds"],
+        "requests": summary["requests"],
+        "errors": summary["errors"],
+        "error_count": summary["error_count"],
+        "wrong_answers": summary["wrong_answers"],
+        "served_by_generation": summary["served_by_generation"],
+        "result_cache_hits": summary["result_cache_hits"],
+        "delta": summary["delta"],
+    }
+
+
+def test_service_latency_no_regression(benchmark):
+    committed = (
+        json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        if BASELINE_PATH.exists()
+        else None
+    )
+
+    fresh = run_once(benchmark, _measure)
+    print(
+        f"\nservice latency ({fresh['requests']} requests, "
+        f"{fresh['scenario']['clients']} clients): "
+        f"p50 {fresh['p50_ms']:.1f}ms p95 {fresh['p95_ms']:.1f}ms "
+        f"p99 {fresh['p99_ms']:.1f}ms "
+        f"({fresh['throughput_rps']:.0f} req/s; calibration "
+        f"{fresh['calibration_seconds']:.3f}s, normalised p99 "
+        f"{fresh['normalised_p99']:.2f}×; generations "
+        f"{fresh['served_by_generation']})"
+    )
+
+    LATEST_PATH.write_text(
+        json.dumps(fresh, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    # Correctness and isolation gate unconditionally — a baseline refresh
+    # must never record a run with wrong answers or errors.
+    assert fresh["wrong_answers"] == 0, (
+        f"{fresh['wrong_answers']} answer(s) differed from the direct engine"
+    )
+    assert fresh["error_count"] == 0, f"error responses under load: {fresh['errors']}"
+    assert len(fresh["served_by_generation"]) >= 2, (
+        "the mid-load delta did not split traffic across generations: "
+        f"{fresh['served_by_generation']}"
+    )
+    assert fresh["delta"] and fresh["delta"]["ok"], fresh["delta"]
+
+    if os.environ.get("BENCH_UPDATE"):
+        record = dict(fresh)
+        if committed is not None:
+            record["history"] = committed.get("history") or []
+        BASELINE_PATH.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return
+
+    assert committed is not None, (
+        f"no committed baseline at {BASELINE_PATH}; "
+        "run with BENCH_UPDATE=1 to create it"
+    )
+    budget = committed["normalised_p99"] * (1 + REGRESSION_BUDGET) + NOISE_FLOOR
+    assert fresh["normalised_p99"] <= budget, (
+        f"service p99 regressed: normalised {fresh['normalised_p99']:.2f}× "
+        f"calibration exceeds committed {committed['normalised_p99']:.2f}× "
+        f"by more than {REGRESSION_BUDGET:.0%} + {NOISE_FLOOR} noise floor"
+    )

@@ -26,8 +26,15 @@ from repro.api.errors import (
     QueryError,
     UnexpectedParameterError,
     UnknownConstraintError,
+    error_code,
 )
-from repro.api.query import Query, QueryStats, Result, query_from_payload
+from repro.api.query import (
+    Query,
+    QueryStats,
+    Result,
+    ResultError,
+    query_from_payload,
+)
 from repro.api.registry import (
     ConstraintSpec,
     ParamSpec,
@@ -51,10 +58,12 @@ __all__ = [
     "QueryError",
     "QueryStats",
     "Result",
+    "ResultError",
     "UnexpectedParameterError",
     "UnknownConstraintError",
     "available_constraints",
     "constraint_specs",
+    "error_code",
     "get_constraint",
     "query_from_payload",
     "register_constraint",

@@ -86,6 +86,12 @@ class MiningEngine:
         process-wide :func:`repro.obs.default_registry`.  The engine
         publishes query/stage latencies and cache/store hit counters per
         query (see ``docs/OBSERVABILITY.md`` for the metric catalogue).
+    descriptor_cache:
+        Optional pre-populated :class:`DiameterDescriptorCache` to adopt
+        instead of starting empty.  Descriptors are data-independent, so a
+        cache can be shared across engines over different data or snapshot
+        generations; :meth:`fork` uses this to let sibling worker engines
+        pool their Loop-Invariant work.
 
     Examples
     --------
@@ -108,6 +114,7 @@ class MiningEngine:
         stage1_mode: Union[str, Stage1Mode, None] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        descriptor_cache: Optional[DiameterDescriptorCache] = None,
     ) -> None:
         self._graphs: List[LabeledGraph] = (
             [graphs] if isinstance(graphs, LabeledGraph) else list(graphs)
@@ -130,9 +137,12 @@ class MiningEngine:
         # Engine-lifetime Loop-Invariant descriptor cache, injected into
         # each query's driver: a descriptor is a pure function of the
         # abstract pattern (no data, threshold or measure involved), so it
-        # never goes stale — not even across apply_delta — while the
-        # per-request counters stay on the per-query driver.
-        self._descriptor_cache = DiameterDescriptorCache()
+        # never goes stale — not even across apply_delta — which also makes
+        # it safe to share across forked sibling engines (the per-request
+        # counters stay on the per-query driver).
+        self._descriptor_cache = (
+            descriptor_cache if descriptor_cache is not None else DiameterDescriptorCache()
+        )
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else default_registry()
         self.stats_log: List[QueryStats] = []
@@ -152,6 +162,11 @@ class MiningEngine:
         """The engine's Stage-1 exactness mode (keyed into every store entry)."""
         return self._stage1_mode
 
+    @property
+    def caps(self) -> Dict[str, object]:
+        """The engine's driver caps/mode dict (a copy; the worker-init payload)."""
+        return dict(self._caps)
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
@@ -166,6 +181,44 @@ class MiningEngine:
     @property
     def graphs(self) -> List[LabeledGraph]:
         return self._graphs
+
+    def fork(
+        self,
+        store: Optional[PatternStore] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        result_cache_size: Optional[int] = None,
+    ) -> "MiningEngine":
+        """A sibling engine over the same data, safe for another thread.
+
+        The fork shares the graph objects (both sides must treat them as
+        read-only — data edits go through the serving tier's snapshot
+        manager, never through a fork), the Stage-1 caps and exactness mode,
+        and the engine-lifetime descriptor cache.  Everything that is *not*
+        safe to share across threads is private to the fork: result/context
+        caches, stats log, tracer and metrics registry.  Pass ``store`` to
+        point the fork at a snapshot view instead of the parent's store.
+
+        The fork is always a plain :class:`MiningEngine`, even when called
+        on a subclass: subclass extras (e.g. the legacy service shims) are
+        deliberately not inherited by worker engines.
+        """
+        forked = MiningEngine(
+            self._graphs,
+            store=store if store is not None else self._store,
+            result_cache_size=(
+                result_cache_size
+                if result_cache_size is not None
+                else self._result_cache_size
+            ),
+            max_paths_per_length=self._caps["max_paths_per_length"],
+            max_patterns_per_diameter=self._caps["max_patterns_per_diameter"],
+            stage1_mode=self._stage1_mode,
+            tracer=tracer,
+            metrics=metrics,
+            descriptor_cache=self._descriptor_cache,
+        )
+        return forked
 
     def _context(self, min_support: int, measure: SupportMeasure) -> MiningContext:
         key = (min_support, measure.value)
@@ -183,6 +236,16 @@ class MiningEngine:
             query.params, query.min_support, query.support_measure, self._caps
         )
         return StoreKey.make(self._fingerprint, spec.constraint_id, parameter)
+
+    def stage_one_key(self, query: Query) -> StoreKey:
+        """The Stage-1 store key this engine would use for ``query``.
+
+        Public so schedulers (the serving tier's worker pool) can classify a
+        query as warm (``key in engine.store``) or cold before dispatching
+        it, without running it.  Raises the usual typed errors for unknown
+        constraints or invalid parameters.
+        """
+        return self._stage_one_key(get_constraint(query.constraint_id), query)
 
     def _stage_one(self, spec: ConstraintSpec, query: Query) -> Tuple[list, bool, float]:
         """Fetch (or build and persist) the query's Stage-1 entry.

@@ -13,6 +13,10 @@ the CLI's catch-all) keep working, while new callers can discriminate:
 Raising these (rather than ``KeyError``/``TypeError`` escaping from dict
 access) is part of the API contract: malformed wire payloads must fail with
 a message naming the constraint and the offending parameter.
+
+Each class also has a stable wire *code* (:func:`error_code`), which is what
+the serving tier (:mod:`repro.server`) puts into error responses so remote
+clients can discriminate without parsing messages.
 """
 
 from __future__ import annotations
@@ -61,3 +65,32 @@ class ParameterTypeError(ParameterError):
 
 class ParameterValueError(ParameterError):
     """A constraint parameter is of the right type but out of range."""
+
+
+#: Most-derived-first mapping from error class to its stable wire code.
+_ERROR_CODES = (
+    (MissingParameterError, "missing_parameter"),
+    (UnexpectedParameterError, "unexpected_parameter"),
+    (ParameterTypeError, "parameter_type"),
+    (ParameterValueError, "parameter_value"),
+    (ParameterError, "invalid_parameter"),
+    (UnknownConstraintError, "unknown_constraint"),
+    (MalformedQueryError, "malformed_query"),
+    (QueryError, "invalid_query"),
+)
+
+
+def error_code(error: BaseException) -> str:
+    """The stable wire code for an exception (``"internal_error"`` otherwise).
+
+    Examples
+    --------
+    >>> error_code(MalformedQueryError("nope"))
+    'malformed_query'
+    >>> error_code(RuntimeError("boom"))
+    'internal_error'
+    """
+    for cls, code in _ERROR_CODES:
+        if isinstance(error, cls):
+            return code
+    return "internal_error"

@@ -209,6 +209,54 @@ def query_from_payload(payload: Mapping[str, object]) -> Query:
     )
 
 
+@dataclass(frozen=True)
+class ResultError:
+    """A typed error carried inside a :class:`Result` on the wire.
+
+    ``code`` is a stable machine-readable identifier (see
+    :func:`repro.api.errors.error_code` for the query-error codes; the
+    serving tier adds ``"service_unavailable"``, ``"deadline_exceeded"`` and
+    ``"internal_error"``).  ``retriable`` tells clients whether the same
+    request may succeed later (load shed, deadline); ``partial`` is always
+    ``False`` in this release — an errored query never returns a partial
+    pattern list — and is carried explicitly so clients need not infer it.
+
+    Examples
+    --------
+    >>> error = ResultError("deadline_exceeded", "budget exhausted", retriable=True)
+    >>> ResultError.from_dict(error.to_dict()) == error
+    True
+    """
+
+    code: str
+    message: str
+    retriable: bool = False
+    partial: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retriable": self.retriable,
+            "partial": self.partial,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ResultError":
+        """Inverse of :meth:`to_dict` (exact round trip)."""
+        if not isinstance(payload, Mapping) or "code" not in payload:
+            raise MalformedQueryError(
+                f"result error payload must be an object with a 'code' field, "
+                f"got {payload!r}"
+            )
+        return cls(
+            code=str(payload["code"]),
+            message=str(payload.get("message", "")),
+            retriable=bool(payload.get("retriable", False)),
+            partial=bool(payload.get("partial", False)),
+        )
+
+
 @dataclass
 class QueryStats:
     """Per-query timing and provenance accounting.
@@ -233,6 +281,15 @@ class QueryStats:
     form) when the engine ran with tracing enabled, else ``None``; it
     round-trips through :meth:`to_dict`/:meth:`from_dict` and
     :meth:`Result.to_dict`/:meth:`Result.from_dict`.
+
+    The serving tier (:mod:`repro.server`) stamps three more fields onto
+    every remotely served query: ``budget_ms`` (the request's deadline
+    budget, ``None`` when the query ran without one), ``queue_seconds``
+    (time spent parked in the admission queue before a worker picked the
+    query up) and ``snapshot_generation`` (which immutable store/data
+    snapshot answered it — the load driver uses this to check answers
+    against the right dataset version).  All three round-trip exactly,
+    including their ``None`` states.
     """
 
     request_key: str
@@ -246,6 +303,9 @@ class QueryStats:
     num_patterns: int = 0
     level_statistics: Optional[Dict[str, object]] = None
     trace: Optional[Dict[str, object]] = None
+    budget_ms: Optional[int] = None
+    queue_seconds: float = 0.0
+    snapshot_generation: Optional[int] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -260,6 +320,9 @@ class QueryStats:
             "num_patterns": self.num_patterns,
             "level_statistics": self.level_statistics,
             "trace": self.trace,
+            "budget_ms": self.budget_ms,
+            "queue_seconds": self.queue_seconds,
+            "snapshot_generation": self.snapshot_generation,
         }
 
     @classmethod
@@ -285,12 +348,29 @@ class QueryStats:
             num_patterns=int(payload.get("num_patterns", 0)),
             level_statistics=payload.get("level_statistics"),
             trace=payload.get("trace"),
+            budget_ms=(
+                None if payload.get("budget_ms") is None else int(payload["budget_ms"])
+            ),
+            queue_seconds=float(payload.get("queue_seconds", 0.0)),
+            snapshot_generation=(
+                None
+                if payload.get("snapshot_generation") is None
+                else int(payload["snapshot_generation"])
+            ),
         )
 
 
 @dataclass
 class Result:
     """Patterns plus the stats of the query that produced them.
+
+    A Result is also the serving tier's response body: ``error`` (a
+    :class:`ResultError`) is set on failed queries, in which case
+    ``patterns`` is empty and ``stats`` may be ``None`` (a request shed at
+    admission, or one whose payload never parsed into a query, has no
+    timing to report).  ``to_dict``/``from_dict`` round-trip exactly for
+    both shapes — error results and cache-hit results with their ``None``
+    stats fields included (pinned by ``tests/api/test_wire_roundtrip.py``).
 
     Examples
     --------
@@ -302,19 +382,37 @@ class Result:
     (1, False)
     >>> sorted(result.to_dict())
     ['num_patterns', 'stats']
+    >>> failed = Result.failed(ResultError("deadline_exceeded", "over budget"))
+    >>> sorted(failed.to_dict())
+    ['error', 'num_patterns', 'stats']
+    >>> Result.from_dict(failed.to_dict()) == failed
+    True
     """
 
-    query: Query
+    query: Optional[Query]
     patterns: List[SkinnyPattern]
-    stats: QueryStats
+    stats: Optional[QueryStats]
+    error: Optional[ResultError] = None
+
+    @classmethod
+    def failed(
+        cls,
+        error: ResultError,
+        query: Optional[Query] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> "Result":
+        """An error result (no patterns; stats only if something was timed)."""
+        return cls(query=query, patterns=[], stats=stats, error=error)
 
     def to_dict(self, include_patterns: bool = False) -> Dict[str, object]:
         from repro.graph.io import graph_to_record
 
         payload: Dict[str, object] = {
-            "stats": self.stats.to_dict(),
+            "stats": self.stats.to_dict() if self.stats is not None else None,
             "num_patterns": len(self.patterns),
         }
+        if self.error is not None:
+            payload["error"] = self.error.to_dict()
         if include_patterns:
             payload["patterns"] = [
                 {
@@ -331,18 +429,29 @@ class Result:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "Result":
-        """Rebuild the stats side of a serialised result.
+        """Rebuild the stats/error side of a serialised result.
 
-        The query is reconstructed from the stats' request envelope and the
-        :class:`QueryStats` (trace included) round-trip exactly; pattern
-        objects are summaries on the wire, not full embeddings, so
-        ``patterns`` comes back empty — ``stats.num_patterns`` keeps the
-        count.
+        The query is reconstructed from the stats' request envelope (when
+        stats are present) and the :class:`QueryStats` (trace included)
+        round-trip exactly; pattern objects are summaries on the wire, not
+        full embeddings, so ``patterns`` comes back empty —
+        ``stats.num_patterns`` keeps the count.
         """
         if not isinstance(payload, Mapping) or "stats" not in payload:
             raise MalformedQueryError(
                 f"result payload must be an object with a 'stats' field, got {payload!r}"
             )
-        stats = QueryStats.from_dict(payload["stats"])
-        query = Query.from_dict(json.loads(stats.request_key))
-        return cls(query=query, patterns=[], stats=stats)
+        stats_payload = payload["stats"]
+        stats = (
+            QueryStats.from_dict(stats_payload) if stats_payload is not None else None
+        )
+        query = (
+            Query.from_dict(json.loads(stats.request_key))
+            if stats is not None
+            else None
+        )
+        error_payload = payload.get("error")
+        error = (
+            ResultError.from_dict(error_payload) if error_payload is not None else None
+        )
+        return cls(query=query, patterns=[], stats=stats, error=error)

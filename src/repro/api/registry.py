@@ -19,6 +19,7 @@ Built-in registrations (``skinny``, ``path``, ``diam-le``) live in
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
@@ -211,15 +212,31 @@ class ConstraintSpec:
 # --------------------------------------------------------------------- #
 _REGISTRY: Dict[str, ConstraintSpec] = {}
 _BUILTINS_LOADED = False
+_BUILTINS_IMPORTING = False
+_BUILTINS_LOCK = threading.RLock()
 
 
 def _ensure_builtins() -> None:
-    global _BUILTINS_LOADED
-    if not _BUILTINS_LOADED:
+    # Deferred so registry/builtins don't import-cycle and so direct imports
+    # of submodules see a populated registry.  The flag flips only AFTER the
+    # import completes: a lockless read of a half-populated registry from
+    # another thread (the serving tier's workers race its event loop here)
+    # must block on the lock, not observe "loaded" and miss constraints.
+    global _BUILTINS_LOADED, _BUILTINS_IMPORTING
+    if _BUILTINS_LOADED:
+        return
+    with _BUILTINS_LOCK:
+        if _BUILTINS_LOADED or _BUILTINS_IMPORTING:
+            # Re-entrant call from builtin_constraints' own registrations
+            # (same thread, RLock held): the registry is mid-population by
+            # design; outside threads are still blocked on the lock.
+            return
+        _BUILTINS_IMPORTING = True
+        try:
+            import repro.api.builtin_constraints  # noqa: F401
+        finally:
+            _BUILTINS_IMPORTING = False
         _BUILTINS_LOADED = True
-        # Deferred so registry/builtins don't import-cycle and so direct
-        # imports of submodules see a populated registry.
-        import repro.api.builtin_constraints  # noqa: F401
 
 
 def register_constraint(

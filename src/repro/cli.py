@@ -8,6 +8,7 @@ unified constraint-plugin API (:mod:`repro.api`):
 * ``repro index info``    — inspect a store (entries, sizes, build times)
 * ``repro mine``          — answer one query (warm store = no Stage 1)
 * ``repro serve-batch``   — answer a JSON file of batched queries
+* ``repro serve``         — run the long-lived concurrent mining service (TCP)
 * ``repro stats``         — render a metrics snapshot written by ``--emit-metrics``
 
 Telemetry (see ``docs/OBSERVABILITY.md``): ``mine`` and ``serve-batch``
@@ -403,6 +404,55 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.index.store import DiskPatternStore
+    from repro.server import MiningServer
+
+    graphs = load_dataset(args.data)
+    store = DiskPatternStore(args.store) if args.store else None
+    server = MiningServer(
+        graphs,
+        store=store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        per_constraint=args.per_constraint,
+        default_budget_ms=args.budget_ms,
+        cache_size=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        stage1_processes=args.stage1_processes,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        # One NDJSON event on stdout so drivers can scrape the bound port.
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": args.host,
+                    "port": server.port,
+                    "pid": os.getpid(),
+                    "generation": server.generation,
+                    "workers": args.workers,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _metric_series_name(metric) -> str:
     if not metric.labels:
         return metric.name
@@ -597,6 +647,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arguments(batch)
     batch.set_defaults(handler=_cmd_serve_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived NDJSON-over-TCP mining service"
+    )
+    _add_data_argument(serve)
+    serve.add_argument("--store", default=None, help="index store directory (optional)")
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = pick a free one; see the 'listening' event)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads (= in-flight limit)"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--per-constraint",
+        type=int,
+        default=None,
+        help="per-constraint in-flight limit (default: none)",
+    )
+    serve.add_argument(
+        "--budget-ms",
+        type=int,
+        default=None,
+        help="default per-query deadline in ms (default: none)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="result-cache entry bound"
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=30.0, help="result-cache TTL in seconds"
+    )
+    serve.add_argument(
+        "--stage1-processes",
+        type=int,
+        default=0,
+        help="offload cold Stage-1 mining to this many subprocesses (0 = inline)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     stats = subparsers.add_parser(
         "stats", help="render a metrics snapshot written by --emit-metrics"

@@ -27,6 +27,7 @@ from repro.index.store import (
     IndexEntry,
     MemoryPatternStore,
     PatternStore,
+    SnapshotStoreView,
     StoreFormatError,
     StoreKey,
     decode_parameter,
@@ -43,6 +44,7 @@ __all__ = [
     "PatternStore",
     "RepairReport",
     "SKINNY_CONSTRAINT_ID",
+    "SnapshotStoreView",
     "StoreFormatError",
     "StoreKey",
     "decode_parameter",

@@ -154,6 +154,17 @@ class PatternStore(ABC):
     def __len__(self) -> int:
         return len(self.keys())
 
+    def snapshot_view(self) -> "SnapshotStoreView":
+        """A copy-on-write view of this store: reads fall through, writes stay private.
+
+        This is the serving tier's snapshot-isolation primitive: each
+        snapshot generation owns one view, incremental repair writes into
+        the view's overlay, and readers of older generations (or of the
+        base store itself) never observe those writes.  Views nest — taking
+        a view of a view layers a fresh overlay on top.
+        """
+        return SnapshotStoreView(self)
+
     def clear(self) -> None:
         for key in self.keys():
             self.delete(key)
@@ -206,6 +217,60 @@ class MemoryPatternStore(PatternStore):
 
     def keys(self) -> List[StoreKey]:
         return list(self._entries)
+
+
+class SnapshotStoreView(PatternStore):
+    """Copy-on-write overlay over a frozen base store.
+
+    ``get``/``keys`` consult a private overlay first and fall through to the
+    base; ``put``/``delete`` only ever touch the overlay (a ``None`` overlay
+    value is a tombstone).  The base store is never mutated through a view,
+    so any number of views — one per snapshot generation — can share one
+    base while a writer repairs the newest view in place.
+
+    Examples
+    --------
+    >>> base = MemoryPatternStore()
+    >>> key = StoreKey.make("fp", "path", {"length": 2})
+    >>> base.put(IndexEntry(key=key, patterns=["p1"]))
+    >>> view = base.snapshot_view()
+    >>> view.put(IndexEntry(key=key, patterns=["p1", "p2"]))
+    >>> len(view.get(key).patterns), len(base.get(key).patterns)
+    (2, 1)
+    >>> view.delete(key), key in view, key in base
+    (True, False, True)
+    """
+
+    def __init__(self, base: PatternStore) -> None:
+        self._base = base
+        self._overlay: Dict[StoreKey, Optional[IndexEntry]] = {}
+
+    @property
+    def base(self) -> PatternStore:
+        return self._base
+
+    @property
+    def overlay_size(self) -> int:
+        """Number of keys shadowed by this view (writes plus tombstones)."""
+        return len(self._overlay)
+
+    def get(self, key: StoreKey) -> Optional[IndexEntry]:
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base.get(key)
+
+    def put(self, entry: IndexEntry) -> None:
+        self._overlay[entry.key] = entry
+
+    def delete(self, key: StoreKey) -> bool:
+        existed = self.get(key) is not None
+        self._overlay[key] = None
+        return existed
+
+    def keys(self) -> List[StoreKey]:
+        found = [key for key in self._base.keys() if key not in self._overlay]
+        found.extend(key for key, entry in self._overlay.items() if entry is not None)
+        return found
 
 
 class DiskPatternStore(PatternStore):
@@ -324,7 +389,9 @@ class DiskPatternStore(PatternStore):
     # -------------------------------------------------------------- #
     def _read_header(self, path: Path) -> Dict:
         with path.open("r", encoding="utf-8") as handle:
-            first = handle.readline()
+            return self._parse_header(path, handle.readline())
+
+    def _parse_header(self, path: Path, first: str) -> Dict:
         try:
             header = json.loads(first)
         except json.JSONDecodeError as error:
@@ -339,15 +406,19 @@ class DiskPatternStore(PatternStore):
         return header
 
     def _read_entry(self, path: Path, expected_key: Optional[StoreKey] = None) -> IndexEntry:
-        header = self._read_header(path)
-        key = StoreKey(header["fingerprint"], header["constraint_id"], header["parameter"])
-        if expected_key is not None and key != expected_key:
-            raise StoreFormatError(
-                f"{path}: header key {key} does not match requested {expected_key}"
-            )
+        # Header and body come from ONE open handle: ``put`` publishes via
+        # os.replace, so a single open always sees one complete file
+        # version, but two opens racing a writer could pair the old
+        # header's num_patterns promise with the new body (or vice versa)
+        # and report a phantom truncation.
         patterns: List[object] = []
         with path.open("r", encoding="utf-8") as handle:
-            handle.readline()  # header, already validated
+            header = self._parse_header(path, handle.readline())
+            key = StoreKey(header["fingerprint"], header["constraint_id"], header["parameter"])
+            if expected_key is not None and key != expected_key:
+                raise StoreFormatError(
+                    f"{path}: header key {key} does not match requested {expected_key}"
+                )
             for line_number, line in enumerate(handle, start=2):
                 line = line.strip()
                 if not line:

@@ -321,6 +321,41 @@ class MetricsRegistry:
             metric._max = float(row.get("max", 0.0))
         return registry
 
+    def absorb(self, payload: Mapping[str, object]) -> None:
+        """Merge a :meth:`snapshot` payload into this registry.
+
+        Counters and histograms are *added* (values, bucket counts, sums;
+        the tracked max is the max of both sides); gauges are overwritten by
+        the absorbed value (the payload is assumed newer).  This is how the
+        serving tier folds its per-worker-thread registries into one
+        combined view for ``repro stats`` without ever sharing a live
+        registry across threads.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError("metrics snapshot must be an object, got %r" % (payload,))
+        for row in payload.get("counters", ()):
+            metric = self.counter(row["name"], row.get("help", ""), row.get("labels"))
+            metric.value += float(row["value"])
+        for row in payload.get("gauges", ()):
+            metric = self.gauge(row["name"], row.get("help", ""), row.get("labels"))
+            metric.value = float(row["value"])
+        for row in payload.get("histograms", ()):
+            metric = self.histogram(
+                row["name"], row.get("help", ""), row.get("labels"), row.get("buckets")
+            )
+            counts = list(row["counts"])
+            if len(counts) != len(metric.counts):
+                raise ValueError(
+                    "histogram %r snapshot has %d bucket counts for %d buckets"
+                    % (row["name"], len(counts), len(metric.counts))
+                )
+            metric.counts = [
+                have + int(extra) for have, extra in zip(metric.counts, counts)
+            ]
+            metric.count += int(row["count"])
+            metric.sum += float(row["sum"])
+            metric._max = max(metric._max, float(row.get("max", 0.0)))
+
     def render_text(self) -> str:
         """Prometheus text exposition format (content-type ``text/plain``)."""
         lines: List[str] = []

@@ -134,24 +134,57 @@ class Tracer:
             return _NULL_SPAN
         return Span(self, name, attrs)
 
-    def record(self, name: str, seconds: float, **attrs: Any) -> None:
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        children: Optional[List[Dict[str, Any]]] = None,
+        **attrs: Any,
+    ) -> None:
         """Attach a pre-timed span (an aggregate too hot to trace per call).
 
         The span lands under the currently open span (or as a root) with the
         given duration and no start offset of its own — it represents time
         accumulated across many non-contiguous slices.
+
+        ``children`` optionally attaches a pre-timed subtree: a list of
+        ``{"name": ..., "seconds": ..., "attrs": {...}, "children": [...]}``
+        dicts, nested recursively.  The serving tier uses this to emit whole
+        ``service.request`` span trees measured off the tracer's thread
+        (worker threads cannot share the span stack, so they report timings
+        back and the event-loop thread records the finished tree).
         """
         if not self._enabled:
             return
-        span = Span(self, name, attrs)
-        span.seconds = float(seconds)
-        self._assign_id(span)
+        span = self._recorded(name, seconds, attrs, children)
         if self._stack:
             span.parent_id = self._stack[-1].span_id
             span.start_seconds = self._stack[-1].start_seconds
             self._stack[-1].children.append(span)
         else:
             self._roots.append(span)
+
+    def _recorded(
+        self,
+        name: str,
+        seconds: float,
+        attrs: Dict[str, Any],
+        children: Optional[List[Dict[str, Any]]],
+    ) -> Span:
+        span = Span(self, name, dict(attrs))
+        span.seconds = float(seconds)
+        self._assign_id(span)
+        for child in children or ():
+            child_span = self._recorded(
+                child["name"],
+                child.get("seconds", 0.0),
+                dict(child.get("attrs", ())),
+                child.get("children"),
+            )
+            child_span.parent_id = span.span_id
+            child_span.start_seconds = span.start_seconds
+            span.children.append(child_span)
+        return span
 
     def drain(self) -> List[Dict[str, Any]]:
         """Completed root-span trees as dicts; clears the collected roots."""

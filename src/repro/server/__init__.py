@@ -1,0 +1,44 @@
+"""repro.server — the long-lived concurrent mining service.
+
+The serving tier over :class:`repro.api.MiningEngine`: an asyncio NDJSON
+front end (:mod:`~repro.server.app`), admission control with load shedding
+(:mod:`~repro.server.admission`), snapshot-isolated data/index generations
+(:mod:`~repro.server.snapshots`), an engine-per-thread worker pool with
+optional Stage-1 process offload (:mod:`~repro.server.workers`), a
+generation-keyed TTL result cache (:mod:`~repro.server.cache`) and the wire
+protocol (:mod:`~repro.server.protocol`).  Start one with ``repro serve``
+or drive it programmatically::
+
+    server = MiningServer(graphs, workers=4)
+    await server.start()          # server.port now holds the bound port
+    await server.serve_forever()
+
+See ``docs/ARCHITECTURE.md`` (serving tier) for the snapshot-generation
+lifecycle, admission policy and deadline semantics.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import MiningServer
+from repro.server.cache import TTLResultCache
+from repro.server.protocol import (
+    DEADLINE_EXCEEDED,
+    SERVICE_UNAVAILABLE,
+    DeadlineExceeded,
+    ServiceUnavailable,
+)
+from repro.server.snapshots import Snapshot, SnapshotManager
+from repro.server.workers import WorkerPool, WorkerTask
+
+__all__ = [
+    "AdmissionController",
+    "DEADLINE_EXCEEDED",
+    "DeadlineExceeded",
+    "MiningServer",
+    "SERVICE_UNAVAILABLE",
+    "ServiceUnavailable",
+    "Snapshot",
+    "SnapshotManager",
+    "TTLResultCache",
+    "WorkerPool",
+    "WorkerTask",
+]

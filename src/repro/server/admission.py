@@ -1,0 +1,131 @@
+"""Admission control: a bounded FIFO queue with per-constraint fairness.
+
+The controller is confined to the event-loop thread (no locks): the server
+offers every parsed query to :meth:`AdmissionController.offer`, which sheds
+with :class:`~repro.server.protocol.ServiceUnavailable` once the queue is
+full, then drains :meth:`dispatchable` — FIFO with skips — whenever
+capacity frees up.  A task is dispatchable when both the total in-flight
+limit and its constraint's per-constraint limit have room; the skip rule
+means one expensive constraint saturating its share cannot head-of-line
+block cheap queries of another constraint behind it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterator, Optional
+
+from repro.server.protocol import ServiceUnavailable
+
+
+class AdmissionController:
+    """Bounded queue + in-flight accounting (event-loop confined).
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum number of admitted-but-not-yet-dispatched queries; the next
+        offer beyond it is shed with a retriable ``service_unavailable``.
+    max_inflight:
+        Total queries executing at once (normally the worker-pool size).
+    per_constraint:
+        Per-constraint in-flight ceiling (fairness across constraints);
+        ``None`` disables the per-constraint check.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        max_inflight: int = 4,
+        per_constraint: Optional[int] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if per_constraint is not None and per_constraint < 1:
+            raise ValueError("per_constraint must be at least 1 when given")
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self.per_constraint = per_constraint
+        self._pending: Deque[object] = deque()
+        self._inflight: Counter = Counter()
+        self._total_inflight = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        return self._total_inflight
+
+    def inflight_for(self, constraint_id: str) -> int:
+        return self._inflight[constraint_id]
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def offer(self, task: object) -> None:
+        """Admit ``task`` (anything with a ``constraint_id`` attribute) or shed."""
+        if len(self._pending) >= self.max_queue:
+            self.shed_total += 1
+            raise ServiceUnavailable(
+                "admission queue full (%d queued, %d in flight); retry later"
+                % (len(self._pending), self._total_inflight),
+                queue_depth=len(self._pending),
+            )
+        self._pending.append(task)
+
+    def _admits(self, constraint_id: str) -> bool:
+        if self._total_inflight >= self.max_inflight:
+            return False
+        if (
+            self.per_constraint is not None
+            and self._inflight[constraint_id] >= self.per_constraint
+        ):
+            return False
+        return True
+
+    def dispatchable(self) -> Iterator[object]:
+        """Yield (and account) every task that may start now, FIFO with skips.
+
+        Tasks whose constraint is at its limit are skipped but keep their
+        queue position; each yielded task is already counted in flight, so
+        the caller must pair every yield with a later :meth:`finished`.
+        """
+        while self._pending and self._total_inflight < self.max_inflight:
+            admitted = None
+            skipped: Deque[object] = deque()
+            while self._pending:
+                task = self._pending.popleft()
+                if self._admits(task.constraint_id):
+                    admitted = task
+                    break
+                skipped.append(task)
+            # Restore skipped tasks ahead of everything that arrived later.
+            while skipped:
+                self._pending.appendleft(skipped.pop())
+            if admitted is None:
+                return
+            self._inflight[admitted.constraint_id] += 1
+            self._total_inflight += 1
+            yield admitted
+
+    def finished(self, constraint_id: str) -> None:
+        """Release one in-flight slot for ``constraint_id``."""
+        if self._inflight[constraint_id] <= 0 or self._total_inflight <= 0:
+            raise RuntimeError(
+                "finished(%r) without a matching dispatch" % constraint_id
+            )
+        self._inflight[constraint_id] -= 1
+        self._total_inflight -= 1
+
+    def drain_pending(self) -> Iterator[object]:
+        """Remove and yield every queued task (shutdown: answer, don't run)."""
+        while self._pending:
+            yield self._pending.popleft()

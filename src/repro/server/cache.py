@@ -1,0 +1,76 @@
+"""The serving tier's TTL'd result cache, keyed on snapshot generation.
+
+Entries are keyed ``(generation, query cache key)``: a delta publishes a
+new generation, so every cached answer from before the delta simply stops
+being addressable — delta-driven invalidation without any scanning or
+coordination with workers.  :meth:`purge_generations_before` reclaims the
+memory of unreachable generations; the TTL bounds staleness *within* a
+generation (irrelevant for correctness — data only changes via deltas —
+but it keeps the cache from pinning cold results forever), and an LRU
+bound caps the entry count.
+
+Event-loop confined: no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+
+class TTLResultCache:
+    """LRU + TTL cache of serialised query responses, generation-scoped."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl_seconds: float = 30.0,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._now = time_fn
+        # (generation, cache_key) -> (expires_at, payload)
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[float, object]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, generation: int, cache_key: str) -> Optional[object]:
+        """The cached payload for this generation's query, or ``None``."""
+        slot = (generation, cache_key)
+        entry = self._entries.get(slot)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires_at, payload = entry
+        if self._now() >= expires_at:
+            del self._entries[slot]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(slot)
+        self.hits += 1
+        return payload
+
+    def put(self, generation: int, cache_key: str, payload: object) -> None:
+        slot = (generation, cache_key)
+        self._entries[slot] = (self._now() + self.ttl_seconds, payload)
+        self._entries.move_to_end(slot)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def purge_generations_before(self, generation: int) -> int:
+        """Drop entries of superseded generations; returns how many went."""
+        stale = [slot for slot in self._entries if slot[0] < generation]
+        for slot in stale:
+            del self._entries[slot]
+        return len(stale)

@@ -1,0 +1,142 @@
+"""Wire protocol of the mining service: NDJSON over TCP.
+
+One request per line, one response per line, both JSON objects.  Requests
+carry an ``op`` (defaulting to ``"query"``) and an optional client-chosen
+``id`` echoed verbatim in the response, so clients may pipeline requests on
+one connection and match responses out of band:
+
+``{"op": "query", "id": 7, "query": {<Query envelope>}, "budget_ms": 250,
+"include_patterns": true}``
+    Serve one mining query.  The response embeds a
+    :class:`repro.api.Result` payload — ``stats`` (with the serving-tier
+    fields ``budget_ms``/``queue_seconds``/``snapshot_generation`` stamped),
+    ``num_patterns``, the pattern summaries when ``include_patterns`` and,
+    on failure, a typed ``error`` object (see
+    :class:`repro.api.ResultError`).
+
+``{"op": "apply_delta", "delta": [{"op": "add", "u": 1, "v": 2, ...}]}``
+    Apply edge edits; publishes a new snapshot generation.  The response
+    carries the repair report and the new generation.
+
+``{"op": "stats"}`` / ``{"op": "ping"}`` / ``{"op": "shutdown"}``
+    Service health, liveness and orderly shutdown.
+
+Every response has ``"ok"`` (bool) and, on failure, the same typed
+``error`` object the query path uses.  The service-level error codes —
+``service_unavailable`` (queue full; retriable) and ``deadline_exceeded``
+(budget exhausted; ``partial`` is always false — the service never returns
+a truncated pattern list) — extend the query-error codes from
+:func:`repro.api.errors.error_code`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.api.errors import MalformedQueryError
+from repro.api.query import ResultError
+from repro.core.database import EdgeDelta
+
+#: Hard cap on one request line; longer lines fail the connection cleanly.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+SERVICE_UNAVAILABLE = "service_unavailable"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+INTERNAL_ERROR = "internal_error"
+
+KNOWN_OPS = ("query", "apply_delta", "stats", "ping", "shutdown")
+
+
+class ServiceUnavailable(Exception):
+    """The admission queue is full: the request was shed, retry later."""
+
+    def __init__(self, message: str, queue_depth: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+    def to_result_error(self) -> ResultError:
+        return ResultError(SERVICE_UNAVAILABLE, str(self), retriable=True)
+
+
+class DeadlineExceeded(Exception):
+    """The query's ``budget_ms`` elapsed before its result was ready."""
+
+    def to_result_error(self) -> ResultError:
+        # Not flagged retriable: the same query under the same budget will
+        # very likely time out again; the client must raise the budget.
+        return ResultError(DEADLINE_EXCEEDED, str(self), retriable=False, partial=False)
+
+
+def parse_request(line: bytes) -> Dict[str, object]:
+    """Decode one request line into its payload dict (typed errors on junk)."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise MalformedQueryError(f"request line is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise MalformedQueryError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op", "query")
+    if op not in KNOWN_OPS:
+        raise MalformedQueryError(
+            f"unknown op {op!r} (expected one of {', '.join(KNOWN_OPS)})"
+        )
+    return payload
+
+
+def encode_response(payload: Mapping[str, object]) -> bytes:
+    """One response line (newline-terminated, compact JSON)."""
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def parse_budget_ms(payload: Mapping[str, object]) -> Optional[int]:
+    """Validate the optional ``budget_ms`` request field (``None`` = no limit)."""
+    budget = payload.get("budget_ms")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, int):
+        raise MalformedQueryError(f"'budget_ms' must be an integer, got {budget!r}")
+    if budget < 1:
+        raise MalformedQueryError("'budget_ms' must be positive when given")
+    return budget
+
+
+def parse_delta(operations: object) -> List[EdgeDelta]:
+    """Decode the ``apply_delta`` operations list into :class:`EdgeDelta` s."""
+    if not isinstance(operations, Sequence) or isinstance(operations, (str, bytes)):
+        raise MalformedQueryError(
+            f"'delta' must be a list of edge operations, got {operations!r}"
+        )
+    deltas: List[EdgeDelta] = []
+    for position, item in enumerate(operations):
+        if not isinstance(item, Mapping):
+            raise MalformedQueryError(
+                f"delta operation {position} must be an object, got {item!r}"
+            )
+        op = item.get("op")
+        if op not in ("add", "remove"):
+            raise MalformedQueryError(
+                f"delta operation {position}: 'op' must be 'add' or 'remove', got {op!r}"
+            )
+        try:
+            u, v = int(item["u"]), int(item["v"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise MalformedQueryError(
+                f"delta operation {position}: 'u' and 'v' must be integers"
+            ) from error
+        deltas.append(
+            EdgeDelta(
+                op=op,
+                u=u,
+                v=v,
+                graph_index=int(item.get("graph_index", 0)),
+                label_u=item.get("label_u"),
+                label_v=item.get("label_v"),
+                edge_label=item.get("edge_label"),
+            )
+        )
+    return deltas

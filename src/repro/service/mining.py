@@ -43,6 +43,23 @@ from repro.index.incremental import SKINNY_CONSTRAINT_ID
 #: Historical name re-exported for callers that imported it from here.
 RequestStats = QueryStats
 
+#: The one consolidated deprecation message for the legacy batch surface.
+#: Every shim entry point in this module emits exactly this text, so callers
+#: (and the pinning test in tests/service/test_shims.py) see a single story:
+#: where each replacement lives, not a different nudge per method.
+LEGACY_SURFACE_DEPRECATION = (
+    "the legacy batch surface of repro.service.mining is deprecated: "
+    "build repro.api.Query directly (query_from_payload converts old "
+    "MineRequest payloads), run in-process batches through "
+    "MiningEngine.run_batch, and serve concurrent clients with the "
+    "long-lived repro.server tier (`repro serve`)"
+)
+
+
+def _warn_legacy_surface() -> None:
+    # stacklevel=3: past this helper and the shim method, onto the caller.
+    warnings.warn(LEGACY_SURFACE_DEPRECATION, DeprecationWarning, stacklevel=3)
+
 
 # --------------------------------------------------------------------- #
 # requests and responses
@@ -122,13 +139,7 @@ class MineRequest:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "MineRequest":
-        warnings.warn(
-            "MineRequest.from_dict and its skinny-only payload format are "
-            "deprecated; use repro.api.Query.from_dict with a 'constraint' "
-            "field (repro.api.query_from_payload accepts both formats)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        _warn_legacy_surface()
         if not isinstance(payload, dict):
             raise ValueError(f"mine request must be an object, got {payload!r}")
         missing = [field_name for field_name in ("length", "delta") if field_name not in payload]
@@ -259,10 +270,15 @@ class MiningService(MiningEngine):
     ) -> List[MineResponse]:
         """Serve a batch in order; duplicate requests hit the result cache.
 
+        Deprecated: this is the pre-serving-tier batch entry point.  Use
+        :meth:`repro.api.MiningEngine.run_batch` for in-process batches and
+        :mod:`repro.server` (``repro serve``) for concurrent clients.
+
         With an enabled tracer the whole batch becomes one ``service.batch``
         span with each query's span tree nested under it; the batch count
         and latency are published to the service's metrics registry.
         """
+        _warn_legacy_surface()
         started = time.perf_counter()
         with self.tracer.span("service.batch", size=len(requests)):
             responses = [self.mine(request) for request in requests]

@@ -112,3 +112,47 @@ class TestCustomRegistration:
     def test_shorthand_requires_driver_factory(self):
         with pytest.raises(ValueError):
             register_constraint("needs-factory")
+
+
+class TestConcurrentFirstLookup:
+    def test_builtin_import_race_never_yields_empty_registry(self):
+        """Regression: the lazy builtin import must not publish early.
+
+        The serving tier triggers the first ``get_constraint`` from several
+        threads at once (event loop, workers, the apply_delta executor).  If
+        the loaded flag were set before the builtin module finished
+        importing, a racing thread would look up against a partial registry
+        and report ``unknown_constraint`` for a perfectly valid query.
+        """
+        import sys
+        import threading
+
+        from repro.api import registry as registry_module
+
+        saved_registry = dict(registry_module._REGISTRY)
+        saved_module = sys.modules.pop("repro.api.builtin_constraints", None)
+        registry_module._REGISTRY.clear()
+        registry_module._BUILTINS_LOADED = False
+        try:
+            errors = []
+            barrier = threading.Barrier(8)
+
+            def lookup():
+                barrier.wait()
+                try:
+                    get_constraint("skinny")
+                except Exception as error:  # noqa: BLE001 - collected below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=lookup) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert errors == []
+        finally:
+            registry_module._REGISTRY.clear()
+            registry_module._REGISTRY.update(saved_registry)
+            registry_module._BUILTINS_LOADED = True
+            if saved_module is not None:
+                sys.modules["repro.api.builtin_constraints"] = saved_module

@@ -1,0 +1,151 @@
+"""Atomic-replace publication: concurrent readers never see torn entries.
+
+``DiskPatternStore.put`` writes into a same-directory temp file and
+publishes with ``os.replace``, so a reader racing a writer must observe
+either the previous complete entry or the new complete entry — never a
+half-written file.  These tests hammer one key from reader threads and
+reader processes while a writer flip-flops between two entry versions;
+any torn read would surface as a ``StoreFormatError`` (truncation is
+caught by the header's ``num_patterns`` promise) or as an entry whose
+patterns match neither version.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.core.database import MiningContext
+from repro.core.diammine import DiamMine
+from repro.graph.labeled_graph import build_graph
+from repro.index.store import DiskPatternStore, IndexEntry, StoreFormatError, StoreKey
+
+KEY = StoreKey.make("f" * 64, "skinny", {"length": 2, "min_support": 1})
+WRITE_ROUNDS = 150
+
+
+def _mined_patterns():
+    graph = build_graph(
+        {0: "a", 1: "b", 2: "c", 3: "b", 4: "a"},
+        [(0, 1), (1, 2), (2, 3), (3, 4)],
+    )
+    return DiamMine(MiningContext(graph, 1)).mine(2)
+
+
+def _entry_versions():
+    patterns = _mined_patterns()
+    assert len(patterns) >= 2, "fixture graph must mine at least two patterns"
+    small = IndexEntry(key=KEY, patterns=patterns[:1], build_seconds=1.0)
+    full = IndexEntry(key=KEY, patterns=list(patterns), build_seconds=2.0)
+    return small, full
+
+
+def _classify(entry, small, full):
+    """Which complete version a read observed; raises on a mixed entry."""
+    if entry is None:
+        return "missing"
+    if entry.build_seconds == small.build_seconds and len(entry.patterns) == len(
+        small.patterns
+    ):
+        return "small"
+    if entry.build_seconds == full.build_seconds and len(entry.patterns) == len(
+        full.patterns
+    ):
+        return "full"
+    raise AssertionError(
+        f"mixed entry observed: build_seconds={entry.build_seconds} "
+        f"num_patterns={len(entry.patterns)}"
+    )
+
+
+def _read_until(root, stop_event, small, full):
+    """Read the key repeatedly until ``stop_event``; tally what was seen.
+
+    A fresh ``DiskPatternStore`` per read defeats the in-memory entry
+    cache, forcing every ``get`` through the on-disk file.
+    """
+    counts = {"missing": 0, "small": 0, "full": 0, "torn": 0}
+    while not stop_event.is_set():
+        try:
+            entry = DiskPatternStore(root).get(KEY)
+        except StoreFormatError:
+            counts["torn"] += 1
+            continue
+        counts[_classify(entry, small, full)] += 1
+    return counts
+
+
+def _process_reader(root, stop_event, queue):
+    small, full = _entry_versions()
+    queue.put(_read_until(root, stop_event, small, full))
+
+
+class TestConcurrentReaders:
+    def test_thread_readers_never_see_torn_entries(self, tmp_path):
+        small, full = _entry_versions()
+        writer_store = DiskPatternStore(tmp_path)
+        stop = threading.Event()
+        results = []
+        errors = []
+
+        def reader():
+            try:
+                results.append(_read_until(str(tmp_path), stop, small, full))
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(WRITE_ROUNDS):
+                writer_store.put(small if round_index % 2 else full)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        assert len(results) == 4
+        merged = {
+            name: sum(counts[name] for counts in results)
+            for name in ("missing", "small", "full", "torn")
+        }
+        assert merged["torn"] == 0, merged
+        assert merged["small"] + merged["full"] > 0, (
+            f"readers never observed a published entry: {merged}"
+        )
+
+    def test_process_readers_never_see_torn_entries(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable on this platform")
+        context = multiprocessing.get_context("fork")
+        small, full = _entry_versions()
+        writer_store = DiskPatternStore(tmp_path)
+        writer_store.put(small)  # readers start against a published file
+        stop = context.Event()
+        queue = context.Queue()
+        readers = [
+            context.Process(target=_process_reader, args=(str(tmp_path), stop, queue))
+            for _ in range(2)
+        ]
+        for process in readers:
+            process.start()
+        try:
+            for round_index in range(WRITE_ROUNDS):
+                writer_store.put(small if round_index % 2 else full)
+        finally:
+            stop.set()
+        results = [queue.get(timeout=30) for _ in readers]
+        for process in readers:
+            process.join(timeout=30)
+            assert process.exitcode == 0
+        merged = {
+            name: sum(counts[name] for counts in results)
+            for name in ("missing", "small", "full", "torn")
+        }
+        assert merged["torn"] == 0, merged
+        assert merged["small"] + merged["full"] > 0, (
+            f"reader processes never observed a published entry: {merged}"
+        )

@@ -191,3 +191,63 @@ class TestExport:
         registry = self.build()
         registry.reset()
         assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestAbsorb:
+    """absorb(): merging per-worker registries into one view."""
+
+    @staticmethod
+    def worker_registry(count, latency):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", labels={"constraint": "skinny"}).inc(count)
+        registry.gauge("queue_depth").set(count)
+        registry.histogram("latency", buckets=(0.1, 1.0)).observe(latency)
+        return registry
+
+    def test_counters_add_and_gauges_overwrite(self):
+        merged = MetricsRegistry()
+        merged.absorb(self.worker_registry(2, 0.05).snapshot())
+        merged.absorb(self.worker_registry(3, 0.5).snapshot())
+        assert merged.counter(
+            "queries_total", labels={"constraint": "skinny"}
+        ).value == 5
+        # Gauges are point-in-time: the later snapshot wins.
+        assert merged.gauge("queue_depth").value == 3
+
+    def test_histograms_merge_buckets_counts_and_sums(self):
+        merged = MetricsRegistry()
+        merged.absorb(self.worker_registry(1, 0.05).snapshot())
+        merged.absorb(self.worker_registry(1, 0.5).snapshot())
+        row = merged.snapshot()["histograms"][0]
+        assert row["counts"] == [1, 1, 0]
+        assert row["count"] == 2
+        assert row["sum"] == pytest.approx(0.55)
+        assert row["max"] == pytest.approx(0.5)
+
+    def test_labelled_series_stay_separate(self):
+        merged = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("queries_total", labels={"constraint": "skinny"}).inc()
+        source.counter("queries_total", labels={"constraint": "path"}).inc(2)
+        merged.absorb(source.snapshot())
+        merged.absorb(source.snapshot())
+        assert merged.counter(
+            "queries_total", labels={"constraint": "skinny"}
+        ).value == 2
+        assert merged.counter(
+            "queries_total", labels={"constraint": "path"}
+        ).value == 4
+
+    def test_bucket_mismatch_rejected(self):
+        merged = MetricsRegistry()
+        merged.histogram("latency", buckets=(0.1, 1.0)).observe(0.2)
+        other = MetricsRegistry()
+        other.histogram("latency", buckets=(0.1, 0.5, 1.0)).observe(0.2)
+        with pytest.raises(ValueError):
+            merged.absorb(other.snapshot())
+
+    def test_absorb_into_empty_equals_source(self):
+        source = self.worker_registry(4, 0.3)
+        merged = MetricsRegistry()
+        merged.absorb(source.snapshot())
+        assert merged.snapshot() == source.snapshot()

@@ -188,3 +188,68 @@ class TestJsonlExport:
         assert spans[0]["attrs"] == {"constraint": "skinny"}
         assert spans[1]["parent_id"] == spans[0]["span_id"]
         assert all(span["trace_id"] == "t1" for span in spans)
+
+
+class TestRecordedSubtrees:
+    """record(..., children=...): pre-timed span trees from other threads."""
+
+    def test_children_become_nested_spans(self):
+        tracer = Tracer()
+        tracer.record(
+            "service.request",
+            0.3,
+            children=[
+                {"name": "service.queue", "seconds": 0.1},
+                {
+                    "name": "service.worker",
+                    "seconds": 0.2,
+                    "attrs": {"generation": 1},
+                    "children": [{"name": "stage1", "seconds": 0.15}],
+                },
+            ],
+            constraint="skinny",
+        )
+        (root,) = tracer.drain()
+        assert root["name"] == "service.request"
+        assert root["seconds"] == pytest.approx(0.3)
+        assert root["attrs"] == {"constraint": "skinny"}
+        queue, worker = root["children"]
+        assert queue["name"] == "service.queue"
+        assert queue["seconds"] == pytest.approx(0.1)
+        assert worker["attrs"] == {"generation": 1}
+        (stage1,) = worker["children"]
+        assert stage1["name"] == "stage1"
+        assert stage1["parent_id"] == worker["span_id"]
+        assert worker["parent_id"] == root["span_id"]
+
+    def test_recorded_tree_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.record(
+                "service.request", 0.05, children=[{"name": "service.queue"}]
+            )
+        (outer,) = tracer.drain()
+        (request,) = outer["children"]
+        assert request["parent_id"] == outer["span_id"]
+        (queue,) = request["children"]
+        assert queue["seconds"] == 0.0  # seconds defaults when omitted
+
+    def test_recorded_tree_flattens_for_export(self):
+        tracer = Tracer()
+        tracer.record(
+            "service.request",
+            0.2,
+            children=[{"name": "service.worker", "seconds": 0.1}],
+        )
+        (root,) = tracer.drain()
+        rows = flatten_trace(root, "t9")
+        assert [row["name"] for row in rows] == [
+            "service.request",
+            "service.worker",
+        ]
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("service.request", 0.2, children=[{"name": "x"}])
+        assert tracer.drain() == []

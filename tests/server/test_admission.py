@@ -1,0 +1,113 @@
+"""AdmissionController: bounded queue, fairness, FIFO-with-skips, accounting."""
+
+import pytest
+
+from repro.server.admission import AdmissionController
+from repro.server.protocol import ServiceUnavailable
+
+
+class FakeTask:
+    def __init__(self, constraint_id):
+        self.constraint_id = constraint_id
+
+    def __repr__(self):
+        return f"FakeTask({self.constraint_id})"
+
+
+def drain(controller):
+    return list(controller.dispatchable())
+
+
+class TestOffer:
+    def test_sheds_when_queue_full(self):
+        controller = AdmissionController(max_queue=2, max_inflight=1)
+        controller.offer(FakeTask("skinny"))
+        controller.offer(FakeTask("skinny"))
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            controller.offer(FakeTask("skinny"))
+        assert excinfo.value.queue_depth == 2
+        assert controller.shed_total == 1
+
+    def test_shed_error_is_retriable_on_the_wire(self):
+        error = ServiceUnavailable("full", queue_depth=9).to_result_error()
+        assert error.code == "service_unavailable"
+        assert error.retriable is True
+        assert error.partial is False
+
+
+class TestDispatch:
+    def test_fifo_within_capacity(self):
+        controller = AdmissionController(max_queue=10, max_inflight=2)
+        first, second, third = (FakeTask("skinny") for _ in range(3))
+        for task in (first, second, third):
+            controller.offer(task)
+        assert drain(controller) == [first, second]
+        assert controller.inflight == 2
+        assert controller.queue_depth == 1
+        # Nothing more until a slot frees.
+        assert drain(controller) == []
+        controller.finished("skinny")
+        assert drain(controller) == [third]
+
+    def test_per_constraint_limit_skips_not_blocks(self):
+        controller = AdmissionController(
+            max_queue=10, max_inflight=3, per_constraint=1
+        )
+        skinny_a, skinny_b = FakeTask("skinny"), FakeTask("skinny")
+        path_task = FakeTask("path")
+        for task in (skinny_a, skinny_b, path_task):
+            controller.offer(task)
+        # skinny_b is at its constraint limit; path jumps past it without
+        # losing skinny_b's queue position.
+        assert drain(controller) == [skinny_a, path_task]
+        assert controller.inflight_for("skinny") == 1
+        assert controller.inflight_for("path") == 1
+        controller.finished("skinny")
+        assert drain(controller) == [skinny_b]
+
+    def test_skipped_tasks_keep_their_order(self):
+        controller = AdmissionController(
+            max_queue=10, max_inflight=2, per_constraint=1
+        )
+        blocked_a, blocked_b = FakeTask("skinny"), FakeTask("skinny")
+        controller.offer(blocked_a)
+        assert drain(controller) == [blocked_a]
+        controller.offer(blocked_b)
+        late_path = FakeTask("path")
+        controller.offer(late_path)
+        assert drain(controller) == [late_path]
+        controller.finished("skinny")
+        controller.finished("path")
+        # blocked_b, offered before late_path, is still ahead of anything new.
+        assert drain(controller) == [blocked_b]
+
+    def test_finished_without_dispatch_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            controller.finished("skinny")
+
+    def test_drain_pending_empties_the_queue(self):
+        controller = AdmissionController(max_queue=10, max_inflight=1)
+        tasks = [FakeTask("skinny") for _ in range(3)]
+        for task in tasks:
+            controller.offer(task)
+        dispatched = drain(controller)
+        assert dispatched == tasks[:1]
+        assert list(controller.drain_pending()) == tasks[1:]
+        assert controller.queue_depth == 0
+        # In-flight accounting is untouched by a drain.
+        assert controller.inflight == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue": 0},
+            {"max_inflight": 0},
+            {"per_constraint": 0},
+        ],
+    )
+    def test_bad_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)

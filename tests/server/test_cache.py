@@ -1,0 +1,101 @@
+"""TTLResultCache: generation keying, TTL expiry, LRU bound, purge."""
+
+import pytest
+
+from repro.server.cache import TTLResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestBasics:
+    def test_miss_then_hit(self, clock):
+        cache = TTLResultCache(time_fn=clock)
+        assert cache.get(0, "k") is None
+        cache.put(0, "k", {"num_patterns": 3})
+        assert cache.get(0, "k") == {"num_patterns": 3}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_generations_do_not_alias(self, clock):
+        cache = TTLResultCache(time_fn=clock)
+        cache.put(0, "k", "old answer")
+        # A delta publishes generation 1: the same query key misses.
+        assert cache.get(1, "k") is None
+        assert cache.get(0, "k") == "old answer"
+
+    def test_put_overwrites(self, clock):
+        cache = TTLResultCache(time_fn=clock)
+        cache.put(0, "k", "first")
+        cache.put(0, "k", "second")
+        assert cache.get(0, "k") == "second"
+        assert len(cache) == 1
+
+
+class TestTTL:
+    def test_entry_expires(self, clock):
+        cache = TTLResultCache(ttl_seconds=10.0, time_fn=clock)
+        cache.put(0, "k", "payload")
+        clock.advance(9.999)
+        assert cache.get(0, "k") == "payload"
+        clock.advance(0.001)
+        assert cache.get(0, "k") is None
+        assert len(cache) == 0
+
+    def test_put_refreshes_ttl(self, clock):
+        cache = TTLResultCache(ttl_seconds=10.0, time_fn=clock)
+        cache.put(0, "k", "payload")
+        clock.advance(8.0)
+        cache.put(0, "k", "payload")
+        clock.advance(8.0)
+        assert cache.get(0, "k") == "payload"
+
+
+class TestLRU:
+    def test_eviction_drops_least_recently_used(self, clock):
+        cache = TTLResultCache(max_entries=2, time_fn=clock)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        assert cache.get(0, "a") == 1  # bump a ahead of b
+        cache.put(0, "c", 3)
+        assert cache.get(0, "b") is None
+        assert cache.get(0, "a") == 1
+        assert cache.get(0, "c") == 3
+
+
+class TestPurge:
+    def test_purge_generations_before(self, clock):
+        cache = TTLResultCache(time_fn=clock)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.put(1, "a", 3)
+        assert cache.purge_generations_before(1) == 2
+        assert len(cache) == 1
+        assert cache.get(1, "a") == 3
+
+    def test_purge_is_idempotent(self, clock):
+        cache = TTLResultCache(time_fn=clock)
+        cache.put(2, "a", 1)
+        assert cache.purge_generations_before(2) == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_entries": 0}, {"ttl_seconds": 0.0}, {"ttl_seconds": -1.0}]
+    )
+    def test_bad_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TTLResultCache(**kwargs)

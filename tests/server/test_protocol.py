@@ -1,0 +1,110 @@
+"""Wire protocol: request parsing, response framing, delta decoding."""
+
+import json
+
+import pytest
+
+from repro.api.errors import MalformedQueryError
+from repro.core.database import EdgeDelta
+from repro.server.protocol import (
+    encode_response,
+    parse_budget_ms,
+    parse_delta,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_defaults_to_query_op(self):
+        payload = parse_request(b'{"query": {"constraint": "skinny"}}')
+        assert payload.get("op", "query") == "query"
+
+    def test_known_ops_pass_through(self):
+        for op in ("query", "apply_delta", "stats", "ping", "shutdown"):
+            assert parse_request(json.dumps({"op": op}).encode())["op"] == op
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"\xff\xfe",
+            b"[1, 2, 3]",
+            b'"just a string"',
+            b'{"op": "mine_all_the_things"}',
+        ],
+    )
+    def test_junk_raises_malformed(self, line):
+        with pytest.raises(MalformedQueryError):
+            parse_request(line)
+
+
+class TestEncodeResponse:
+    def test_one_line_compact_json(self):
+        encoded = encode_response({"ok": True, "id": 7})
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+        assert json.loads(encoded) == {"ok": True, "id": 7}
+        # Compact separators and sorted keys: deterministic framing.
+        assert encoded == b'{"id":7,"ok":true}\n'
+
+
+class TestParseBudget:
+    def test_absent_means_no_limit(self):
+        assert parse_budget_ms({}) is None
+        assert parse_budget_ms({"budget_ms": None}) is None
+
+    def test_valid_budget(self):
+        assert parse_budget_ms({"budget_ms": 250}) == 250
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5, "250", True])
+    def test_invalid_budget_raises(self, bad):
+        with pytest.raises(MalformedQueryError):
+            parse_budget_ms({"budget_ms": bad})
+
+
+class TestParseDelta:
+    def test_full_operation(self):
+        deltas = parse_delta(
+            [
+                {
+                    "op": "add",
+                    "u": 1,
+                    "v": 2,
+                    "graph_index": 3,
+                    "label_u": "a",
+                    "label_v": "b",
+                    "edge_label": "e",
+                }
+            ]
+        )
+        assert deltas == [
+            EdgeDelta(
+                op="add",
+                u=1,
+                v=2,
+                graph_index=3,
+                label_u="a",
+                label_v="b",
+                edge_label="e",
+            )
+        ]
+
+    def test_defaults(self):
+        (delta,) = parse_delta([{"op": "remove", "u": 0, "v": 4}])
+        assert delta.graph_index == 0
+        assert delta.label_u is None and delta.label_v is None
+
+    @pytest.mark.parametrize(
+        "operations",
+        [
+            "not a list",
+            {"op": "add"},
+            [["op", "add"]],
+            [{"op": "upsert", "u": 0, "v": 1}],
+            [{"op": "add", "u": 0}],
+            [{"op": "add", "u": "zero", "v": 1}],
+        ],
+    )
+    def test_invalid_delta_raises(self, operations):
+        with pytest.raises(MalformedQueryError):
+            parse_delta(operations)

@@ -1,0 +1,465 @@
+"""End-to-end MiningServer tests over real TCP connections.
+
+pytest-asyncio is not a dependency of this repo, so every test is a plain
+sync function driving the server with ``asyncio.run``.  Each test stands up
+a fresh :class:`MiningServer` on an ephemeral port, talks NDJSON to it
+through :class:`Client`, and tears it down.
+
+The ``sleepy`` constraint — registered per-test and always unregistered —
+gives deterministic slow queries for the deadline/shed/isolation tests:
+its driver sleeps for ``ms`` milliseconds and mines nothing.
+"""
+
+import asyncio
+import contextlib
+import json
+import time
+
+from repro.api import MiningEngine, Query
+from repro.api.registry import ParamSpec, register_constraint, unregister_constraint
+from repro.core.database import EdgeDelta
+from repro.graph.labeled_graph import graph_from_paths
+from repro.obs.metrics import MetricsRegistry
+from repro.server import MiningServer
+
+QUERY = Query("skinny", {"length": 3, "delta": 1}, min_support=2)
+
+
+def make_graphs():
+    return graph_from_paths([list("abcde"), list("abcde"), list("abcde")])
+
+
+def reference_result(deltas=None):
+    """What a direct, single-user engine answers for QUERY."""
+    engine = MiningEngine(make_graphs(), metrics=MetricsRegistry())
+    if deltas:
+        engine.apply_delta(deltas)
+    return engine.run(QUERY)
+
+
+class Client:
+    """One NDJSON connection; supports both lockstep and pipelined use."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def send(self, payload):
+        self.writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self.writer.drain()
+
+    async def send_raw(self, line: bytes):
+        self.writer.write(line)
+        await self.writer.drain()
+
+    async def recv(self):
+        line = await self.reader.readline()
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def request(self, payload):
+        await self.send(payload)
+        return await self.recv()
+
+    async def recv_by_id(self, count):
+        """Read ``count`` responses, keyed by their echoed request id."""
+        responses = {}
+        for _ in range(count):
+            response = await self.recv()
+            responses[response["id"]] = response
+        return responses
+
+    async def close(self):
+        self.writer.close()
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await self.writer.wait_closed()
+
+
+@contextlib.contextmanager
+def sleepy_constraint():
+    """A registered constraint whose Stage 1 sleeps for ``ms`` milliseconds."""
+
+    class SleepDriver:
+        def mine_minimal(self, context, parameter):
+            time.sleep(parameter / 1000.0)
+            return []
+
+        def grow(self, context, minimal, parameter):
+            return []
+
+    register_constraint(
+        "sleepy",
+        lambda params, caps, include_minimal: SleepDriver(),
+        params=(ParamSpec("ms", int, required=True, minimum=1),),
+        description="sleeps, mines nothing (test only)",
+    )
+    try:
+        yield
+    finally:
+        unregister_constraint("sleepy")
+
+
+def sleepy_query(ms, request_id, budget_ms=None):
+    payload = {
+        "op": "query",
+        "id": request_id,
+        "query": {"constraint": "sleepy", "params": {"ms": ms}, "min_support": 2},
+    }
+    if budget_ms is not None:
+        payload["budget_ms"] = budget_ms
+    return payload
+
+
+async def _with_server(body, **server_kwargs):
+    server_kwargs.setdefault("workers", 2)
+    server = MiningServer(make_graphs(), **server_kwargs)
+    await server.start()
+    client = await Client.connect(server.port)
+    try:
+        return await body(server, client)
+    finally:
+        await client.close()
+        await server.stop()
+
+
+def run_with_server(body, **server_kwargs):
+    return asyncio.run(_with_server(body, **server_kwargs))
+
+
+class TestBasics:
+    def test_ping(self):
+        async def body(server, client):
+            response = await client.request({"op": "ping", "id": "p1"})
+            assert response == {
+                "id": "p1",
+                "ok": True,
+                "op": "ping",
+                "generation": 0,
+            }
+
+        run_with_server(body)
+
+    def test_query_matches_direct_engine(self):
+        expected = reference_result()
+        expected_patterns = expected.to_dict(include_patterns=True)["patterns"]
+
+        async def body(server, client):
+            response = await client.request(
+                {"op": "query", "id": 1, "query": QUERY.to_dict()}
+            )
+            assert response["ok"] is True
+            assert response["num_patterns"] == len(expected.patterns)
+            assert response["patterns"] == expected_patterns
+            stats = response["stats"]
+            assert stats["snapshot_generation"] == 0
+            assert stats["budget_ms"] is None
+            assert stats["queue_seconds"] >= 0.0
+            assert "error" not in response
+
+        run_with_server(body)
+
+    def test_include_patterns_false_omits_payload(self):
+        async def body(server, client):
+            response = await client.request(
+                {
+                    "op": "query",
+                    "id": 1,
+                    "query": QUERY.to_dict(),
+                    "include_patterns": False,
+                }
+            )
+            assert response["ok"] is True
+            assert "patterns" not in response
+            assert response["num_patterns"] > 0
+
+        run_with_server(body)
+
+    def test_second_query_is_a_cache_hit(self):
+        async def body(server, client):
+            first = await client.request(
+                {"op": "query", "id": 1, "query": QUERY.to_dict()}
+            )
+            second = await client.request(
+                {"op": "query", "id": 2, "query": QUERY.to_dict()}
+            )
+            assert first["stats"]["result_cache_hit"] is False
+            assert second["stats"]["result_cache_hit"] is True
+            assert second["patterns"] == first["patterns"]
+            assert second["num_patterns"] == first["num_patterns"]
+            assert second["stats"]["snapshot_generation"] == 0
+
+        run_with_server(body)
+
+    def test_pipelined_queries_echo_ids(self):
+        async def body(server, client):
+            queries = {
+                "q-skinny": QUERY.to_dict(),
+                "q-path": Query(
+                    "path", {"length": 2}, min_support=2
+                ).to_dict(),
+                "q-diam": Query(
+                    "diam-le", {"k": 2}, min_support=3
+                ).to_dict(),
+            }
+            for request_id, query in queries.items():
+                await client.send({"op": "query", "id": request_id, "query": query})
+            responses = await client.recv_by_id(len(queries))
+            assert set(responses) == set(queries)
+            assert all(r["ok"] for r in responses.values())
+
+        run_with_server(body)
+
+
+class TestTypedErrors:
+    def test_unknown_constraint(self):
+        async def body(server, client):
+            response = await client.request(
+                {"op": "query", "id": 5, "query": {"constraint": "nope", "params": {}}}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "unknown_constraint"
+
+        run_with_server(body)
+
+    def test_malformed_line(self):
+        async def body(server, client):
+            await client.send_raw(b"this is not json\n")
+            response = await client.recv()
+            assert response["ok"] is False
+            assert response["error"]["code"] == "malformed_query"
+            assert response["id"] is None
+            # The connection survives a malformed line.
+            assert (await client.request({"op": "ping"}))["ok"] is True
+
+        run_with_server(body)
+
+    def test_unknown_op(self):
+        async def body(server, client):
+            response = await client.request({"op": "mine_everything"})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "malformed_query"
+
+        run_with_server(body)
+
+    def test_bad_budget(self):
+        async def body(server, client):
+            response = await client.request(
+                {"op": "query", "id": 9, "query": QUERY.to_dict(), "budget_ms": -1}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "malformed_query"
+
+        run_with_server(body)
+
+    def test_invalid_params(self):
+        async def body(server, client):
+            response = await client.request(
+                {
+                    "op": "query",
+                    "id": 10,
+                    "query": {"constraint": "skinny", "params": {"length": 3}},
+                }
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "missing_parameter"
+
+        run_with_server(body)
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_mid_run(self):
+        with sleepy_constraint():
+
+            async def body(server, client):
+                started = time.monotonic()
+                response = await client.request(
+                    sleepy_query(2000, "slow", budget_ms=150)
+                )
+                elapsed = time.monotonic() - started
+                assert response["ok"] is False
+                assert response["error"]["code"] == "deadline_exceeded"
+                assert response["error"]["retriable"] is False
+                assert response["error"]["partial"] is False
+                # The client got its answer at the budget, not after the
+                # worker's 2 s sleep finished.
+                assert elapsed < 1.5
+
+            run_with_server(body)
+
+    def test_deadline_exceeded_while_queued(self):
+        with sleepy_constraint():
+
+            async def body(server, client):
+                # One worker, occupied by a long sleep; the budgeted query
+                # behind it times out without ever running.
+                await client.send(sleepy_query(600, "occupier"))
+                await asyncio.sleep(0.05)  # let the occupier get dispatched
+                await client.send(sleepy_query(600, "starved", budget_ms=100))
+                responses = await client.recv_by_id(2)
+                assert responses["starved"]["error"]["code"] == "deadline_exceeded"
+                assert responses["occupier"]["ok"] is True
+
+            run_with_server(body, workers=1)
+
+    def test_default_budget_applies(self):
+        with sleepy_constraint():
+
+            async def body(server, client):
+                response = await client.request(sleepy_query(2000, "d"))
+                assert response["error"]["code"] == "deadline_exceeded"
+                assert response["stats"] is None  # no partial stats on the wire
+
+            run_with_server(body, default_budget_ms=150)
+
+
+class TestAdmission:
+    def test_load_shed_returns_retriable_unavailable(self):
+        with sleepy_constraint():
+
+            async def body(server, client):
+                await client.send(sleepy_query(400, "running"))
+                await asyncio.sleep(0.05)  # occupier reaches the worker
+                await client.send(sleepy_query(400, "queued"))
+                await client.send(sleepy_query(400, "shed"))
+                responses = await client.recv_by_id(3)
+                shed = responses["shed"]
+                assert shed["ok"] is False
+                assert shed["error"]["code"] == "service_unavailable"
+                assert shed["error"]["retriable"] is True
+                assert responses["running"]["ok"] is True
+                assert responses["queued"]["ok"] is True
+
+            run_with_server(body, workers=1, max_queue=1)
+
+
+class TestDeltas:
+    def test_apply_delta_advances_generation(self):
+        expected_before = reference_result()
+        expected_after = reference_result([EdgeDelta.remove_edge(0, 1)])
+        before_patterns = expected_before.to_dict(include_patterns=True)["patterns"]
+        after_patterns = expected_after.to_dict(include_patterns=True)["patterns"]
+
+        async def body(server, client):
+            first = await client.request(
+                {"op": "query", "id": 1, "query": QUERY.to_dict()}
+            )
+            assert first["stats"]["snapshot_generation"] == 0
+            assert first["patterns"] == before_patterns
+
+            delta = await client.request(
+                {
+                    "op": "apply_delta",
+                    "id": "d1",
+                    "delta": [{"op": "remove", "u": 0, "v": 1}],
+                }
+            )
+            assert delta["ok"] is True
+            assert delta["generation"] == 1
+            assert delta["report"]["operations"] == 1
+
+            second = await client.request(
+                {"op": "query", "id": 2, "query": QUERY.to_dict()}
+            )
+            assert second["stats"]["snapshot_generation"] == 1
+            # Not the stale cached generation-0 answer: the delta-keyed
+            # cache made the old entry unaddressable.
+            assert second["stats"]["result_cache_hit"] is False
+            assert second["patterns"] == after_patterns
+
+        run_with_server(body)
+
+    def test_invalid_delta_is_typed_and_nonfatal(self):
+        async def body(server, client):
+            response = await client.request(
+                {
+                    "op": "apply_delta",
+                    "id": "bad",
+                    "delta": [{"op": "remove", "u": 998, "v": 999}],
+                }
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "invalid_delta"
+            assert (await client.request({"op": "ping"}))["generation"] == 0
+
+        run_with_server(body)
+
+    def test_delta_does_not_block_inflight_queries(self):
+        with sleepy_constraint():
+
+            async def body(server, client):
+                # A slow query admitted at generation 0...
+                await client.send(sleepy_query(400, "inflight"))
+                await asyncio.sleep(0.05)
+                # ...keeps running while the delta publishes generation 1.
+                started = time.monotonic()
+                delta = await client.request(
+                    {
+                        "op": "apply_delta",
+                        "id": "d",
+                        "delta": [{"op": "remove", "u": 0, "v": 1}],
+                    }
+                )
+                delta_seconds = time.monotonic() - started
+                assert delta["generation"] == 1
+                assert delta_seconds < 0.35  # did not wait for the sleeper
+
+                await client.send(
+                    {"op": "query", "id": "post", "query": QUERY.to_dict()}
+                )
+                responses = await client.recv_by_id(2)
+                assert responses["inflight"]["ok"] is True
+                # The in-flight query was served from the generation it was
+                # admitted against; the later one sees the new generation.
+                assert responses["inflight"]["stats"]["snapshot_generation"] == 0
+                assert responses["post"]["stats"]["snapshot_generation"] == 1
+
+            run_with_server(body, workers=2)
+
+
+class TestStatsAndShutdown:
+    def test_stats_merges_worker_metrics(self):
+        async def body(server, client):
+            await client.request({"op": "query", "id": 1, "query": QUERY.to_dict()})
+            response = await client.request({"op": "stats", "id": "s"})
+            assert response["ok"] is True
+            counter_names = {
+                row["name"] for row in response["metrics"]["counters"]
+            }
+            # Event-loop-side service metrics...
+            assert "repro_service_requests_total" in counter_names
+            # ...merged with the worker threads' private engine metrics.
+            assert "repro_queries_total" in counter_names
+            info = response["server"]
+            assert info["generation"] == 0
+            assert info["workers"] == 2
+            assert info["inflight"] == 0
+            assert info["result_cache_misses"] >= 1
+
+        run_with_server(body)
+
+    def test_shutdown_op_stops_serve_forever(self):
+        async def body():
+            server = MiningServer(make_graphs(), workers=1)
+            await server.start()
+            forever = asyncio.ensure_future(server.serve_forever())
+            client = await Client.connect(server.port)
+            try:
+                response = await client.request({"op": "shutdown", "id": "bye"})
+                assert response == {"id": "bye", "ok": True, "op": "shutdown"}
+                await asyncio.wait_for(forever, timeout=5.0)
+            finally:
+                await client.close()
+            # The listener is gone: new connections are refused.
+            try:
+                await Client.connect(server.port)
+            except OSError:
+                pass
+            else:
+                raise AssertionError("server still accepting connections")
+
+        asyncio.run(body())

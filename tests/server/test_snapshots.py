@@ -1,0 +1,89 @@
+"""SnapshotManager: atomic generation publish, copy-on-write isolation."""
+
+import pytest
+
+from repro.api import MiningEngine, Query
+from repro.core.database import EdgeDelta
+from repro.graph.labeled_graph import graph_from_paths
+from repro.index.store import MemoryPatternStore
+from repro.obs.metrics import MetricsRegistry
+from repro.server.snapshots import SnapshotManager
+
+QUERY = Query("skinny", {"length": 3, "delta": 1}, min_support=2)
+
+
+def make_manager():
+    graphs = graph_from_paths([list("abcde"), list("abcde"), list("abcde")])
+    store = MemoryPatternStore()
+    return SnapshotManager(
+        graphs,
+        store,
+        lambda g, s: MiningEngine(g, store=s, metrics=MetricsRegistry()),
+    )
+
+
+class TestGenerationZero:
+    def test_initial_snapshot(self):
+        manager = make_manager()
+        snapshot = manager.current
+        assert snapshot.generation == 0
+        assert manager.generation == 0
+        assert snapshot.engine.store is snapshot.store
+        assert snapshot.repair_report is None
+
+
+class TestApplyDelta:
+    def test_publishes_next_generation(self):
+        manager = make_manager()
+        before = manager.current.fingerprint
+        snapshot, report = manager.apply_delta([EdgeDelta.remove_edge(0, 1)])
+        assert snapshot.generation == 1
+        assert manager.current is snapshot
+        assert report.operations == 1
+        assert snapshot.repair_report is report
+        assert snapshot.fingerprint != before
+
+    def test_old_generation_is_untouched(self):
+        manager = make_manager()
+        old = manager.current
+        old.engine.run(QUERY)  # populate the generation-0 store
+        old_keys = set(old.store.keys())
+        assert old_keys
+
+        new, _ = manager.apply_delta([EdgeDelta.remove_edge(0, 1)])
+        # The old generation's graphs still carry the removed edge; the new
+        # generation's copies do not.
+        assert old.graphs[0].has_edge(0, 1)
+        assert not new.graphs[0].has_edge(0, 1)
+        assert old.graphs[0] is not new.graphs[0]
+        # The repair wrote only into the new generation's overlay view: the
+        # base store still holds exactly the generation-0 entries.
+        assert set(old.store.keys()) == old_keys
+        assert all(key.fingerprint == old.fingerprint for key in old.store.keys())
+        assert new.store.base is old.store
+        # The repaired/migrated entries in the view carry the new fingerprint.
+        new_keys = set(new.store.keys()) - old_keys
+        assert new_keys
+        assert all(key.fingerprint == new.fingerprint for key in new_keys)
+
+    def test_old_and_new_generations_answer_consistently(self):
+        manager = make_manager()
+        old = manager.current
+        before = old.engine.run(QUERY)
+        new, _ = manager.apply_delta([EdgeDelta.remove_edge(0, 1)])
+        after = new.engine.run(QUERY)
+        # Generation 0 still answers exactly as before the delta.
+        again = old.engine.fork(metrics=MetricsRegistry()).run(QUERY)
+        assert {p.canonical_form() for p in again.patterns} == {
+            p.canonical_form() for p in before.patterns
+        }
+        # The delta removed an edge, so generation 1 lost support.
+        assert len(after.patterns) <= len(before.patterns)
+
+    def test_failed_delta_publishes_nothing(self):
+        manager = make_manager()
+        current = manager.current
+        with pytest.raises(KeyError):
+            manager.apply_delta([EdgeDelta.remove_edge(998, 999)])
+        assert manager.current is current
+        assert manager.generation == 0

@@ -8,7 +8,11 @@ import pytest
 
 from repro.api import Query, query_from_payload
 from repro.core.framework import MinimalPatternIndex
-from repro.service.mining import MineRequest, MiningService
+from repro.service.mining import (
+    LEGACY_SURFACE_DEPRECATION,
+    MineRequest,
+    MiningService,
+)
 from repro.graph.labeled_graph import build_graph
 
 
@@ -35,10 +39,29 @@ class TestMineRequestShim:
         )
         assert request.cache_key() == query.cache_key()
 
-    def test_from_dict_warns(self):
-        with pytest.deprecated_call():
+    def test_from_dict_warns_with_the_consolidated_message(self):
+        with pytest.deprecated_call(match="legacy batch surface") as caught:
             request = MineRequest.from_dict({"length": 4, "delta": 1, "min_support": 2})
         assert request == MineRequest(length=4, delta=1, min_support=2)
+        assert str(caught.list[0].message) == LEGACY_SURFACE_DEPRECATION
+
+    def test_serve_batch_warns_with_the_consolidated_message(self):
+        service = MiningService(data_graph())
+        with pytest.deprecated_call() as caught:
+            responses = service.serve_batch(
+                [MineRequest(length=3, delta=1, min_support=2)]
+            )
+        assert len(responses) == 1
+        messages = {str(w.message) for w in caught.list}
+        assert messages == {LEGACY_SURFACE_DEPRECATION}
+
+    def test_consolidated_message_names_every_replacement(self):
+        # The message is a contract: one consolidated pointer per
+        # replacement surface, pinned so it cannot drift silently.
+        assert "repro.server" in LEGACY_SURFACE_DEPRECATION
+        assert "repro serve" in LEGACY_SURFACE_DEPRECATION
+        assert "MiningEngine.run_batch" in LEGACY_SURFACE_DEPRECATION
+        assert "query_from_payload" in LEGACY_SURFACE_DEPRECATION
 
     def test_from_dict_warns_exactly_once_per_call_site(self):
         with warnings.catch_warnings(record=True) as caught:

@@ -560,3 +560,81 @@ class TestErrors:
             == 1
         )
         assert "--lengths" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_speaks_ndjson_over_tcp(self, lg_file):
+        """`repro serve` end to end: spawn, scrape the port, query, shutdown."""
+        import asyncio
+        import os
+        import subprocess
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--data",
+                str(lg_file),
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            listening = json.loads(process.stdout.readline())
+            assert listening["event"] == "listening"
+            assert listening["pid"] == process.pid
+
+            async def talk():
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", listening["port"]
+                )
+                try:
+                    responses = {}
+
+                    async def request(payload):
+                        writer.write((json.dumps(payload) + "\n").encode())
+                        await writer.drain()
+                        line = await asyncio.wait_for(reader.readline(), timeout=30)
+                        response = json.loads(line)
+                        responses[response["id"]] = response
+
+                    await request({"op": "ping", "id": 1})
+                    await request(
+                        {
+                            "op": "query",
+                            "id": 2,
+                            "query": {
+                                "constraint": "skinny",
+                                "params": {"length": 3, "delta": 1},
+                                "min_support": 2,
+                            },
+                        }
+                    )
+                    await request({"op": "shutdown", "id": 3})
+                    return responses
+                finally:
+                    writer.close()
+
+            responses = asyncio.run(talk())
+            assert responses[1]["op"] == "ping" and responses[1]["ok"]
+            assert responses[2]["ok"] is True
+            assert responses[2]["num_patterns"] == 1  # the repeated a-b-c-d chain
+            assert responses[3] == {"id": 3, "ok": True, "op": "shutdown"}
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

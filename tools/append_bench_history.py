@@ -1,17 +1,20 @@
-"""Append a fresh bench measurement to the BENCH_levelgrow history ledger.
+"""Append a fresh bench measurement to a BENCH_* history ledger.
 
-CI's ``bench-smoke`` job runs this on ``main`` only:
+Serves both the Stage-2 LevelGrow ledger (``BENCH_levelgrow.json``, CI job
+``bench-smoke``) and the serving-tier latency ledger (``BENCH_service.json``,
+CI job ``bench-service``); the record schema is detected from the fields of
+the fresh measurement.  On ``main`` only, CI runs:
 
-1. the bench test wrote its fresh measurement to
-   ``benchmarks/BENCH_levelgrow.latest.json`` (always, gating or not);
-2. the previous main run's ``bench-json`` artifact — which carries the
+1. the bench test wrote its fresh measurement to the ``*.latest.json``
+   sidecar (always, gating or not);
+2. the previous main run's bench artifact — which carries the
    accumulated per-commit ``history`` — was downloaded next to it;
 3. this script takes the committed baseline, adopts the longer history of
    (committed, previous artifact), appends a compact record of the fresh
    measurement (commit, normalised Stage-2 time, phase shares, fast-path
-   counters) and rewrites the workspace copy of
-   ``benchmarks/BENCH_levelgrow.json`` — which the artifact upload step then
-   publishes.
+   counters — or p99 latency for the service ledger) and rewrites the
+   workspace copy of the committed baseline — which the artifact upload
+   step then publishes.
 
 Nothing is committed back to the repository: the ledger lives in the
 artifact chain, while the committed file keeps only the per-change entries
@@ -41,20 +44,45 @@ def history_of(record: dict) -> list:
 
 
 def compact_entry(fresh: dict, commit: str) -> dict:
+    """A per-commit ledger record; the schema is detected from the fields.
+
+    Two bench families share this ledger tool: the Stage-2 LevelGrow gate
+    (``levelgrow_seconds``) and the serving-tier latency gate (``p99_ms``,
+    from ``benchmarks/test_service_latency.py``).
+    """
     calibration = fresh["calibration_seconds"]
-    return {
-        "commit": commit,
-        "calibration_seconds": round(calibration, 4),
-        "levelgrow_seconds": round(fresh["levelgrow_seconds"], 3),
-        "normalised": round(fresh["levelgrow_seconds"] / calibration, 2),
-        "phase_shares": {
-            phase: round(share, 4)
-            for phase, share in sorted(fresh.get("phase_shares", {}).items())
-        },
-        "fast_path_counters": fresh.get("fast_path_counters", {}),
-        "num_patterns": fresh["num_patterns"],
-        "pattern_set_sha256": fresh["pattern_set_sha256"],
-    }
+    if "levelgrow_seconds" in fresh:
+        return {
+            "commit": commit,
+            "calibration_seconds": round(calibration, 4),
+            "levelgrow_seconds": round(fresh["levelgrow_seconds"], 3),
+            "normalised": round(fresh["levelgrow_seconds"] / calibration, 2),
+            "phase_shares": {
+                phase: round(share, 4)
+                for phase, share in sorted(fresh.get("phase_shares", {}).items())
+            },
+            "fast_path_counters": fresh.get("fast_path_counters", {}),
+            "num_patterns": fresh["num_patterns"],
+            "pattern_set_sha256": fresh["pattern_set_sha256"],
+        }
+    if "p99_ms" in fresh:
+        return {
+            "commit": commit,
+            "calibration_seconds": round(calibration, 4),
+            "p50_ms": fresh["p50_ms"],
+            "p95_ms": fresh["p95_ms"],
+            "p99_ms": fresh["p99_ms"],
+            "normalised": round(fresh["normalised_p99"], 2),
+            "throughput_rps": fresh["throughput_rps"],
+            "requests": fresh["requests"],
+            "error_count": fresh["error_count"],
+            "wrong_answers": fresh["wrong_answers"],
+            "served_by_generation": fresh.get("served_by_generation", {}),
+        }
+    raise ValueError(
+        "unrecognised bench schema: expected 'levelgrow_seconds' or 'p99_ms' "
+        f"in the fresh measurement, got fields {sorted(fresh)}"
+    )
 
 
 def main(argv=None) -> int:

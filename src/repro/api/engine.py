@@ -32,10 +32,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.query import Query, QueryStats, Result
 from repro.api.registry import ConstraintSpec, constraint_specs, get_constraint
-from repro.core.database import EdgeDelta, GraphDelta, MiningContext, SupportMeasure
+from repro.core.database import (
+    EdgeDelta,
+    GraphDelta,
+    MiningContext,
+    SupportMeasure,
+    touched_graph_indices,
+)
 from repro.core.diammine import Stage1Mode, resolve_stage1_mode
 from repro.core.levelgrow import DiameterDescriptorCache
 from repro.core.patterns import SkinnyPattern
+from repro.graph.csr import CSRGraph, LabelPalette
 from repro.graph.io import dataset_fingerprint
 from repro.graph.labeled_graph import LabeledGraph
 from repro.index.incremental import IndexMaintainer, RepairReport
@@ -126,6 +133,15 @@ class MiningEngine:
         self._result_cache: "OrderedDict[str, List[SkinnyPattern]]" = OrderedDict()
         self._result_cache_size = result_cache_size
         self._contexts: Dict[tuple, MiningContext] = {}
+        # Engine-wide frozen CSR pool, shared *by reference* with every
+        # MiningContext this engine creates: a transaction frozen for one
+        # (σ, measure) query serves all others, and the single palette
+        # keeps label codes stable across views (docs/DATA_PLANE.md).
+        # ``apply_delta`` invalidates only the indices a delta writes to;
+        # ``adopt_frozen_views`` seeds the pool from a previous snapshot
+        # generation's engine.
+        self._frozen_views: Dict[int, CSRGraph] = {}
+        self._frozen_palette = LabelPalette()
         self._stage1_mode = resolve_stage1_mode(stage1_mode)
         self._caps: Dict[str, object] = {
             "max_paths_per_length": max_paths_per_length,
@@ -224,7 +240,13 @@ class MiningEngine:
         key = (min_support, measure.value)
         context = self._contexts.get(key)
         if context is None:
-            context = MiningContext(self._graphs, min_support, measure)
+            context = MiningContext(
+                self._graphs,
+                min_support,
+                measure,
+                frozen_views=self._frozen_views,
+                palette=self._frozen_palette,
+            )
             self._contexts[key] = context
         return context
 
@@ -593,3 +615,59 @@ class MiningEngine:
             self._fingerprint = dataset_fingerprint(self._graphs)
             self._result_cache.clear()
             self._contexts.clear()
+            # Only graphs the batch names can have been mutated (even on
+            # a part-way failure), so frozen views of every other
+            # transaction stay valid and keep serving.
+            for index in touched_graph_indices(delta):
+                self._frozen_views.pop(index, None)
+
+    def adopt_frozen_views(
+        self,
+        source: "MiningEngine",
+        delta: Union[GraphDelta, Sequence[EdgeDelta]],
+    ) -> int:
+        """Reuse ``source``'s frozen CSR views for graphs ``delta`` skipped.
+
+        The serving tier builds each snapshot generation over *deep copies*
+        of the previous generation's graphs, so a fresh engine starts with
+        an empty frozen-view pool and would re-freeze the entire database
+        even when the delta edited a single transaction.  A copy the delta
+        does not name is content-identical to its original, and frozen
+        views are immutable — so the previous generation's views are valid
+        for this engine verbatim.  This method copies them across (along
+        with the source's label palette, which the adopted views' label
+        codes point into; palettes are append-only, so sharing one across
+        generations never reassigns a code) and returns how many views
+        were adopted.
+
+        Must be called before this engine freezes anything itself: if the
+        pool is already populated or a context exists, the call is a no-op
+        returning 0 — mixing views interned against different palettes
+        would break database-wide label-code stability.
+
+        Examples
+        --------
+        >>> from repro.graph.labeled_graph import build_graph
+        >>> graphs = [build_graph({0: "a", 1: "b"}, [(0, 1)]),
+        ...           build_graph({0: "c", 1: "d"}, [(0, 1)])]
+        >>> old = MiningEngine(graphs)
+        >>> _ = old._context(1, SupportMeasure.TRANSACTIONS).frozen_graph(0)
+        >>> _ = old._context(1, SupportMeasure.TRANSACTIONS).frozen_graph(1)
+        >>> new = MiningEngine([graph.copy() for graph in graphs])
+        >>> delta = GraphDelta().remove_edge(0, 1, graph_index=1)
+        >>> new.adopt_frozen_views(old, delta)  # graph 1 edited, graph 0 not
+        1
+        >>> new._frozen_views[0] is old._frozen_views[0]
+        True
+        """
+        if self._contexts or self._frozen_views:
+            return 0
+        touched = touched_graph_indices(delta)
+        adopted = 0
+        for index, view in source._frozen_views.items():
+            if index not in touched and 0 <= index < len(self._graphs):
+                self._frozen_views[index] = view
+                adopted += 1
+        if adopted:
+            self._frozen_palette = source._frozen_palette
+        return adopted

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.graph.csr import CSRGraph, LabelPalette
 from repro.graph.embeddings import Embedding, EmbeddingTable
 from repro.graph.labeled_graph import Label, LabeledGraph, VertexId
 
@@ -120,11 +121,40 @@ class GraphDelta:
                 touched.update((operation.u, operation.v))
         return touched
 
+    def touched_graphs(self) -> Set[int]:
+        """Indices of the transactions named by at least one operation."""
+        return {operation.graph_index for operation in self.operations}
+
     def __len__(self) -> int:
         return len(self.operations)
 
     def __iter__(self):
         return iter(self.operations)
+
+
+def touched_graph_indices(
+    delta: Union["GraphDelta", Iterable[EdgeDelta]]
+) -> Set[int]:
+    """Graph indices a delta batch writes to; every other index is untouched.
+
+    Untouched transactions keep their content byte-for-byte across the
+    delta, which is what licenses reusing their immutable frozen CSR views
+    (see ``MiningContext.frozen_graph`` and
+    ``MiningEngine.adopt_frozen_views``) instead of re-freezing them.
+
+    Examples
+    --------
+    >>> delta = GraphDelta().add_edge(0, 1, graph_index=2, label_u="a",
+    ...                               label_v="b")
+    >>> touched_graph_indices(delta)
+    {2}
+    >>> sorted(touched_graph_indices([EdgeDelta.remove_edge(0, 1),
+    ...                               EdgeDelta.remove_edge(2, 3, 5)]))
+    [0, 5]
+    """
+    if isinstance(delta, GraphDelta):
+        return delta.touched_graphs()
+    return {operation.graph_index for operation in delta}
 
 
 def validate_delta(
@@ -222,12 +252,17 @@ class MiningContext:
     _label_index: Dict[int, Dict[Label, List[VertexId]]] = field(
         default_factory=dict, repr=False
     )
+    _frozen_graphs: Dict[int, CSRGraph] = field(default_factory=dict, repr=False)
+    _palette: LabelPalette = field(default_factory=LabelPalette, repr=False)
 
     def __init__(
         self,
         graphs: Union[LabeledGraph, Sequence[LabeledGraph]],
         min_support: int,
         support_measure: Optional[SupportMeasure] = None,
+        *,
+        frozen_views: Optional[Dict[int, CSRGraph]] = None,
+        palette: Optional[LabelPalette] = None,
     ) -> None:
         if isinstance(graphs, LabeledGraph):
             graph_list = [graphs]
@@ -247,6 +282,15 @@ class MiningContext:
         self.min_support = min_support
         self.support_measure = support_measure or default_measure
         self._label_index = {}
+        # The frozen-view pool and its palette may be injected *by
+        # reference* (keyword-only) so every context of one engine shares
+        # a single set of CSR views — a view frozen for one (σ, measure)
+        # query serves every other query over the same data.  Injected
+        # views must have been frozen against content-identical graphs
+        # with exactly the injected palette; ``MiningEngine`` is the only
+        # in-tree caller and guarantees both.
+        self._frozen_graphs = frozen_views if frozen_views is not None else {}
+        self._palette = palette if palette is not None else LabelPalette()
 
     # ------------------------------------------------------------------ #
     # data access
@@ -257,6 +301,37 @@ class MiningContext:
 
     def graph(self, index: int = 0) -> LabeledGraph:
         return self.graphs[index]
+
+    def frozen_graph(self, index: int = 0) -> CSRGraph:
+        """Immutable CSR view of transaction ``index``, built once and cached.
+
+        The growth engines run every adjacency scan and data BFS against
+        this view (see ``docs/DATA_PLANE.md``): array-backed sorted
+        neighbour tuples plus interned label palettes beat the mutable
+        dict-of-sets on read throughput, and the view is safe to share
+        across snapshot forks because it cannot be written.  All
+        transactions of one context share one vertex-label palette, so a
+        label's code is stable database-wide.  :meth:`apply_delta`
+        invalidates the cache; the next access re-freezes the mutated
+        graph.
+
+        Examples
+        --------
+        >>> from repro.graph.labeled_graph import build_graph
+        >>> context = MiningContext(
+        ...     build_graph({0: "a", 1: "b"}, [(0, 1)]), min_support=1
+        ... )
+        >>> frozen = context.frozen_graph(0)
+        >>> frozen.neighbors(0)
+        (1,)
+        >>> context.frozen_graph(0) is frozen  # cached
+        True
+        """
+        frozen = self._frozen_graphs.get(index)
+        if frozen is None:
+            frozen = CSRGraph.from_labeled(self.graphs[index], palette=self._palette)
+            self._frozen_graphs[index] = frozen
+        return frozen
 
     def graph_indices(self) -> range:
         return range(len(self.graphs))
@@ -389,9 +464,12 @@ class MiningContext:
 
         The whole batch is validated before the first mutation, so a bad
         operation raises with the data untouched.  Derived caches (the
-        per-graph label index) are invalidated; index stores keyed by the old
-        fingerprint must be repaired separately — see
-        :class:`repro.index.incremental.IndexMaintainer`.
+        per-graph label index and the frozen CSR views) are invalidated
+        *selectively*: only the transactions the batch writes to are
+        dropped, so views of untouched transactions keep serving (an edit
+        to one graph of a large database does not re-freeze the rest).
+        Index stores keyed by the old fingerprint must be repaired
+        separately — see :class:`repro.index.incremental.IndexMaintainer`.
         """
         operations = list(delta)
         validate_delta(self.graphs, operations)
@@ -399,7 +477,11 @@ class MiningContext:
             for operation in operations:
                 apply_edge_delta(self.graphs, operation)
         finally:
-            self._label_index.clear()
+            # Even on a part-way failure only graphs named by the batch
+            # can have been mutated, so untouched indices stay valid.
+            for index in touched_graph_indices(operations):
+                self._label_index.pop(index, None)
+                self._frozen_graphs.pop(index, None)
 
     def total_vertices(self) -> int:
         return sum(graph.num_vertices() for graph in self.graphs)

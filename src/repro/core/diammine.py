@@ -211,10 +211,13 @@ class DiamMine:
         with self._tracer.span("stage1.ladder", length=1) as span:
             collected: Dict[LabelSeq, _DirectedPathSet] = {}
             for graph_index in self._context.graph_indices():
-                graph = self._context.graph(graph_index)
+                # Frozen CSR view: the edge sweep reads palette-cached label
+                # strings instead of str()-ing every endpoint label again.
+                graph = self._context.frozen_graph(graph_index)
+                label_strs = graph.label_strs
                 for edge in graph.edges():
-                    label_u = str(graph.label_of(edge.u))
-                    label_v = str(graph.label_of(edge.v))
+                    label_u = label_strs[edge.u]
+                    label_v = label_strs[edge.v]
                     for sequence, vertices in (
                         ((label_u, label_v), (edge.u, edge.v)),
                         ((label_v, label_u), (edge.v, edge.u)),

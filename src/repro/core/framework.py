@@ -238,11 +238,13 @@ def bounded_diameter_constraint(maximum: int) -> ConstraintPredicate:
         raise ValueError("maximum diameter must be at least 1")
 
     def predicate(pattern: LabeledGraph) -> bool:
-        from repro.graph.paths import diameter as graph_diameter
+        from repro.graph.paths import diameter_at_most
 
         if pattern.num_edges() < 1 or not pattern.is_connected():
             return False
-        return graph_diameter(pattern) <= maximum
+        # SumSweep-style bounded check: confirms or refutes the bound from
+        # a few BFS sweeps instead of computing the exact diameter.
+        return diameter_at_most(pattern, maximum)
 
     return predicate
 
@@ -716,7 +718,9 @@ class BoundedDiameterDriver:
         for row_index, (graph_index, row) in enumerate(
             zip(table.graph_ids, table.rows)
         ):
-            data = context.graph(graph_index)
+            # Frozen CSR view: sorted-tuple neighbour reads and O(log deg)
+            # edge-label probes, shared across every row of the transaction.
+            data = context.frozen_graph(graph_index)
             for position, pattern_vertex in enumerate(columns):
                 data_vertex = row[position]
                 for neighbor in data.neighbors(data_vertex):
@@ -755,7 +759,7 @@ class BoundedDiameterDriver:
     ) -> List[SkinnyPattern]:
         from repro.core.diameter import canonical_diameter
         from repro.graph.embeddings import EmbeddingTable
-        from repro.graph.paths import diameter as graph_diameter
+        from repro.graph.paths import diameter_at_most
 
         bound = int(parameter)
         results: List[SkinnyPattern] = []
@@ -779,12 +783,13 @@ class BoundedDiameterDriver:
                 support = context.support_of_table(extended_table, extended)
                 if not context.is_frequent(support):
                     continue
-                diameter = graph_diameter(extended)
-                if diameter > bound:
+                if not diameter_at_most(extended, bound):
                     # Pending intermediate: over the bound but repairable —
                     # closing a path of length D needs D <= 2K, so anything
-                    # beyond that margin can never come back under it.
-                    if diameter <= 2 * bound:
+                    # beyond that margin can never come back under it.  Both
+                    # gates run as SumSweep-bounded checks, which settle from
+                    # a few BFS sweeps without the exact diameter.
+                    if diameter_at_most(extended, 2 * bound):
                         frontier.append((extended, extended_table))
                     continue
                 results.append(

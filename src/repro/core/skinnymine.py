@@ -280,6 +280,10 @@ class SkinnyMine:
             self._context,
             max_patterns=self._max_patterns_per_diameter,
             descriptor_cache=self._descriptor_cache,
+            # The child counters feed only these two filters; with both off
+            # the grower's duplicate fast path may skip the re-derivation's
+            # embedding join outright.
+            child_accounting=closed_only or maximal_only,
         )
         root = initial_state_from_path(path)
         grower.register(root)

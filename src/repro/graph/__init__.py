@@ -8,6 +8,7 @@ competing miners) are built on.
 """
 
 from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.csr import CSRGraph, FrozenGraphError, LabelPalette
 from repro.graph.isomorphism import (
     are_isomorphic,
     find_automorphisms,
@@ -19,14 +20,17 @@ from repro.graph.paths import (
     all_diameter_paths,
     bfs_distances,
     diameter,
+    diameter_at_most,
     eccentricity,
     enumerate_simple_paths,
     shortest_path_length,
+    sum_sweep_diameter,
 )
 from repro.graph.embeddings import (
     Embedding,
     EmbeddingList,
     EmbeddingTable,
+    LazyEmbeddings,
     mni_support,
     transaction_support,
 )
@@ -42,6 +46,9 @@ from repro.graph.io import graph_from_edge_list, read_lg, write_lg
 __all__ = [
     "Edge",
     "LabeledGraph",
+    "CSRGraph",
+    "FrozenGraphError",
+    "LabelPalette",
     "are_isomorphic",
     "find_automorphisms",
     "find_subgraph_embeddings",
@@ -52,12 +59,15 @@ __all__ = [
     "all_diameter_paths",
     "bfs_distances",
     "diameter",
+    "diameter_at_most",
+    "sum_sweep_diameter",
     "eccentricity",
     "enumerate_simple_paths",
     "shortest_path_length",
     "Embedding",
     "EmbeddingList",
     "EmbeddingTable",
+    "LazyEmbeddings",
     "mni_support",
     "transaction_support",
     "erdos_renyi_graph",

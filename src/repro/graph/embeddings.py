@@ -18,6 +18,7 @@ place of per-embedding dict juggling.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -41,6 +42,18 @@ class Embedding:
     ``mapping`` sends pattern vertex ids to data-graph vertex ids;
     ``graph_index`` identifies the transaction when mining a graph database
     (always 0 in the single-graph setting).
+
+    Examples
+    --------
+    >>> occurrence = Embedding.from_dict({0: 7, 1: 9})
+    >>> occurrence.target_of(1)
+    9
+    >>> sorted(occurrence.image())
+    [7, 9]
+    >>> occurrence.extended(2, 4).as_dict() == {0: 7, 1: 9, 2: 4}
+    True
+    >>> occurrence.image_key() == (0, frozenset({7, 9}))
+    True
     """
 
     mapping: Tuple[Tuple[VertexId, VertexId], ...]
@@ -81,6 +94,62 @@ class Embedding:
 
     def __len__(self) -> int:
         return len(self.mapping)
+
+
+class LazyEmbeddings(Sequence):
+    """List-compatible view over a table's embeddings, materialised on demand.
+
+    Emitted patterns keep the legacy ``List[Embedding]`` wire format, but in
+    the growth loop nothing reads those objects until well after Stage 2 has
+    finished (serialisation, analysis, result hashing).  This view defers
+    :meth:`EmbeddingTable.to_embeddings` to the first access, so the
+    per-pattern materialisation cost moves out of the timed mining path
+    while every consumer still sees an immutable sequence of
+    :class:`Embedding` objects — iteration, indexing, ``len`` and equality
+    against plain lists all behave identically.
+
+    >>> table = EmbeddingTable([0], rows=[(7,), (9,)], graph_ids=[0, 0])
+    >>> view = LazyEmbeddings(table)
+    >>> len(view), view[0].mapping
+    (2, ((0, 7),))
+    >>> view == table.to_embeddings()
+    True
+    """
+
+    __slots__ = ("_table", "_items")
+
+    def __init__(self, table: "EmbeddingTable") -> None:
+        self._table: Optional["EmbeddingTable"] = table
+        self._items: Optional[List[Embedding]] = None
+
+    def _materialised(self) -> List[Embedding]:
+        if self._items is None:
+            self._items = self._table.to_embeddings()
+            self._table = None  # the view owns nothing once materialised
+        return self._items
+
+    def __iter__(self) -> Iterator[Embedding]:
+        return iter(self._materialised())
+
+    def __len__(self) -> int:
+        items = self._items
+        if items is not None:
+            return len(items)
+        return len(self._table.rows)
+
+    def __getitem__(self, index):
+        return self._materialised()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyEmbeddings):
+            return self._materialised() == other._materialised()
+        if isinstance(other, list):
+            return self._materialised() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = "materialised" if self._items is not None else "lazy"
+        return f"<LazyEmbeddings n={len(self)} {state}>"
 
 
 @dataclass
@@ -167,6 +236,22 @@ class EmbeddingTable:
     The legacy :class:`Embedding` objects remain the wire format — results
     and the index store round-trip through :meth:`to_embeddings` /
     :meth:`from_embeddings` unchanged.
+
+    Examples
+    --------
+    Two occurrences of a one-edge pattern, extended by a join recording
+    that row 0 can map a new pattern vertex ``2`` onto data vertex ``8``:
+
+    >>> table = EmbeddingTable((0, 1), rows=[(5, 3), (6, 4)], graph_ids=[0, 1])
+    >>> child = table.extended(2, [(0, 8)])
+    >>> child.columns, child.rows
+    ((0, 1, 2), [(5, 3, 8)])
+    >>> child.rows[0][:2] == table.rows[0][:2]  # parent prefix shared
+    True
+    >>> table.embedding_support(), table.transaction_support()
+    (2, 2)
+    >>> EmbeddingTable.from_embeddings(table.to_embeddings()).rows == table.rows
+    True
     """
 
     __slots__ = (
@@ -174,6 +259,7 @@ class EmbeddingTable:
         "graph_ids",
         "rows",
         "_position",
+        "_row_keys",
         "_embedding_support",
         "_transaction_support",
         "_mni_support",
@@ -197,6 +283,7 @@ class EmbeddingTable:
                 raise ValueError(
                     f"row {row!r} does not match the {width}-column layout"
                 )
+        self._row_keys: Optional[List[Tuple[VertexId, ...]]] = None
         self._embedding_support: Optional[int] = None
         self._transaction_support: Optional[int] = None
         self._mni_support: Optional[int] = None
@@ -252,11 +339,24 @@ class EmbeddingTable:
         return table
 
     def to_embeddings(self) -> List[Embedding]:
-        """Materialise legacy :class:`Embedding` objects (the wire format)."""
+        """Materialise legacy :class:`Embedding` objects (the wire format).
+
+        ``Embedding.mapping`` is sorted by pattern vertex id; the sort
+        permutation depends only on the (shared, interned) column layout, so
+        it is computed once per call and applied per row instead of sorting
+        every row's pairs.
+        """
         columns = self.columns
+        order = sorted(range(len(columns)), key=columns.__getitem__)
+        if order == list(range(len(columns))):
+            return [
+                Embedding(mapping=tuple(zip(columns, row)), graph_index=graph_index)
+                for graph_index, row in zip(self.graph_ids, self.rows)
+            ]
+        ordered_columns = [columns[position] for position in order]
         return [
             Embedding(
-                mapping=tuple(sorted(zip(columns, row))),
+                mapping=tuple(zip(ordered_columns, (row[p] for p in order))),
                 graph_index=graph_index,
             )
             for graph_index, row in zip(self.graph_ids, self.rows)
@@ -275,6 +375,29 @@ class EmbeddingTable:
         """Column index of ``pattern_vertex`` (KeyError if unmapped)."""
         return self._position[pattern_vertex]
 
+    def row_keys(self) -> List[Tuple[VertexId, ...]]:
+        """Per-row sorted data-vertex tuples (the canonical image forms).
+
+        Computed once and cached — and, crucially, **propagated** instead of
+        recomputed along derivations: :meth:`extended` inserts the joined
+        vertex into the parent's already-sorted key with one bisect, and
+        :meth:`subset` selects parent keys by index.  Since every frequency
+        gate touches the keys (embedding support is their distinct count),
+        growth sorts each row once at the cluster root and never again.
+
+        Examples
+        --------
+        >>> table = EmbeddingTable((0, 1), [(5, 3)], [0])
+        >>> table.row_keys()
+        [(3, 5)]
+        >>> table.extended(2, [(0, 4)]).row_keys()
+        [(3, 4, 5)]
+        """
+        keys = self._row_keys
+        if keys is None:
+            keys = self._row_keys = [tuple(sorted(row)) for row in self.rows]
+        return keys
+
     def image_keys(self) -> Set[Tuple[int, Tuple[VertexId, ...]]]:
         """Distinct occurrence keys: (transaction, sorted data-vertex tuple).
 
@@ -282,10 +405,7 @@ class EmbeddingTable:
         images: embeddings are injective, so the sorted tuple is a canonical
         form of the image set and hashes faster than building a frozenset.
         """
-        return {
-            (graph_index, tuple(sorted(row)))
-            for graph_index, row in zip(self.graph_ids, self.rows)
-        }
+        return set(zip(self.graph_ids, self.row_keys()))
 
     def prefixes(self, width: int) -> List[Tuple[VertexId, ...]]:
         """Per-row ``row[:width]`` tuples, computed once and cached.
@@ -309,6 +429,8 @@ class EmbeddingTable:
         clone = EmbeddingTable(self.columns)
         clone.rows = list(self.rows)
         clone.graph_ids = list(self.graph_ids)
+        if self._row_keys is not None:
+            clone._row_keys = list(self._row_keys)
         return clone
 
     # ------------------------------------------------------------------ #
@@ -324,24 +446,51 @@ class EmbeddingTable:
         This is the extension join: the caller recorded, while scanning this
         table's adjacency, which parent rows reach which data vertices; the
         new table is assembled from those deltas without re-matching any
-        embedding.
+        embedding.  When this table's sorted :meth:`row_keys` are already
+        materialised (every table that passed a frequency gate has them),
+        the child's keys are derived in the same pass by bisect insertion.
         """
         table = EmbeddingTable(self.columns + (new_vertex,))
         rows, graph_ids = self.rows, self.graph_ids
         append_row = table.rows.append
         append_gid = table.graph_ids.append
-        for row_index, data_vertex in join_pairs:
-            append_row(rows[row_index] + (data_vertex,))
-            append_gid(graph_ids[row_index])
+        parent_keys = self._row_keys
+        if parent_keys is None:
+            for row_index, data_vertex in join_pairs:
+                append_row(rows[row_index] + (data_vertex,))
+                append_gid(graph_ids[row_index])
+        else:
+            keys: List[Tuple[VertexId, ...]] = []
+            append_key = keys.append
+            for row_index, data_vertex in join_pairs:
+                append_row(rows[row_index] + (data_vertex,))
+                append_gid(graph_ids[row_index])
+                key = parent_keys[row_index]
+                position = bisect_left(key, data_vertex)
+                append_key(key[:position] + (data_vertex,) + key[position:])
+            table._row_keys = keys
         return table
 
     def subset(self, row_indices: Iterable[int]) -> "EmbeddingTable":
-        """The sub-table of ``row_indices`` — row tuples shared, not copied."""
+        """The sub-table of ``row_indices`` — row tuples shared, not copied.
+
+        Materialised :meth:`row_keys` are selected through by index, so an
+        edge-closing extension (same vertex set, fewer rows) never re-sorts.
+        """
         table = EmbeddingTable(self.columns)
         rows, graph_ids = self.rows, self.graph_ids
-        for row_index in row_indices:
-            table.rows.append(rows[row_index])
-            table.graph_ids.append(graph_ids[row_index])
+        parent_keys = self._row_keys
+        if parent_keys is None:
+            for row_index in row_indices:
+                table.rows.append(rows[row_index])
+                table.graph_ids.append(graph_ids[row_index])
+        else:
+            keys: List[Tuple[VertexId, ...]] = []
+            for row_index in row_indices:
+                table.rows.append(rows[row_index])
+                table.graph_ids.append(graph_ids[row_index])
+                keys.append(parent_keys[row_index])
+            table._row_keys = keys
         return table
 
     # ------------------------------------------------------------------ #
@@ -404,6 +553,17 @@ def mni_support(
     and take the minimum.  It is provided for the baselines (MoSS-style
     miners) and for harmonised comparisons; SkinnyMine itself follows the
     paper and counts embeddings.
+
+    Examples
+    --------
+    >>> from repro.graph.labeled_graph import build_graph
+    >>> pattern = build_graph({0: "a", 1: "b"}, [(0, 1)])
+    >>> occurrences = [Embedding.from_dict({0: 5, 1: 3}),
+    ...                Embedding.from_dict({0: 5, 1: 4})]
+    >>> mni_support(pattern, occurrences)  # vertex 0 has one image, vertex 1 two
+    1
+    >>> embedding_support(occurrences), transaction_support(occurrences)
+    (2, 1)
     """
     if pattern.num_vertices() == 0:
         return 0

@@ -278,7 +278,9 @@ class LabeledGraph:
         """Return a deep-enough copy (labels/adjacency duplicated)."""
         clone = LabeledGraph(name=self.name)
         clone._labels = dict(self._labels)
-        clone._adjacency = {v: set(ns) for v, ns in self._adjacency.items()}
+        # set.copy() beats set(ns) measurably, and this dictcomp runs once
+        # per pattern copy on the growth hot path.
+        clone._adjacency = {v: ns.copy() for v, ns in self._adjacency.items()}
         clone._edge_labels = dict(self._edge_labels)
         clone._num_edges = self._num_edges
         return clone

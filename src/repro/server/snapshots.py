@@ -95,6 +95,12 @@ class SnapshotManager:
         concurrently and later queries pick up the new generation only once
         it is complete.  A failed repair publishes nothing — the current
         generation stays live and the exception propagates.
+
+        Frozen CSR views (see ``docs/DATA_PLANE.md``) carry over: a graph
+        copy the delta does not name is content-identical to the previous
+        generation's, and the views are immutable, so the new engine adopts
+        them instead of re-freezing the whole database.  Only the edited
+        transactions pay the freeze cost again, on their next scan.
         """
         with self._writer_lock:
             current = self._current
@@ -102,6 +108,7 @@ class SnapshotManager:
             view = current.store.snapshot_view()
             engine = self._engine_factory(graphs, view)
             report = engine.apply_delta(delta)
+            engine.adopt_frozen_views(current.engine, delta)
             snapshot = Snapshot(
                 current.generation + 1, graphs, view, engine, repair_report=report
             )

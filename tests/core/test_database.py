@@ -124,3 +124,76 @@ class TestSupport:
         context = MiningContext([triangle_graph, path_graph], 1)
         assert context.total_vertices() == 8
         assert context.total_edges() == 7
+
+
+class TestFrozenViews:
+    """The per-context frozen CSR cache and its delta invalidation."""
+
+    def test_frozen_graph_cached_and_shares_palette(self, triangle_graph, path_graph):
+        context = MiningContext([triangle_graph, path_graph], 1)
+        first = context.frozen_graph(0)
+        second = context.frozen_graph(1)
+        assert context.frozen_graph(0) is first  # cached
+        assert first.palette is second.palette  # database-wide palette
+        assert first.neighbors(0) == tuple(sorted(triangle_graph.neighbors(0)))
+
+    def test_apply_delta_invalidates_only_touched_graphs(
+        self, triangle_graph, path_graph
+    ):
+        from repro.core.database import GraphDelta
+
+        context = MiningContext([triangle_graph.copy(), path_graph.copy()], 1)
+        frozen_triangle = context.frozen_graph(0)
+        frozen_path = context.frozen_graph(1)
+        labels = context.vertices_with_label(1, "a")
+        context.apply_delta(GraphDelta().remove_edge(0, 1, graph_index=1))
+        # Untouched transaction keeps its view; the edited one re-freezes.
+        assert context.frozen_graph(0) is frozen_triangle
+        refrozen = context.frozen_graph(1)
+        assert refrozen is not frozen_path
+        assert not refrozen.has_edge(0, 1)
+        assert context.vertices_with_label(1, "a") == labels  # index rebuilt
+
+    def test_rejected_delta_leaves_cache_intact(self, triangle_graph):
+        from repro.core.database import EdgeDelta
+
+        context = MiningContext(triangle_graph.copy(), 1)
+        frozen = context.frozen_graph(0)
+        with pytest.raises(KeyError):
+            context.apply_delta(
+                [
+                    EdgeDelta.remove_edge(0, 1),
+                    EdgeDelta.remove_edge(0, 1),  # second removal invalid
+                ]
+            )
+        # Validation rejects the whole batch before any mutation, so the
+        # data is untouched and the frozen view is still valid.
+        assert context.frozen_graph(0) is frozen
+        assert frozen.has_edge(0, 1)
+
+    def test_injected_pool_is_shared_by_reference(self, triangle_graph):
+        from repro.graph.csr import LabelPalette
+
+        pool, palette = {}, LabelPalette()
+        first = MiningContext(
+            triangle_graph, 1, frozen_views=pool, palette=palette
+        )
+        second = MiningContext(
+            triangle_graph, 2, frozen_views=pool, palette=palette
+        )
+        view = first.frozen_graph(0)
+        assert second.frozen_graph(0) is view  # one freeze serves both
+        assert view.palette is palette
+
+
+class TestTouchedGraphIndices:
+    def test_graph_delta_and_raw_lists_agree(self):
+        from repro.core.database import EdgeDelta, GraphDelta, touched_graph_indices
+
+        delta = GraphDelta()
+        delta.add_edge(0, 1, graph_index=3, label_u="a", label_v="b")
+        delta.remove_edge(0, 1, graph_index=0)
+        assert touched_graph_indices(delta) == {0, 3}
+        assert delta.touched_graphs() == {0, 3}
+        assert touched_graph_indices(list(delta)) == {0, 3}
+        assert touched_graph_indices([]) == set()

@@ -87,3 +87,58 @@ class TestApplyDelta:
             manager.apply_delta([EdgeDelta.remove_edge(998, 999)])
         assert manager.current is current
         assert manager.generation == 0
+
+
+class TestFrozenViewAdoption:
+    """Frozen CSR views of untouched transactions carry across generations."""
+
+    def make_multigraph_manager(self):
+        graphs = [
+            graph_from_paths([list("abcde")]),
+            graph_from_paths([list("abcde")]),
+        ]
+        store = MemoryPatternStore()
+        return SnapshotManager(
+            graphs,
+            store,
+            lambda g, s: MiningEngine(g, store=s, metrics=MetricsRegistry()),
+        )
+
+    def test_untouched_views_survive_apply_delta(self):
+        from repro.core.database import SupportMeasure
+
+        manager = self.make_multigraph_manager()
+        old_engine = manager.current.engine
+        context = old_engine._context(2, SupportMeasure.TRANSACTIONS)
+        kept = context.frozen_graph(0)
+        dropped = context.frozen_graph(1)
+        snapshot, _ = manager.apply_delta(
+            [EdgeDelta.remove_edge(0, 1, graph_index=1)]
+        )
+        new_engine = snapshot.engine
+        assert new_engine is not old_engine
+        assert new_engine._frozen_views[0] is kept  # adopted, not re-frozen
+        assert 1 not in new_engine._frozen_views  # edited: must re-freeze
+        assert new_engine._frozen_palette is old_engine._frozen_palette
+        refrozen = new_engine._context(
+            2, SupportMeasure.TRANSACTIONS
+        ).frozen_graph(1)
+        assert refrozen is not dropped
+        assert not refrozen.has_edge(0, 1)
+        # The old generation still answers from its own intact views.
+        assert context.frozen_graph(1) is dropped
+        assert dropped.has_edge(0, 1)
+
+    def test_adoption_is_refused_once_views_exist(self):
+        from repro.core.database import SupportMeasure
+
+        manager = self.make_multigraph_manager()
+        old_engine = manager.current.engine
+        old_engine._context(2, SupportMeasure.TRANSACTIONS).frozen_graph(0)
+        fresh = MiningEngine(
+            [graph.copy() for graph in manager.current.graphs],
+            metrics=MetricsRegistry(),
+        )
+        fresh._context(2, SupportMeasure.TRANSACTIONS).frozen_graph(0)
+        adopted = fresh.adopt_frozen_views(old_engine, [])
+        assert adopted == 0  # pool already populated: palettes must not mix

@@ -715,18 +715,29 @@ class BoundedDiameterDriver:
         new_vertex_labels: Dict[Tuple, Tuple[object, object]] = {}
         close_edge_ops: Dict[Tuple, List[int]] = {}
         close_edge_labels: Dict[Tuple, object] = {}
+        last_graph_index = -1
+        data = None
         for row_index, (graph_index, row) in enumerate(
             zip(table.graph_ids, table.rows)
         ):
-            # Frozen CSR view: sorted-tuple neighbour reads and O(log deg)
-            # edge-label probes, shared across every row of the transaction.
-            data = context.frozen_graph(graph_index)
+            # Frozen CSR view: sorted-tuple neighbour reads, cached label
+            # strings and O(log deg) edge-label probes, shared across every
+            # row of the transaction (rows arrive grouped by graph).
+            if graph_index != last_graph_index:
+                data = context.frozen_graph(graph_index)
+                label_strs = data.label_strs
+                adjacency = data.adjacency
+                last_graph_index = graph_index
+            # Embeddings are injective: data vertex → pattern vertex is
+            # well defined per row, so one inverse map answers both the
+            # membership probe and the closing-edge endpoint recovery.
+            mapped_get = dict(zip(row, columns)).get
             for position, pattern_vertex in enumerate(columns):
                 data_vertex = row[position]
-                for neighbor in data.neighbors(data_vertex):
+                for neighbor in adjacency[data_vertex]:
                     edge_label = data.edge_label(data_vertex, neighbor)
-                    if neighbor in row:
-                        mapped = columns[row.index(neighbor)]
+                    mapped = mapped_get(neighbor)
+                    if mapped is not None:
                         if (
                             pattern_vertex < mapped
                             and frozenset((pattern_vertex, mapped)) not in pattern_edges
@@ -735,9 +746,9 @@ class BoundedDiameterDriver:
                             close_edge_labels.setdefault(op, edge_label)
                             close_edge_ops.setdefault(op, []).append(row_index)
                     else:
-                        label = data.label_of(neighbor)
-                        op = (pattern_vertex, str(label), str(edge_label))
-                        new_vertex_labels.setdefault(op, (label, edge_label))
+                        op = (pattern_vertex, label_strs[neighbor], str(edge_label))
+                        if op not in new_vertex_labels:
+                            new_vertex_labels[op] = (data.label_of(neighbor), edge_label)
                         new_vertex_ops.setdefault(op, []).append((row_index, neighbor))
 
         new_id = max(graph.vertices()) + 1

@@ -45,6 +45,8 @@ from repro.core.constraints import (
 from repro.core.database import MiningContext
 from repro.core.patterns import GrowthState
 from repro.graph.canonical import (
+    UnicyclicEncodings,
+    bicyclic_canonical_key,
     tree_canonical_key,
     unicyclic_canonical_key,
     wl_signature,
@@ -66,10 +68,11 @@ class PatternRegistry:
     growth loop that key arrives precomputed, derived incrementally from the
     parent state's carried encodings.  Single-cycle patterns — almost every
     edge-closing extension — key the same way through
-    :func:`repro.graph.canonical.unicyclic_canonical_key`.  Only patterns
-    with two or more cycles fall back to bucketing by a Weisfeiler–Lehman
-    signature (vertex *and* edge-pair colour histograms per round) with an
-    exact labeled-isomorphism test on collision.  (The minimum-DFS-code
+    :func:`repro.graph.canonical.unicyclic_canonical_key`, and two-cycle
+    patterns through :func:`repro.graph.canonical.bicyclic_canonical_key`.
+    Only patterns with three or more cycles fall back to bucketing by a
+    Weisfeiler–Lehman signature (vertex *and* edge-pair colour histograms
+    per round) with an exact labeled-isomorphism test on collision.  (The minimum-DFS-code
     canonical form is *not* used here: its branch-and-bound is exponential
     on exactly the twig-heavy patterns the growth loop mass-produces.)
     Isomorphic patterns are always detected — the shape-specific keys and
@@ -109,6 +112,11 @@ class PatternRegistry:
                     exact_key = unicyclic_canonical_key(pattern)
                 except ValueError:
                     exact_key = None  # cycle + separate tree components
+            elif edge_count == vertex_count + 1:
+                try:
+                    exact_key = bicyclic_canonical_key(pattern)
+                except ValueError:
+                    exact_key = None  # two cycles in separate components
         if exact_key is not None:
             if exact_key in self._exact_keys:
                 return False
@@ -672,10 +680,10 @@ class LevelGrower:
                     # space from multiplying with every unrelated extension.
                     continue
                 self.statistics.candidates_generated += 1
+                distances = None
                 if isinstance(extension, NewVertexExtension):
-                    dist_head, dist_tail = new_vertex_distances(
-                        current, extension.parent
-                    )
+                    distances = new_vertex_distances(current, extension.parent)
+                    dist_head, dist_tail = distances
                     limit = current.diameter_len
                     if (
                         dist_head > limit or dist_tail > limit
@@ -686,7 +694,9 @@ class LevelGrower:
                         # reject before paying for the embedding join.
                         self.statistics.candidates_rejected_constraints += 1
                         continue
-                extended = self._apply_extension(current, extension, join, level)
+                extended = self._apply_extension(
+                    current, extension, join, level, distances
+                )
                 if extended is None:
                     continue
                 if type(extended) is _DuplicateChild:
@@ -800,7 +810,7 @@ class LevelGrower:
         started = time.perf_counter()
         exact_key: Optional[Tuple] = None
         signature: Optional[Tuple] = None
-        encodings = state.tree_encodings
+        encodings = state.tree_encodings or state.cycle_encodings
         if encodings is not None:
             exact_key = encodings.key
             self.statistics.canonical_incremental_hits += 1
@@ -814,6 +824,8 @@ class LevelGrower:
                 exact_key = tree_canonical_key(pattern)
             elif edge_count == vertex_count:
                 exact_key = unicyclic_canonical_key(pattern)
+            elif edge_count == vertex_count + 1:
+                exact_key = bicyclic_canonical_key(pattern)
             if exact_key is None:
                 signature = wl_signature(pattern)
         self.statistics.canonical_seconds += time.perf_counter() - started
@@ -916,6 +928,20 @@ class LevelGrower:
         # Pendant ids are assigned by next_vertex_id (monotonically
         # increasing), so the newly attached vertex carries the largest id.
         pendant = max(state.levels)
+
+        # Tree states carry diametral-endpoint distance maps in their
+        # incremental encodings, and in a tree every vertex's eccentricity
+        # is realised at an endpoint of any fixed diametral pair — so the
+        # pendant's eccentricity is two dict reads.  Only ecc == D(P) needs
+        # the BFS below (far pairs exist and their label sequences must be
+        # compared against L); ecc decides the verdict outright otherwise.
+        encodings = state.tree_encodings
+        if encodings is not None:
+            eccentricity = max(encodings.d1[pendant], encodings.d2[pendant])
+            if eccentricity > limit:
+                return False
+            if eccentricity < limit:
+                return True
 
         def distances_from(source: VertexId) -> Dict[VertexId, int]:
             reached = {source: 0}
@@ -1483,8 +1509,9 @@ class LevelGrower:
         pattern = state.pattern
         levels = state.levels
         table = state.table
-        columns = table.columns
         context = self._context
+        # Pendant extensions can only hang off level-1 vertices; edge
+        # extensions close a pair whose deeper endpoint sits at ``level``.
         parents = [
             (vertex, table.position_of(vertex))
             for vertex, lvl in levels.items()
@@ -1495,54 +1522,58 @@ class LevelGrower:
             for vertex, lvl in levels.items()
             if lvl == level
         ]
+        has_edge = pattern.has_edge
+        # Edge-closing candidates are a property of the *pattern*, not the
+        # data: enumerate the handful of admissible vertex pairs once, then
+        # probe each row's images directly against the data adjacency.  This
+        # keeps the per-row neighbour walk (the Stage-2 hot loop) to the
+        # level-1 vertices that can actually sprout a pendant.
+        pairs: List[Tuple[Tuple[VertexId, VertexId], int, int]] = []
+        for u, pos_u in parents:
+            for v, pos_v in currents:
+                if not has_edge(u, v):
+                    pairs.append(((u, v), pos_u, pos_v))
+        for i, (u, pos_u) in enumerate(currents):
+            for v, pos_v in currents[i + 1 :]:
+                if not has_edge(u, v):
+                    key = (u, v) if u < v else (v, u)
+                    pairs.append((key, pos_u, pos_v))
 
         new_vertex_joins: Dict[Tuple[VertexId, str], List[Tuple[int, VertexId]]] = {}
         edge_joins: Dict[Tuple[VertexId, VertexId], Set[int]] = {}
-        has_edge = pattern.has_edge
-        level_of = levels.get
 
         last_graph_index = -1
+        labeled_adjacency: Dict[VertexId, Tuple[Tuple[VertexId, str], ...]] = {}
         adjacency: Dict[VertexId, Tuple[VertexId, ...]] = {}
-        label_strs: Dict[VertexId, str] = {}
         for row_index, (graph_index, row) in enumerate(
             zip(table.graph_ids, table.rows)
         ):
             if graph_index != last_graph_index:
                 frozen = context.frozen_graph(graph_index)
+                labeled_adjacency = frozen.labeled_adjacency
                 adjacency = frozen.adjacency
-                label_strs = frozen.label_strs
                 last_graph_index = graph_index
-            # One set per row turns the repeated `neighbor in row` tuple
-            # scans into C-speed membership probes; the (rare) edge-closing
-            # hit recovers the mapped pattern vertex with a tuple scan.
+            # Embeddings are injective, so a neighbour already used by the
+            # row can never be a pendant image: one set membership per visit.
             row_set = set(row)
             for parent, parent_position in parents:
-                for neighbor in adjacency[row[parent_position]]:
-                    if neighbor in row_set:
-                        other = columns[row.index(neighbor)]
-                        if (
-                            level_of(other) == level
-                            and not has_edge(parent, other)
-                        ):
-                            edge_joins.setdefault((parent, other), set()).add(row_index)
-                    else:
-                        key = (parent, label_strs[neighbor])
+                # The pre-zipped runs carry each neighbour's label string
+                # (needed for the extension key) without a per-visit probe.
+                for neighbor, neighbor_label in labeled_adjacency[row[parent_position]]:
+                    if neighbor not in row_set:
+                        key = (parent, neighbor_label)
                         join = new_vertex_joins.get(key)
                         if join is None:
                             join = new_vertex_joins[key] = []
                         join.append((row_index, neighbor))
-            for current, current_position in currents:
-                for neighbor in adjacency[row[current_position]]:
-                    if neighbor in row_set:
-                        other = columns[row.index(neighbor)]
-                        if (
-                            level_of(other) == level
-                            and other != current
-                            and not has_edge(current, other)
-                        ):
-                            edge_joins.setdefault(
-                                (min(current, other), max(current, other)), set()
-                            ).add(row_index)
+            for key, pos_u, pos_v in pairs:
+                # Sorted runs stay short in skinny data; linear membership
+                # beats a bisect call at these degrees.
+                if row[pos_v] in adjacency[row[pos_u]]:
+                    rows = edge_joins.get(key)
+                    if rows is None:
+                        rows = edge_joins[key] = set()
+                    rows.add(row_index)
 
         ordered: List[Tuple[Extension, ExtensionJoin]] = [
             (NewVertexExtension(parent, label), new_vertex_joins[(parent, label)])
@@ -1563,9 +1594,10 @@ class LevelGrower:
         extension: Extension,
         join: ExtensionJoin,
         level: int,
+        distances: Optional[Tuple[int, int]] = None,
     ) -> Optional[Union[GrowthState, _DuplicateChild]]:
         if isinstance(extension, NewVertexExtension):
-            return self._apply_new_vertex(state, extension, join, level)
+            return self._apply_new_vertex(state, extension, join, level, distances)
         if isinstance(extension, ExistingEdgeExtension):
             return self._apply_existing_edge(state, extension, join)
         raise TypeError(f"unknown extension type: {extension!r}")
@@ -1576,7 +1608,49 @@ class LevelGrower:
         extension: NewVertexExtension,
         join_pairs: Sequence[Tuple[int, VertexId]],
         level: int,
+        distances: Optional[Tuple[int, int]] = None,
     ) -> Optional[Union[GrowthState, _DuplicateChild]]:
+        new_vertex = state.next_vertex_id()
+        if distances is None:
+            distances = new_vertex_distances(state, extension.parent)
+        dist_head, dist_tail = distances
+        limit = state.diameter_len
+        pendant_excess = max(0, dist_head - limit) + max(0, dist_tail - limit)
+
+        # A pendant changes neither the shape tier nor the 2-core: derive
+        # the child's canonical key from the parent's carried AHU encodings
+        # (tree or unicyclic) in O(depth) instead of re-canonicalising from
+        # scratch.  Having the key this early lets
+        # the duplicate registry be peeked before *anything* per-candidate
+        # is paid for — the admissibility BFS, the embedding join, the
+        # pattern copy and the state construction: on the never-tainted path
+        # the child is known to reach the main registry with deficiency 0,
+        # so a key hit short-circuits to the duplicate branch (a registered
+        # pattern has already been explored once, whatever gate this
+        # re-derivation would have failed).  The peek uses
+        # :meth:`TreeEncodings.extended_key`, which overlays the re-encoded
+        # attach→root path on the parent's encodings without the dict copies
+        # a full ``extend`` performs — a duplicate costs one key derivation
+        # and one set probe.  With child accounting on, the peek instead
+        # waits for the join so the credited support stays available.
+        encodings = None
+        carried = state.tree_encodings or state.cycle_encodings
+        peekable = (
+            carried is not None
+            and not state.tainted
+            and pendant_excess == 0
+        )
+        if peekable and not self._child_accounting:
+            started = time.perf_counter()
+            peek_key = carried.extended_key(
+                extension.parent, new_vertex, extension.label
+            )
+            duplicate = self._registry.contains_exact(peek_key)
+            self.statistics.canonical_seconds += time.perf_counter() - started
+            if duplicate:
+                self.statistics.canonical_incremental_hits += 1
+                return _DuplicateChild(None)
+
         # Constraint I is NOT checked here: a pendant landing beyond D(P) is
         # repairable by a later edge, so grow_level_full keeps such states as
         # pending.  Only the permanent Constraints II/III reject outright.
@@ -1584,41 +1658,8 @@ class LevelGrower:
             self.statistics.candidates_rejected_constraints += 1
             return None
 
-        new_vertex = state.next_vertex_id()
-        dist_head, dist_tail = new_vertex_distances(state, extension.parent)
-        limit = state.diameter_len
-        pendant_excess = max(0, dist_head - limit) + max(0, dist_tail - limit)
-
-        # A pendant keeps the pattern a tree: derive the child's rooted AHU
-        # encodings (and thereby its canonical key) from the parent's in
-        # O(depth) instead of re-canonicalising from scratch.  Having the key
-        # early lets the duplicate registry be peeked before the pattern
-        # copy and state construction are paid for: on the never-tainted
-        # path the child is known to reach the main registry with
-        # deficiency 0, so a key hit short-circuits to the duplicate branch.
-        # Without child accounting the duplicate's support is never read, so
-        # the peek runs even before the embedding join and a re-derivation
-        # costs exactly one O(depth) key derivation; with accounting on the
-        # peek waits for the join so the credited support stays available.
-        encodings = None
-        peekable = (
-            state.tree_encodings is not None
-            and not state.tainted
-            and pendant_excess == 0
-        )
-        if peekable and not self._child_accounting:
-            started = time.perf_counter()
-            encodings = state.tree_encodings.extend(
-                extension.parent, new_vertex, extension.label
-            )
-            if self._registry.contains_exact(encodings.key):
-                self.statistics.canonical_incremental_hits += 1
-                self.statistics.canonical_seconds += time.perf_counter() - started
-                return _DuplicateChild(None)
-            self.statistics.canonical_seconds += time.perf_counter() - started
-
         table = state.table.extended(new_vertex, join_pairs)
-        if not table.rows:
+        if not table.graph_ids:
             self.statistics.candidates_rejected_support += 1
             return None
 
@@ -1629,9 +1670,9 @@ class LevelGrower:
             self.statistics.candidates_rejected_support += 1
             return None
 
-        if state.tree_encodings is not None and encodings is None:
+        if carried is not None and encodings is None:
             started = time.perf_counter()
-            encodings = state.tree_encodings.extend(
+            encodings = carried.extend(
                 extension.parent, new_vertex, extension.label
             )
             if peekable and self._registry.contains_exact(encodings.key):
@@ -1667,7 +1708,24 @@ class LevelGrower:
         extended.deficiency = (
             _total_deficiency(extended) if extended.tainted else 0
         )
-        extended.tree_encodings = encodings
+        # A pendant can never lie on (or shorten) a path between existing
+        # vertices, so every Constraint-III prefix enumerated for this state
+        # stays exact in the child: hand the memo down by shallow copy (a
+        # shared reference would leak entries across sibling branches that
+        # reuse the same next_vertex_id for different attachments).
+        memo = getattr(state, "_constraint_three_memo", None)
+        if memo:
+            extended._constraint_three_memo = dict(memo)
+        # The diameter path (vertices 0..D) and its labels are fixed for the
+        # whole derivation; hand the cached label tuple to the child instead
+        # of rebuilding it at the next constraint check.
+        labels = getattr(state, "_diameter_labels", None)
+        if labels is not None:
+            extended._diameter_labels = labels
+        if state.cycle_encodings is not None:
+            extended.cycle_encodings = encodings
+        else:
+            extended.tree_encodings = encodings
         return extended
 
     def _apply_existing_edge(
@@ -1682,7 +1740,7 @@ class LevelGrower:
             return None
 
         table = state.table.subset(join_rows)
-        if not table.rows:
+        if not table.graph_ids:
             self.statistics.candidates_rejected_support += 1
             return None
 
@@ -1710,4 +1768,18 @@ class LevelGrower:
         # Relaxation can shrink many distances at once; recompute (edges
         # between existing vertices are rare relative to pendant candidates).
         carrier.deficiency = _total_deficiency(carrier)
+        labels = getattr(state, "_diameter_labels", None)
+        if labels is not None:
+            carrier._diameter_labels = labels
+        # The closing edge leaves the tree tier.  When it lands on the
+        # unicyclic tier, seed the carried hanging-tree encodings: the cycle
+        # is now fixed for the whole derivation chain, so every pendant
+        # descendant keys incrementally (and peeks the duplicate registry)
+        # instead of re-running the batch unicyclic canonicalisation.  The
+        # batch build here is net-neutral — _canonical_keys would otherwise
+        # compute the same key from scratch for this very state.
+        if pattern.num_edges() == pattern.num_vertices():
+            started = time.perf_counter()
+            carrier.cycle_encodings = UnicyclicEncodings.from_graph(pattern)
+            self.statistics.canonical_seconds += time.perf_counter() - started
         return carrier

@@ -24,7 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.orders import canonical_label_orientation
-from repro.graph.canonical import TreeEncodings, canonical_key, tree_encodings
+from repro.graph.canonical import (
+    TreeEncodings,
+    UnicyclicEncodings,
+    canonical_key,
+    tree_encodings,
+)
 from repro.graph.embeddings import Embedding, EmbeddingTable, LazyEmbeddings
 from repro.graph.labeled_graph import LabeledGraph, VertexId
 
@@ -175,6 +180,15 @@ class GrowthState:
     # when an incremental derivation was not possible.  Runtime-only: never
     # serialised, shared by reference across copies (immutable).
     tree_encodings: Optional[TreeEncodings] = None
+    # The unicyclic counterpart, carried once a cycle-closing edge lands
+    # (|E| = |V|): the single cycle is fixed for the rest of the derivation
+    # chain — pendant growth never changes the 2-core, and a second closing
+    # edge leaves the unicyclic tier — so the registry key is derived from
+    # the parent's hanging-tree encodings in O(depth + cycle) per pendant
+    # extension (see repro.graph.canonical.UnicyclicEncodings).  ``None``
+    # for trees, for >=2-cycle patterns, and when an incremental derivation
+    # was not possible.  Runtime-only, shared by reference (immutable).
+    cycle_encodings: Optional["UnicyclicEncodings"] = None
     # For pending states: the nearest *reportable* ancestor.  Emissions
     # reached through a pending excursion are super-patterns of that
     # ancestor, so the closed/maximal child accounting must credit it (the
@@ -209,7 +223,14 @@ class GrowthState:
         return max(self.levels.values()) if self.levels else 0
 
     def next_vertex_id(self) -> VertexId:
-        return max(self.pattern.vertices()) + 1
+        # Read once per candidate of this state; keyed on the vertex count so
+        # in-place pattern growth (test helpers) invalidates the cache.
+        order = self.pattern.num_vertices()
+        cached = getattr(self, "_next_vertex_id", None)
+        if cached is None or cached[0] != order:
+            cached = (order, max(self.pattern.vertices()) + 1)
+            self._next_vertex_id = cached
+        return cached[1]
 
     def vertices_at_level(self, level: int) -> List[VertexId]:
         return [vertex for vertex, lvl in self.levels.items() if lvl == level]
@@ -240,6 +261,7 @@ class GrowthState:
             last_extension=self.last_extension,
             invariant_verified=self.invariant_verified,
             tree_encodings=self.tree_encodings,
+            cycle_encodings=self.cycle_encodings,
             deficiency=self.deficiency,
             tainted=self.tainted,
             origin=self.origin,
@@ -251,10 +273,13 @@ class GrowthState:
         The embeddings ride along as a :class:`LazyEmbeddings` view: results
         are frozen inside the timed growth loop, but their ``Embedding``
         objects are only ever read afterwards (serialisation, analysis), so
-        the per-pattern materialisation is deferred to first access.
+        the per-pattern materialisation is deferred to first access.  The
+        graph is shared by reference for the same reason: growth never
+        mutates an emitted state's pattern (every extension path copies it
+        first), and result consumers only read.
         """
         return SkinnyPattern(
-            graph=self.pattern.copy(),
+            graph=self.pattern,
             diameter=self.diameter_vertices,
             embeddings=LazyEmbeddings(self.table),
             support=self.support,

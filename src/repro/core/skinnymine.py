@@ -39,6 +39,7 @@ from repro.core.patterns import (
     SkinnyPattern,
     initial_state_from_path,
 )
+from repro.graph.embeddings import row_storage_mode
 from repro.graph.labeled_graph import LabeledGraph
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -53,6 +54,10 @@ class MiningReport:
     levelgrow_seconds: float = 0.0
     num_diameters: int = 0
     num_patterns: int = 0
+    # Which EmbeddingTable storage served the request ("array" interned
+    # arenas vs "tuple" rows) — recorded so bench ledger entries and bug
+    # reports can attest the data-plane configuration they measured.
+    row_storage: str = "array"
     level_statistics: LevelGrowStatistics = field(default_factory=LevelGrowStatistics)
 
     @property
@@ -206,7 +211,9 @@ class SkinnyMine:
         if delta < 0:
             raise ValueError("delta must be non-negative")
 
-        report = MiningReport(length=length, delta=delta)
+        report = MiningReport(
+            length=length, delta=delta, row_storage=row_storage_mode()
+        )
         started = time.perf_counter()
         with self._tracer.span("stage1", length=length) as span:
             diameters = self.diameters_for(length)

@@ -15,6 +15,7 @@ edges have ``i < j``, backward edges ``i > j``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -378,6 +379,73 @@ def tree_canonical_key(tree: LabeledGraph) -> Tuple:
     return ("t", min(_rooted_tree_encoding(tree, center) for center in centers))
 
 
+def _strip_to_core(graph: LabeledGraph) -> Dict[VertexId, int]:
+    """Residual degrees after iteratively deleting degree-1 vertices.
+
+    A vertex survives (residual degree >= 2) iff it lies on the graph's
+    2-core: the union of its cycles plus any paths connecting them.  The
+    hanging trees removed here are re-attached by the canonical forms below
+    through their rooted AHU encodings.
+    """
+    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
+    layer = [vertex for vertex, deg in degrees.items() if deg == 1]
+    while layer:
+        next_layer: List[VertexId] = []
+        for leaf in layer:
+            degrees[leaf] = 0
+            for neighbor in graph.neighbors(leaf):
+                if degrees[neighbor] > 1:
+                    degrees[neighbor] -= 1
+                    if degrees[neighbor] == 1:
+                        next_layer.append(neighbor)
+        layer = next_layer
+    return degrees
+
+
+def _make_edge_key(graph: LabeledGraph):
+    """Per-edge label accessor normalised for lexicographic comparison."""
+    edge_labels = graph._edge_labels
+
+    def edge_key(u: VertexId, v: VertexId) -> str:
+        raw = edge_labels.get((u, v) if u < v else (v, u))
+        return "" if raw is None else _label_key(raw)
+
+    return edge_key
+
+
+def _hanging_encoding(
+    graph: LabeledGraph, core_set, root: VertexId, edge_key
+) -> Tuple:
+    """Rooted AHU encoding of the tree hanging off core vertex ``root``.
+
+    The traversal never crosses into ``core_set``, so each core vertex's
+    hanging tree is encoded independently; the root's own label heads the
+    encoding, making it a complete invariant of (core vertex, its tree).
+    """
+    parent: Dict[VertexId, Optional[VertexId]] = {root: None}
+    ordering = [root]
+    for vertex in ordering:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in parent and neighbor not in core_set:
+                parent[neighbor] = vertex
+                ordering.append(neighbor)
+    encoding: Dict[VertexId, Tuple] = {}
+    for vertex in reversed(ordering):
+        up = parent[vertex]
+        encoding[vertex] = (
+            _label_key(graph.label_of(vertex)),
+            "" if up is None else edge_key(vertex, up),
+            tuple(
+                sorted(
+                    encoding[child]
+                    for child in graph.neighbors(vertex)
+                    if parent.get(child) == vertex
+                )
+            ),
+        )
+    return encoding[root]
+
+
 def unicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
     """Exact canonical key for a *connected* graph with exactly one cycle.
 
@@ -391,6 +459,12 @@ def unicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
     cycle up: the growth engine's cycle-closing candidates are almost always
     unicyclic, and this key spares them the WL-bucket + VF2 confirmation.
 
+    Only rotations/reflections whose *starting* ``(tree, edge)`` pair is the
+    minimal one can realise the lexicographic minimum, so the candidate set
+    is filtered to those starts before any full sequence is materialised —
+    on the growth engine's cycles that is one or two candidates instead of
+    ``2·length``.
+
     Raises ``ValueError`` when the edge count is wrong or the graph is
     disconnected (an ``|E| = |V|`` graph may also be a cycle plus separate
     trees, whose hanging forests this construction would silently ignore).
@@ -400,18 +474,7 @@ def unicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
         raise ValueError("unicyclic_canonical_key requires one connected cycle")
 
     # Strip degree-1 vertices; what survives is exactly the cycle.
-    degrees = {vertex: graph.degree(vertex) for vertex in graph.vertices()}
-    layer = [vertex for vertex, deg in degrees.items() if deg == 1]
-    while layer:
-        next_layer: List[VertexId] = []
-        for leaf in layer:
-            degrees[leaf] = 0
-            for neighbor in graph.neighbors(leaf):
-                if degrees[neighbor] > 1:
-                    degrees[neighbor] -= 1
-                    if degrees[neighbor] == 1:
-                        next_layer.append(neighbor)
-        layer = next_layer
+    degrees = _strip_to_core(graph)
     cycle_set = {vertex for vertex, deg in degrees.items() if deg >= 2}
 
     # Walk the cycle once to fix a traversal order.
@@ -431,57 +494,179 @@ def unicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
         previous, current = current, step
     length = len(cycle)
 
-    # Rooted AHU encoding of each hanging tree (root = its cycle vertex).
-    edge_labels = graph._edge_labels
-
-    def edge_key(u: VertexId, v: VertexId) -> str:
-        raw = edge_labels.get((u, v) if u < v else (v, u))
-        return "" if raw is None else _label_key(raw)
-
-    def hanging_encoding(root: VertexId) -> Tuple:
-        parent: Dict[VertexId, Optional[VertexId]] = {root: None}
-        ordering = [root]
-        for vertex in ordering:
-            for neighbor in graph.neighbors(vertex):
-                if neighbor not in parent and neighbor not in cycle_set:
-                    parent[neighbor] = vertex
-                    ordering.append(neighbor)
-        encoding: Dict[VertexId, Tuple] = {}
-        for vertex in reversed(ordering):
-            up = parent[vertex]
-            encoding[vertex] = (
-                _label_key(graph.label_of(vertex)),
-                "" if up is None else edge_key(vertex, up),
-                tuple(
-                    sorted(
-                        encoding[child]
-                        for child in graph.neighbors(vertex)
-                        if parent.get(child) == vertex
-                    )
-                ),
-            )
-        return encoding[root]
-
-    trees = [hanging_encoding(vertex) for vertex in cycle]
+    edge_key = _make_edge_key(graph)
+    trees = [_hanging_encoding(graph, cycle_set, vertex, edge_key) for vertex in cycle]
     edges = [
         edge_key(cycle[index], cycle[(index + 1) % length])
         for index in range(length)
     ]
+    return _cycle_rotation_key(trees, edges)
+
+
+def _cycle_rotation_key(trees: List[Tuple], edges: List[str]) -> Tuple:
+    """The unicyclic key from per-cycle-vertex tree encodings + edge labels.
+
+    ``trees[i]`` is the hanging-tree encoding of the ``i``-th cycle vertex,
+    ``edges[i]`` the label of the cycle edge to the ``(i+1)``-th.  The key is
+    the lexicographically smallest rotation/reflection of the ``(tree, next
+    edge)`` sequence.  Only offsets whose *starting* pair is the minimal one
+    can realise the minimum, so the candidate set is filtered to those
+    starts before any full sequence is materialised — on the growth engine's
+    cycles that is one or two candidates instead of ``2·length``.
+    """
+    length = len(trees)
+    # items[o] heads the forward rotation at offset o; rev_items[o] heads the
+    # reflected rotation at offset o (its next edge is the *previous* cycle
+    # edge).
+    items = list(zip(trees, edges))
+    rev_items = [(trees[index], edges[index - 1]) for index in range(length)]
+    start_min = min(min(items), min(rev_items))
+    doubled = items + items
+    reflected = rev_items[::-1] + rev_items[::-1]
     best: Optional[Tuple] = None
     for offset in range(length):
-        forward = tuple(
-            (trees[(offset + j) % length], edges[(offset + j) % length])
-            for j in range(length)
-        )
-        if best is None or forward < best:
-            best = forward
-        backward = tuple(
-            (trees[(offset - j) % length], edges[(offset - j - 1) % length])
-            for j in range(length)
-        )
-        if backward < best:
-            best = backward
+        if items[offset] == start_min:
+            forward = tuple(doubled[offset : offset + length])
+            if best is None or forward < best:
+                best = forward
+        if rev_items[offset] == start_min:
+            flipped = length - 1 - offset
+            backward = tuple(reflected[flipped : flipped + length])
+            if best is None or backward < best:
+                best = backward
     return ("u", length, best)
+
+
+def bicyclic_canonical_key(graph: LabeledGraph) -> Tuple:
+    """Exact canonical key for a *connected* graph with ``|E| = |V| + 1``.
+
+    Such a graph carries exactly two independent cycles.  Its 2-core (strip
+    degree-1 vertices, keep what survives) has total degree excess 2 over a
+    disjoint union of cycles, so it takes one of exactly three shapes:
+
+    * **figure-eight** — one branch vertex of core degree 4 where two
+      otherwise-disjoint cycles meet;
+    * **theta** — two branch vertices of core degree 3 joined by three
+      internally disjoint strands;
+    * **dumbbell** — two branch vertices of core degree 3, each on its own
+      cycle, joined by a (possibly single-edge) bridge path.
+
+    Every isomorphism maps core to core, branch vertices to branch vertices
+    and strands to strands of the same kind, so a canonical form needs only
+    (a) the rooted AHU encoding of each core vertex's hanging tree — the same
+    :func:`tree_canonical_key` construction the unicyclic key reuses — and
+    (b) a canonical ordering of the strands: loops are minimised over their
+    two directions, strand multisets are sorted, and the whole encoding is
+    minimised over the (at most two) branch-vertex orderings.  Equal keys
+    therefore imply isomorphism (the encoding reconstructs the labeled graph
+    up to isomorphism) and isomorphic graphs get equal keys (every remaining
+    choice is canonicalised away) — which is what lets the growth engine's
+    duplicate registry retire VF2 confirmation for bicyclic patterns.
+
+    Raises ``ValueError`` when the edge count is wrong or the graph is
+    disconnected (``|E| = |V| + 1`` also fits a unicyclic graph plus a
+    separate cycle, which has no exact two-cycle core).
+    """
+    order = graph.num_vertices()
+    if graph.num_edges() != order + 1 or not graph.is_connected():
+        raise ValueError(
+            "bicyclic_canonical_key requires a connected graph with |E| = |V| + 1"
+        )
+
+    degrees = _strip_to_core(graph)
+    core_set = {vertex for vertex, deg in degrees.items() if deg >= 2}
+    branch_set = {vertex for vertex in core_set if degrees[vertex] >= 3}
+    branches = sorted(branch_set)
+
+    edge_key = _make_edge_key(graph)
+    enc = {
+        vertex: _hanging_encoding(graph, core_set, vertex, edge_key)
+        for vertex in core_set
+    }
+
+    # Walk every strand (maximal core path whose interior avoids branch
+    # vertices) exactly once; each is recorded with its entry direction and
+    # the reverse entry is marked consumed.
+    core_adjacency = {
+        vertex: [n for n in graph.neighbors(vertex) if n in core_set]
+        for vertex in core_set
+    }
+    consumed: set = set()
+    loops: Dict[VertexId, List[List[VertexId]]] = {b: [] for b in branches}
+    links: List[Tuple[VertexId, VertexId, List[VertexId]]] = []
+    for source in branches:
+        for first in core_adjacency[source]:
+            if (source, first) in consumed:
+                continue
+            consumed.add((source, first))
+            interior: List[VertexId] = []
+            previous, current = source, first
+            while current not in branch_set:
+                interior.append(current)
+                step = next(
+                    n for n in core_adjacency[current] if n != previous
+                )
+                previous, current = current, step
+            consumed.add((current, previous))
+            if current == source:
+                loops[source].append(interior)
+            else:
+                links.append((source, current, interior))
+
+    def strand_encoding(
+        start: VertexId, interior: List[VertexId], end: VertexId
+    ) -> Tuple:
+        """Alternating (edge label, interior-tree encoding) walk start→end."""
+        parts: List[object] = []
+        previous = start
+        for vertex in interior:
+            parts.append(edge_key(previous, vertex))
+            parts.append(enc[vertex])
+            previous = vertex
+        parts.append(edge_key(previous, end))
+        return tuple(parts)
+
+    def loop_encoding(anchor: VertexId, interior: List[VertexId]) -> Tuple:
+        """A loop's encoding, minimised over its two traversal directions."""
+        return min(
+            strand_encoding(anchor, interior, anchor),
+            strand_encoding(anchor, interior[::-1], anchor),
+        )
+
+    if len(branches) == 1:
+        anchor = branches[0]
+        pair = sorted(loop_encoding(anchor, interior) for interior in loops[anchor])
+        return ("b", "8", enc[anchor], tuple(pair))
+
+    u, w = branches
+    if links and len(links) == 3:
+        candidates = []
+        for first, second in ((u, w), (w, u)):
+            strands = sorted(
+                strand_encoding(
+                    first, interior if start == first else interior[::-1], second
+                )
+                for start, _, interior in links
+            )
+            candidates.append((enc[first], enc[second], tuple(strands)))
+        return ("b", "theta", min(candidates))
+
+    bridge_start, _, bridge_interior = links[0]
+    candidates = []
+    for first, second in ((u, w), (w, u)):
+        interior = (
+            bridge_interior if bridge_start == first else bridge_interior[::-1]
+        )
+        candidates.append(
+            (
+                enc[first],
+                loop_encoding(first, loops[first][0]),
+                enc[second],
+                loop_encoding(second, loops[second][0]),
+                strand_encoding(first, interior, second),
+            )
+        )
+    return ("b", "dumbbell", min(candidates))
 
 
 class TreeEncodings:
@@ -523,7 +708,7 @@ class TreeEncodings:
 
     __slots__ = (
         "root", "parent", "children", "enc", "key",
-        "e1", "e2", "diam", "d1", "d2",
+        "e1", "e2", "diam", "d1", "d2", "centers",
     )
 
     def __init__(self, root, parent, children, enc, key):
@@ -538,6 +723,7 @@ class TreeEncodings:
         self.diam: int = 0
         self.d1: Dict[VertexId, int] = {root: 0}
         self.d2: Dict[VertexId, int] = {root: 0}
+        self.centers: List[VertexId] = [root]
 
     # ------------------------------------------------------------------ #
     # construction
@@ -599,6 +785,7 @@ class TreeEncodings:
         instance.d1 = d1
         instance.d2 = instance._distances_from(e2)
         instance.diam = d1[e2]
+        instance.centers = centers
         instance.key = instance._key_for(centers)
         return instance
 
@@ -628,15 +815,36 @@ class TreeEncodings:
             "" if edge_label is None else _label_key(edge_label),
             (),
         )
-        # Only the attach→root path's sorted-children tuples can change.
-        vertex: Optional[VertexId] = attach
+        # Only the attach→root path's sorted-children tuples can change, and
+        # at each path vertex exactly one child encoding did: splice it in
+        # by bisect (O(log k) deep-tuple comparisons) instead of re-sorting
+        # the whole child list (O(k log k) plus a per-child dict lookup).
+        leaf_enc = enc[new_vertex]
+        stored = enc[attach]
+        kids = stored[2]
+        position = bisect_left(kids, leaf_enc)
+        old_child = stored
+        enc[attach] = (
+            stored[0],
+            stored[1],
+            kids[:position] + (leaf_enc,) + kids[position:],
+        )
+        previous_vertex = attach
+        vertex: Optional[VertexId] = parent[attach]
         while vertex is not None:
-            label, edge, _ = enc[vertex]
+            stored = enc[vertex]
+            kids = stored[2]
+            removed = bisect_left(kids, old_child)
+            trimmed = kids[:removed] + kids[removed + 1 :]
+            new_child = enc[previous_vertex]
+            position = bisect_left(trimmed, new_child)
+            old_child = stored
             enc[vertex] = (
-                label,
-                edge,
-                tuple(sorted(enc[child] for child in children[vertex])),
+                stored[0],
+                stored[1],
+                trimmed[:position] + (new_child,) + trimmed[position:],
             )
+            previous_vertex = vertex
             vertex = parent[vertex]
         extended = TreeEncodings(self.root, parent, children, enc, ())
         d1 = dict(self.d1)
@@ -665,8 +873,113 @@ class TreeEncodings:
         centers = extended._centers()
         if extended.root not in centers:
             extended._reroot_to(centers[0])
+        extended.centers = centers
         extended.key = extended._key_for(centers)
         return extended
+
+    def extended_key(
+        self,
+        attach: VertexId,
+        new_vertex: VertexId,
+        vertex_label: Optional[Label],
+        edge_label: Optional[Label] = None,
+    ) -> Tuple:
+        """The canonical key :meth:`extend` would produce — without building it.
+
+        The duplicate-registry peek in the growth loop only needs the child
+        tree's *key*: when the key is already registered the full
+        :class:`TreeEncodings` (five dict copies per call) is never used.
+        This method derives the key alone, overlaying the re-encoded
+        attach→root path on the parent's (unmutated) encodings.  Two facts
+        keep it cheap: a new leaf can never be a centre (its two endpoint
+        distances sum to at least ``diam + 2``), so while the diameter is
+        unchanged the centres — and the root — are exactly the parent's; and
+        only the path encodings feed :meth:`_key_for`.  The rare extension
+        that lengthens the diameter falls back to a full :meth:`extend`.
+        """
+        if attach not in self.parent:
+            raise ValueError(f"attachment vertex {attach!r} is not in the tree")
+        if new_vertex in self.parent:
+            raise ValueError(f"vertex {new_vertex!r} is already in the tree")
+        if self.d1[attach] + 1 > self.diam or self.d2[attach] + 1 > self.diam:
+            return self.extend(attach, new_vertex, vertex_label, edge_label).key
+
+        enc = self.enc
+        children = self.children
+        parent = self.parent
+        overlay: Dict[VertexId, Tuple] = {
+            new_vertex: (
+                _label_key(vertex_label),
+                "" if edge_label is None else _label_key(edge_label),
+                (),
+            )
+        }
+        # At each path vertex exactly one child encoding changed: splice it
+        # into the stored (already sorted) children tuple by bisect instead
+        # of re-sorting the whole child list with per-child overlay lookups.
+        # Encodings are non-empty 3-tuples (always truthy), so the remaining
+        # overlay lookups below can use `get(...) or enc[...]` — one C-level
+        # dict probe instead of a Python-level conditional helper call.
+        get = overlay.get
+        leaf_enc = overlay[new_vertex]
+        stored = enc[attach]
+        kids = stored[2]
+        position = bisect_left(kids, leaf_enc)
+        overlay[attach] = (
+            stored[0],
+            stored[1],
+            kids[:position] + (leaf_enc,) + kids[position:],
+        )
+        previous_vertex = attach
+        vertex: Optional[VertexId] = parent[attach]
+        while vertex is not None:
+            stored = enc[vertex]
+            kids = stored[2]
+            old_child = enc[previous_vertex]
+            removed = bisect_left(kids, old_child)
+            trimmed = kids[:removed] + kids[removed + 1 :]
+            new_child = overlay[previous_vertex]
+            position = bisect_left(trimmed, new_child)
+            overlay[vertex] = (
+                stored[0],
+                stored[1],
+                trimmed[:position] + (new_child,) + trimmed[position:],
+            )
+            previous_vertex = vertex
+            vertex = parent[vertex]
+
+        root = self.root
+        centers = self.centers
+        best = overlay[root]
+        if len(centers) == 2:
+            other = centers[0] if centers[1] == root else centers[1]
+            other_enc = get(other) or enc[other]
+            root_kids = children[root]
+            if root == attach:
+                root_kids = root_kids + [new_vertex]
+            root_as_child = (
+                best[0],
+                other_enc[1],
+                tuple(
+                    sorted([get(c) or enc[c] for c in root_kids if c != other])
+                ),
+            )
+            other_kids = children[other]
+            if other == attach:
+                other_kids = other_kids + [new_vertex]
+            rerooted = (
+                other_enc[0],
+                "",
+                tuple(
+                    sorted(
+                        [get(c) or enc[c] for c in other_kids if c != root]
+                        + [root_as_child]
+                    )
+                ),
+            )
+            if rerooted < best:
+                best = rerooted
+        return ("t", best)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -775,6 +1088,232 @@ class TreeEncodings:
             if rerooted < best:
                 best = rerooted
         return ("t", best)
+
+
+class UnicyclicEncodings:
+    """Rooted hanging-tree encodings of a unicyclic graph, pendant-extensible.
+
+    The batch :func:`unicyclic_canonical_key` re-strips the core and
+    re-encodes every hanging tree on each call.  During pattern growth a
+    unicyclic pattern's descendants differ by one pendant leaf at a time —
+    the cycle itself is fixed for the whole derivation chain (closing a
+    second cycle changes the shape tier) — so only one hanging tree's
+    encodings along the attach→anchor path can change.  This class carries
+    the per-vertex rooted structure of *all* hanging trees (anchored at
+    their cycle vertices, roots pinned — no centre bookkeeping needed) and
+    derives each one-leaf extension's canonical :attr:`key`, equal to the
+    batch key, in O(depth + cycle length) instead of a full re-encode.
+
+    Instances are immutable from the caller's perspective: :meth:`extend`
+    returns a new object; :meth:`extended_key` derives the child's key alone
+    by overlaying the re-encoded path, for the duplicate-registry peek.
+    """
+
+    __slots__ = ("cycle", "edges", "pos_of", "parent", "children", "enc", "trees", "key")
+
+    def __init__(self, cycle, edges, pos_of, parent, children, enc, trees, key):
+        self.cycle: Tuple[VertexId, ...] = cycle
+        self.edges: List[str] = edges
+        self.pos_of: Dict[VertexId, int] = pos_of
+        self.parent: Dict[VertexId, Optional[VertexId]] = parent
+        self.children: Dict[VertexId, List[VertexId]] = children
+        self.enc: Dict[VertexId, Tuple] = enc
+        self.trees: List[Tuple] = trees
+        self.key: Tuple = key
+
+    @classmethod
+    def from_graph(cls, graph: LabeledGraph) -> "UnicyclicEncodings":
+        """Batch-build the encodings (validates the unicyclic shape)."""
+        order = graph.num_vertices()
+        if graph.num_edges() != order or not graph.is_connected():
+            raise ValueError(
+                "UnicyclicEncodings requires one connected cycle"
+            )
+        degrees = _strip_to_core(graph)
+        cycle_set = {vertex for vertex, deg in degrees.items() if deg >= 2}
+
+        start = min(cycle_set)
+        cycle: List[VertexId] = [start]
+        previous: Optional[VertexId] = None
+        current = start
+        while True:
+            step = next(
+                neighbor
+                for neighbor in graph.neighbors(current)
+                if neighbor in cycle_set and neighbor != previous
+            )
+            if step == start:
+                break
+            cycle.append(step)
+            previous, current = current, step
+        length = len(cycle)
+
+        edge_key = _make_edge_key(graph)
+        # One rooted structure over all hanging trees (they are disjoint):
+        # cycle vertices are the roots, traversal never crosses the core.
+        parent: Dict[VertexId, Optional[VertexId]] = {v: None for v in cycle}
+        ordering: List[VertexId] = list(cycle)
+        children: Dict[VertexId, List[VertexId]] = {}
+        for vertex in ordering:
+            kids: List[VertexId] = []
+            for neighbor in graph.neighbors(vertex):
+                if neighbor not in parent and neighbor not in cycle_set:
+                    parent[neighbor] = vertex
+                    ordering.append(neighbor)
+                    kids.append(neighbor)
+            children[vertex] = kids
+        enc: Dict[VertexId, Tuple] = {}
+        for vertex in reversed(ordering):
+            up = parent[vertex]
+            enc[vertex] = (
+                _label_key(graph.label_of(vertex)),
+                "" if up is None else edge_key(vertex, up),
+                tuple(sorted([enc[child] for child in children[vertex]])),
+            )
+        trees = [enc[vertex] for vertex in cycle]
+        edges = [
+            edge_key(cycle[index], cycle[(index + 1) % length])
+            for index in range(length)
+        ]
+        return cls(
+            tuple(cycle),
+            edges,
+            {vertex: index for index, vertex in enumerate(cycle)},
+            parent,
+            children,
+            enc,
+            trees,
+            _cycle_rotation_key(trees, edges),
+        )
+
+    def extend(
+        self,
+        attach: VertexId,
+        new_vertex: VertexId,
+        vertex_label: Optional[Label],
+        edge_label: Optional[Label] = None,
+    ) -> "UnicyclicEncodings":
+        """Encodings of the graph with leaf ``new_vertex`` hung off ``attach``."""
+        if attach not in self.parent:
+            raise ValueError(f"attachment vertex {attach!r} is not in the graph")
+        if new_vertex in self.parent:
+            raise ValueError(f"vertex {new_vertex!r} is already in the graph")
+        parent = dict(self.parent)
+        children = dict(self.children)
+        enc = dict(self.enc)
+        parent[new_vertex] = attach
+        children[new_vertex] = []
+        children[attach] = children[attach] + [new_vertex]
+        enc[new_vertex] = (
+            _label_key(vertex_label),
+            "" if edge_label is None else _label_key(edge_label),
+            (),
+        )
+        # Only the attach→anchor path of one hanging tree can change, and at
+        # each path vertex exactly one child encoding did: splice it in by
+        # bisect instead of re-sorting the whole child list (see
+        # :meth:`TreeEncodings.extend`).
+        leaf_enc = enc[new_vertex]
+        stored = enc[attach]
+        kids = stored[2]
+        position = bisect_left(kids, leaf_enc)
+        old_child = stored
+        enc[attach] = (
+            stored[0],
+            stored[1],
+            kids[:position] + (leaf_enc,) + kids[position:],
+        )
+        anchor = attach
+        previous_vertex = attach
+        vertex: Optional[VertexId] = parent[attach]
+        while vertex is not None:
+            stored = enc[vertex]
+            kids = stored[2]
+            removed = bisect_left(kids, old_child)
+            trimmed = kids[:removed] + kids[removed + 1 :]
+            new_child = enc[previous_vertex]
+            position = bisect_left(trimmed, new_child)
+            old_child = stored
+            enc[vertex] = (
+                stored[0],
+                stored[1],
+                trimmed[:position] + (new_child,) + trimmed[position:],
+            )
+            anchor = vertex
+            previous_vertex = vertex
+            vertex = parent[vertex]
+        trees = list(self.trees)
+        trees[self.pos_of[anchor]] = enc[anchor]
+        return UnicyclicEncodings(
+            self.cycle,
+            self.edges,
+            self.pos_of,
+            parent,
+            children,
+            enc,
+            trees,
+            _cycle_rotation_key(trees, self.edges),
+        )
+
+    def extended_key(
+        self,
+        attach: VertexId,
+        new_vertex: VertexId,
+        vertex_label: Optional[Label],
+        edge_label: Optional[Label] = None,
+    ) -> Tuple:
+        """The canonical key :meth:`extend` would produce — without building it.
+
+        Overlays the re-encoded attach→anchor path on the parent's
+        (unmutated) encodings, exactly like
+        :meth:`TreeEncodings.extended_key`; since hanging-tree roots are
+        pinned to their cycle vertices there is no centre or re-rooting case
+        at all.
+        """
+        if attach not in self.parent:
+            raise ValueError(f"attachment vertex {attach!r} is not in the graph")
+        if new_vertex in self.parent:
+            raise ValueError(f"vertex {new_vertex!r} is already in the graph")
+        enc = self.enc
+        parent = self.parent
+        overlay: Dict[VertexId, Tuple] = {
+            new_vertex: (
+                _label_key(vertex_label),
+                "" if edge_label is None else _label_key(edge_label),
+                (),
+            )
+        }
+        leaf_enc = overlay[new_vertex]
+        stored = enc[attach]
+        kids = stored[2]
+        position = bisect_left(kids, leaf_enc)
+        overlay[attach] = (
+            stored[0],
+            stored[1],
+            kids[:position] + (leaf_enc,) + kids[position:],
+        )
+        anchor = attach
+        previous_vertex = attach
+        vertex: Optional[VertexId] = parent[attach]
+        while vertex is not None:
+            stored = enc[vertex]
+            kids = stored[2]
+            old_child = enc[previous_vertex]
+            removed = bisect_left(kids, old_child)
+            trimmed = kids[:removed] + kids[removed + 1 :]
+            new_child = overlay[previous_vertex]
+            position = bisect_left(trimmed, new_child)
+            overlay[vertex] = (
+                stored[0],
+                stored[1],
+                trimmed[:position] + (new_child,) + trimmed[position:],
+            )
+            anchor = vertex
+            previous_vertex = vertex
+            vertex = parent[vertex]
+        trees = list(self.trees)
+        trees[self.pos_of[anchor]] = overlay[anchor]
+        return _cycle_rotation_key(trees, self.edges)
 
 
 def tree_encodings(tree: LabeledGraph) -> "TreeEncodings":

@@ -185,6 +185,7 @@ class CSRGraph:
         "edge_palette",
         "adjacency",
         "label_strs",
+        "_labeled_adjacency",
         "_vertex_ids",
         "_slot_of",
         "_labels",
@@ -257,6 +258,7 @@ class CSRGraph:
         self.label_strs = {
             vid: str_of(codes[slot]) for slot, vid in enumerate(vertex_ids)
         }
+        self._labeled_adjacency = None
         self._labels = labels
 
         if edge_labels:
@@ -275,6 +277,27 @@ class CSRGraph:
             self.edge_label_codes = None
             self._edge_labels = {}
         return self
+
+    @property
+    def labeled_adjacency(self) -> Dict[VertexId, Tuple[Tuple[VertexId, str], ...]]:
+        """Per-vertex ``((neighbour, neighbour label str), ...)`` runs.
+
+        The growth engine's candidate scan visits every data edge incident
+        to every embedding image and needs the neighbour's label string for
+        each visit; pre-zipping the label onto the adjacency run turns a
+        per-visit dict probe into a tuple unpack.  Built lazily on first
+        access (one pass over ``adjacency``) and cached — derived from,
+        never authoritative over, ``adjacency`` and ``label_strs``.
+        """
+        cached = self._labeled_adjacency
+        if cached is None:
+            label_strs = self.label_strs
+            cached = {
+                vid: tuple((neighbor, label_strs[neighbor]) for neighbor in run)
+                for vid, run in self.adjacency.items()
+            }
+            self._labeled_adjacency = cached
+        return cached
 
     def to_labeled(self) -> LabeledGraph:
         """Thaw back into a mutable :class:`LabeledGraph` (round-trip exact)."""

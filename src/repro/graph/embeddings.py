@@ -18,6 +18,8 @@ place of per-embedding dict juggling.
 
 from __future__ import annotations
 
+import os
+from array import array
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import (
@@ -135,7 +137,7 @@ class LazyEmbeddings(Sequence):
         items = self._items
         if items is not None:
             return len(items)
-        return len(self._table.rows)
+        return len(self._table.graph_ids)
 
     def __getitem__(self, index):
         return self._materialised()[index]
@@ -216,18 +218,73 @@ def _interned_layout(
     return layout
 
 
+# --------------------------------------------------------------------- #
+# row storage mode
+# --------------------------------------------------------------------- #
+#: How newly constructed tables store their occurrence rows.
+#:
+#: ``"array"`` (the default) packs the row data of each table into one flat
+#: signed-64-bit arena (``array('q')``) — one machine word per mapped data
+#: vertex, row-major, position-aligned with ``columns`` — plus a second
+#: arena holding each row's sorted image key.  Derivations (:meth:`
+#: EmbeddingTable.extended` / :meth:`EmbeddingTable.subset`) then append
+#: integer codes and slice arenas; per-row Python tuples exist only for
+#: tables something actually iterates, materialised lazily through the
+#: ``rows`` property and cached.  ``"tuple"`` keeps the historical eager
+#: ``List[Tuple[VertexId, ...]]`` representation.  Derived tables always
+#: inherit their parent's storage, so toggling the mode mid-run never mixes
+#: representations inside one derivation chain.  Tables whose data vertices
+#: are not machine-word integers silently fall back to tuple storage.
+_ROW_STORAGE_MODES = ("tuple", "array")
+
+
+def _initial_row_storage() -> str:
+    mode = os.environ.get("REPRO_ROW_STORAGE", "array")
+    return mode if mode in _ROW_STORAGE_MODES else "array"
+
+
+_row_storage = _initial_row_storage()
+
+
+def set_row_storage(mode: str) -> str:
+    """Select the storage for newly built tables; returns the previous mode.
+
+    >>> previous = set_row_storage("tuple")
+    >>> row_storage_mode()
+    'tuple'
+    >>> _ = set_row_storage(previous)
+    """
+    global _row_storage
+    if mode not in _ROW_STORAGE_MODES:
+        raise ValueError(
+            f"unknown row storage mode {mode!r}; expected one of {_ROW_STORAGE_MODES}"
+        )
+    previous = _row_storage
+    _row_storage = mode
+    return previous
+
+
+def row_storage_mode() -> str:
+    """The storage mode newly constructed tables will use."""
+    return _row_storage
+
+
 class EmbeddingTable:
     """All embeddings of one pattern, stored column-major without dicts.
 
     ``columns`` names the pattern vertices in a fixed order; each occurrence
-    is one ``rows`` entry — a plain tuple of data vertices, position-aligned
-    with ``columns`` — tagged with the transaction index in ``graph_ids``.
-    Compared to a ``List[Embedding]`` this representation
+    is one ``rows`` entry — a tuple of data vertices, position-aligned with
+    ``columns`` — tagged with the transaction index in ``graph_ids``.  Under
+    the default ``"array"`` storage (:func:`set_row_storage`) the row data
+    actually lives in one flat signed-64-bit arena per table, with the
+    ``rows`` tuples materialised lazily on first access; ``"tuple"`` storage
+    keeps the eager per-row tuples.  Compared to a ``List[Embedding]`` this
+    representation
 
     * extends by **joining**: a new-vertex extension appends one column and
       materialises rows from recorded ``(row, data vertex)`` join pairs; an
-      edge-closing extension keeps a subset of rows *by reference* (tuples
-      are shared, never copied);
+      edge-closing extension keeps a subset of rows (by reference under
+      tuple storage, by arena slice under array storage);
     * deduplicates occurrences through sorted-row image keys instead of
       per-embedding ``frozenset`` objects;
     * computes all three support measures lazily and caches them, so a
@@ -257,7 +314,9 @@ class EmbeddingTable:
     __slots__ = (
         "columns",
         "graph_ids",
-        "rows",
+        "_rows",
+        "_arena",
+        "_key_arena",
         "_position",
         "_row_keys",
         "_embedding_support",
@@ -273,21 +332,67 @@ class EmbeddingTable:
         graph_ids: Optional[Iterable[int]] = None,
     ) -> None:
         self.columns, self._position = _interned_layout(columns)
-        self.rows: List[Tuple[VertexId, ...]] = list(rows) if rows is not None else []
+        row_list: List[Tuple[VertexId, ...]] = list(rows) if rows is not None else []
         self.graph_ids: List[int] = list(graph_ids) if graph_ids is not None else []
-        if len(self.rows) != len(self.graph_ids):
+        if len(row_list) != len(self.graph_ids):
             raise ValueError("rows and graph_ids must have equal length")
         width = len(self.columns)
-        for row in self.rows:
+        for row in row_list:
             if len(row) != width:
                 raise ValueError(
                     f"row {row!r} does not match the {width}-column layout"
                 )
+        self._rows: Optional[List[Tuple[VertexId, ...]]] = row_list
+        self._arena: Optional[array] = None
+        self._key_arena: Optional[array] = None
+        if _row_storage == "array":
+            arena = array("q")
+            try:
+                for row in row_list:
+                    arena.extend(row)
+            except (TypeError, OverflowError):
+                pass  # non-machine-word vertex ids: stay on tuple storage
+            else:
+                self._arena = arena
         self._row_keys: Optional[List[Tuple[VertexId, ...]]] = None
         self._embedding_support: Optional[int] = None
         self._transaction_support: Optional[int] = None
         self._mni_support: Optional[int] = None
         self._prefix_cache: Optional[Dict[int, List[Tuple[VertexId, ...]]]] = None
+
+    @property
+    def rows(self) -> List[Tuple[VertexId, ...]]:
+        """Per-row data-vertex tuples, position-aligned with ``columns``.
+
+        Under tuple storage this is the list itself.  Under arena storage
+        the tuples are materialised from the flat arena on first access and
+        cached — derivations that die at a frequency gate (most of them)
+        never pay for per-row tuple objects.
+        """
+        rows = self._rows
+        if rows is None:
+            arena = self._arena
+            width = len(self.columns)
+            if width == 0:
+                rows = [()] * len(self.graph_ids)
+            else:
+                rows = [
+                    tuple(arena[base : base + width])
+                    for base in range(0, len(arena), width)
+                ]
+            self._rows = rows
+        return rows
+
+    @rows.setter
+    def rows(self, value: Iterable[Tuple[VertexId, ...]]) -> None:
+        # Direct assignment replaces any arena-backed storage outright.
+        self._rows = list(value)
+        self._arena = None
+        self._key_arena = None
+
+    def storage_mode(self) -> str:
+        """This table's actual storage: ``"array"`` or ``"tuple"``."""
+        return "array" if self._arena is not None else "tuple"
 
     # ------------------------------------------------------------------ #
     # construction bridges
@@ -304,21 +409,20 @@ class EmbeddingTable:
         if first is None:
             return cls(())
         columns = tuple(source for source, _ in first.mapping)
-        table = cls(columns)
-        append_row = table.rows.append
-        append_gid = table.graph_ids.append
+        rows: List[Tuple[VertexId, ...]] = []
+        graph_ids: List[int] = []
         for embedding in (first, *iterator):
             mapping = dict(embedding.mapping)
             if len(mapping) != len(columns):
                 raise ValueError("embeddings cover different pattern-vertex sets")
             try:
-                append_row(tuple(mapping[column] for column in columns))
+                rows.append(tuple(mapping[column] for column in columns))
             except KeyError:
                 raise ValueError(
                     "embeddings cover different pattern-vertex sets"
                 ) from None
-            append_gid(embedding.graph_index)
-        return table
+            graph_ids.append(embedding.graph_index)
+        return cls(columns, rows, graph_ids)
 
     @classmethod
     def from_path_occurrences(
@@ -332,11 +436,12 @@ class EmbeddingTable:
         convention, which is exactly the occurrence tuple order — no
         :class:`Embedding` objects are materialised.
         """
-        table = cls(range(length + 1))
+        rows: List[Tuple[VertexId, ...]] = []
+        graph_ids: List[int] = []
         for graph_index, vertices in occurrences:
-            table.rows.append(tuple(vertices))
-            table.graph_ids.append(graph_index)
-        return table
+            rows.append(tuple(vertices))
+            graph_ids.append(graph_index)
+        return cls(range(length + 1), rows, graph_ids)
 
     def to_embeddings(self) -> List[Embedding]:
         """Materialise legacy :class:`Embedding` objects (the wire format).
@@ -366,7 +471,7 @@ class EmbeddingTable:
     # basic queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.graph_ids)
 
     def __iter__(self) -> Iterator[Embedding]:
         return iter(self.to_embeddings())
@@ -395,7 +500,19 @@ class EmbeddingTable:
         """
         keys = self._row_keys
         if keys is None:
-            keys = self._row_keys = [tuple(sorted(row)) for row in self.rows]
+            key_arena = self._key_arena
+            if key_arena is not None:
+                width = len(self.columns)
+                if width == 0:
+                    keys = [()] * len(self.graph_ids)
+                else:
+                    keys = [
+                        tuple(key_arena[base : base + width])
+                        for base in range(0, len(key_arena), width)
+                    ]
+            else:
+                keys = [tuple(sorted(row)) for row in self.rows]
+            self._row_keys = keys
         return keys
 
     def image_keys(self) -> Set[Tuple[int, Tuple[VertexId, ...]]]:
@@ -427,8 +544,12 @@ class EmbeddingTable:
 
     def copy(self) -> "EmbeddingTable":
         clone = EmbeddingTable(self.columns)
-        clone.rows = list(self.rows)
         clone.graph_ids = list(self.graph_ids)
+        clone._rows = None if self._rows is None else list(self._rows)
+        clone._arena = None if self._arena is None else array("q", self._arena)
+        clone._key_arena = (
+            None if self._key_arena is None else array("q", self._key_arena)
+        )
         if self._row_keys is not None:
             clone._row_keys = list(self._row_keys)
         return clone
@@ -451,9 +572,54 @@ class EmbeddingTable:
         the child's keys are derived in the same pass by bisect insertion.
         """
         table = EmbeddingTable(self.columns + (new_vertex,))
-        rows, graph_ids = self.rows, self.graph_ids
-        append_row = table.rows.append
+        graph_ids = self.graph_ids
         append_gid = table.graph_ids.append
+        arena = self._arena
+        if arena is not None:
+            # Arena storage: append integer codes, slice the parent arena.
+            # The child's sorted key is the parent's with one bisect
+            # insertion — done directly on the flat key arena when the
+            # parent has one, else on its materialised key tuples.
+            width = len(self.columns)
+            table._rows = None
+            table._arena = child_arena = array("q")
+            key_arena = self._key_arena
+            parent_keys = self._row_keys if key_arena is None else None
+            if key_arena is not None:
+                table._key_arena = child_keys = array("q")
+                for row_index, data_vertex in join_pairs:
+                    base = row_index * width
+                    stop = base + width
+                    child_arena.extend(arena[base:stop])
+                    child_arena.append(data_vertex)
+                    append_gid(graph_ids[row_index])
+                    position = bisect_left(key_arena, data_vertex, base, stop)
+                    child_keys.extend(key_arena[base:position])
+                    child_keys.append(data_vertex)
+                    child_keys.extend(key_arena[position:stop])
+            elif parent_keys is not None:
+                table._key_arena = child_keys = array("q")
+                for row_index, data_vertex in join_pairs:
+                    base = row_index * width
+                    child_arena.extend(arena[base : base + width])
+                    child_arena.append(data_vertex)
+                    append_gid(graph_ids[row_index])
+                    key = parent_keys[row_index]
+                    position = bisect_left(key, data_vertex)
+                    child_keys.extend(key[:position])
+                    child_keys.append(data_vertex)
+                    child_keys.extend(key[position:])
+            else:
+                for row_index, data_vertex in join_pairs:
+                    base = row_index * width
+                    child_arena.extend(arena[base : base + width])
+                    child_arena.append(data_vertex)
+                    append_gid(graph_ids[row_index])
+            return table
+
+        table._arena = None  # derived tables inherit the parent's storage
+        rows = self.rows
+        append_row = table.rows.append
         parent_keys = self._row_keys
         if parent_keys is None:
             for row_index, data_vertex in join_pairs:
@@ -478,7 +644,32 @@ class EmbeddingTable:
         edge-closing extension (same vertex set, fewer rows) never re-sorts.
         """
         table = EmbeddingTable(self.columns)
-        rows, graph_ids = self.rows, self.graph_ids
+        graph_ids = self.graph_ids
+        arena = self._arena
+        if arena is not None:
+            row_indices = list(row_indices)
+            width = len(self.columns)
+            rows = self._rows  # select materialised tuples through if present
+            table._rows = None if rows is None else []
+            table._arena = child_arena = array("q")
+            key_arena = self._key_arena
+            parent_keys = self._row_keys
+            if key_arena is not None:
+                table._key_arena = child_keys = array("q")
+            for row_index in row_indices:
+                base = row_index * width
+                child_arena.extend(arena[base : base + width])
+                table.graph_ids.append(graph_ids[row_index])
+                if rows is not None:
+                    table._rows.append(rows[row_index])
+                if key_arena is not None:
+                    child_keys.extend(key_arena[base : base + width])
+            if key_arena is None and parent_keys is not None:
+                table._row_keys = [parent_keys[i] for i in row_indices]
+            return table
+
+        table._arena = None  # derived tables inherit the parent's storage
+        rows = self.rows
         parent_keys = self._row_keys
         if parent_keys is None:
             for row_index in row_indices:
@@ -497,9 +688,45 @@ class EmbeddingTable:
     # lazy support measures
     # ------------------------------------------------------------------ #
     def embedding_support(self) -> int:
-        """|E[P]|: distinct (transaction, image) occurrences, cached."""
+        """|E[P]|: distinct (transaction, image) occurrences, cached.
+
+        Counted by a merge-style scan over the sorted ``(transaction, image
+        key)`` pairs — adjacent-distinct boundaries after one sort — instead
+        of hashing every row key into a set (:meth:`image_keys` remains as
+        the hashing reference path, pinned against this counter by the
+        differential tests).  Row keys are per-row sorted tuples, so the
+        lexicographic pair order groups duplicate occurrences adjacently and
+        the scan is exact.  Under arena storage the image keys are compared
+        as fixed-stride byte slices of the flat key arena — no per-row tuple
+        is ever built for a table that dies at this gate.
+        """
         if self._embedding_support is None:
-            self._embedding_support = len(self.image_keys())
+            key_arena = self._key_arena
+            if key_arena is not None and self._row_keys is None:
+                width = len(self.columns)
+                if width == 0:
+                    self._embedding_support = len(set(self.graph_ids))
+                    return self._embedding_support
+                raw = key_arena.tobytes()
+                stride = width * key_arena.itemsize
+                pairs = sorted(
+                    zip(
+                        self.graph_ids,
+                        (
+                            raw[base : base + stride]
+                            for base in range(0, len(raw), stride)
+                        ),
+                    )
+                )
+            else:
+                pairs = sorted(zip(self.graph_ids, self.row_keys()))
+            count = 0
+            previous = None
+            for pair in pairs:
+                if pair != previous:
+                    previous = pair
+                    count += 1
+            self._embedding_support = count
         return self._embedding_support
 
     def transaction_support(self) -> int:
@@ -514,7 +741,7 @@ class EmbeddingTable:
     def mni_support(self) -> int:
         """Minimum-image support: per-column distinct images, cached."""
         if self._mni_support is None:
-            if not self.rows or not self.columns:
+            if not self.graph_ids or not self.columns:
                 self._mni_support = 0
             else:
                 graph_ids = self.graph_ids
@@ -529,7 +756,7 @@ class EmbeddingTable:
 
     def __repr__(self) -> str:
         return (
-            f"<EmbeddingTable columns={len(self.columns)} rows={len(self.rows)}>"
+            f"<EmbeddingTable columns={len(self.columns)} rows={len(self.graph_ids)}>"
         )
 
 

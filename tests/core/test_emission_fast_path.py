@@ -21,6 +21,7 @@ probe walks).  This file pins that contract:
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
@@ -31,12 +32,14 @@ from repro.core.levelgrow import DiameterDescriptorCache, diameter_descriptor
 from repro.core.reference import enumerate_and_check_spm
 from repro.core.skinnymine import SkinnyMine
 from repro.graph.canonical import canonical_key
+from repro.graph.embeddings import set_row_storage
 from repro.graph.generators import (
     erdos_renyi_graph,
     inject_pattern,
     random_skinny_pattern,
     random_transaction_database,
 )
+from repro.graph.labeled_graph import LabeledGraph
 
 
 def serialised(patterns):
@@ -47,7 +50,9 @@ def serialised(patterns):
                 "labels": sorted(
                     (v, str(p.graph.label_of(v))) for v in p.graph.vertices()
                 ),
-                "edges": sorted(e.endpoints() for e in p.graph.edges()),
+                "edges": sorted(
+                    (*e.endpoints(), str(e.label)) for e in p.graph.edges()
+                ),
                 "diameter": list(p.diameter),
                 "support": p.support,
                 "embeddings": sorted(
@@ -102,7 +107,25 @@ SCENARIOS = [
     ("transactions", 85, (3, 12, 1.4, 4), 2, 1, 2, SupportMeasure.TRANSACTIONS),
     ("transactions", 42, (3, 12, 1.4, 4), 2, 2, 2, SupportMeasure.TRANSACTIONS),
     ("transactions", 199, (4, 14, 1.5, 4), 3, 1, 2, SupportMeasure.MNI),
+    # ISSUE-9: edge labels flow through the interned-row join and the
+    # canonical keys (tree / unicyclic / bicyclic all encode edge labels).
+    ("transactions-elabel", 57, (3, 12, 1.4, 3), 2, 1, 2, SupportMeasure.TRANSACTIONS),
 ]
+
+
+def _with_edge_labels(database, seed):
+    """Clone a transaction DB, stamping a deterministic label on every edge."""
+    rng = random.Random(seed)
+    labelled = []
+    for graph in database:
+        clone = LabeledGraph(name=graph.name)
+        for vertex in graph.vertices():
+            clone.add_vertex(vertex, graph.label_of(vertex))
+        for edge in graph.edges():
+            u, v = edge.endpoints()
+            clone.add_edge(u, v, rng.choice("xy"))
+        labelled.append(clone)
+    return labelled
 
 
 def build_scenario(kind, seed, params):
@@ -115,6 +138,10 @@ def build_scenario(kind, seed, params):
         return graph
     if kind == "transactions":
         return random_transaction_database(*params, seed=seed)
+    if kind == "transactions-elabel":
+        return _with_edge_labels(
+            random_transaction_database(*params, seed=seed), seed + 1
+        )
     raise AssertionError(kind)
 
 
@@ -135,6 +162,36 @@ class TestFastPathParity:
                 graphs, min_support=sigma, support_measure=measure
             ).mine(length, delta)
         assert serialised(fast) == serialised(reference)
+
+
+class TestRowStorageParity:
+    """ISSUE-9: interned (arena) rows must be observably identical to tuples.
+
+    Every scenario is mined under both :func:`set_row_storage` modes and
+    compared by full raw serialisation — the flat-arena join, subset
+    slicing and merge-scan support counting must never change a pattern,
+    support value or embedding.
+    """
+
+    @pytest.mark.parametrize(
+        "kind, seed, params, length, delta, sigma, measure", SCENARIOS
+    )
+    def test_array_and_tuple_storage_mine_identically(
+        self, kind, seed, params, length, delta, sigma, measure
+    ):
+        graphs = build_scenario(kind, seed, params)
+        previous = set_row_storage("array")
+        try:
+            interned = SkinnyMine(
+                graphs, min_support=sigma, support_measure=measure
+            ).mine(length, delta)
+            set_row_storage("tuple")
+            tupled = SkinnyMine(
+                graphs, min_support=sigma, support_measure=measure
+            ).mine(length, delta)
+        finally:
+            set_row_storage(previous)
+        assert serialised(interned) == serialised(tupled)
 
 
 class TestMemoisationSoundness:

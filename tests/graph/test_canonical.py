@@ -11,6 +11,8 @@ import pytest
 
 from repro.graph.canonical import (
     CanonicalCode,
+    UnicyclicEncodings,
+    bicyclic_canonical_key,
     canonical_key,
     minimum_dfs_code,
     tree_canonical_key,
@@ -293,6 +295,179 @@ class TestUnicyclicCanonicalKey:
         )
         with pytest.raises(ValueError):
             unicyclic_canonical_key(pseudo)
+
+
+class TestIncrementalUnicyclicKey:
+    """The ISSUE-9 parity contract: incremental unicyclic keys == batch key."""
+
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chain_parity_with_batch_key(
+        self, base_size, pendants, num_labels, edge_labels, seed
+    ):
+        rng = random.Random(seed)
+        labels = "abcdef"[:num_labels]
+        graph = _random_unicyclic(rng, base_size, num_labels, edge_labels)
+        encodings = UnicyclicEncodings.from_graph(graph)
+        assert encodings.key == unicyclic_canonical_key(graph)
+        next_vertex = max(graph.vertices()) + 1
+        for _ in range(pendants):
+            attach = rng.choice(sorted(graph.vertices()))
+            vertex_label = rng.choice(labels)
+            edge_label = (
+                rng.choice("xy") if edge_labels and rng.random() < 0.5 else None
+            )
+            # The peek key (no dict copies) must agree with the full extend.
+            peeked = encodings.extended_key(
+                attach, next_vertex, vertex_label, edge_label
+            )
+            encodings = encodings.extend(
+                attach, next_vertex, vertex_label, edge_label
+            )
+            graph.add_vertex(next_vertex, vertex_label)
+            graph.add_edge(attach, next_vertex, edge_label)
+            assert peeked == encodings.key
+            assert encodings.key == unicyclic_canonical_key(graph)
+            next_vertex += 1
+
+    def test_extend_does_not_mutate_parent(self):
+        graph = build_graph(
+            {0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (0, 2)]
+        )
+        parent = UnicyclicEncodings.from_graph(graph)
+        key_before = parent.key
+        child = parent.extend(1, 3, "d")
+        assert parent.key == key_before
+        assert 3 not in parent.parent
+        graph.add_vertex(3, "d")
+        graph.add_edge(1, 3)
+        assert child.key == unicyclic_canonical_key(graph)
+
+    def test_rejects_bad_attachments(self):
+        parent = UnicyclicEncodings.from_graph(
+            build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        )
+        with pytest.raises(ValueError):
+            parent.extend(99, 3, "b")  # unknown attachment vertex
+        with pytest.raises(ValueError):
+            parent.extend(0, 2, "b")  # vertex already present
+        with pytest.raises(ValueError):
+            UnicyclicEncodings.from_graph(build_graph({0: "a", 1: "a"}, [(0, 1)]))
+
+
+def _random_bicyclic(rng, size, num_labels, edge_labels=False):
+    """A random connected graph with ``|E| = |V| + 1`` (exactly two cycles).
+
+    With ``edge_labels`` every edge gets a label: ``are_isomorphic`` treats
+    an unlabeled pattern edge as a wildcard (matching semantics), so the
+    exactness oracle is only strict when no ``None`` labels are present.
+    """
+    labels = "abcdef"[:num_labels]
+    graph = LabeledGraph()
+    graph.add_vertex(0, rng.choice(labels))
+    for vertex in range(1, size):
+        graph.add_vertex(vertex, rng.choice(labels))
+        label = rng.choice("xy") if edge_labels else None
+        graph.add_edge(rng.randrange(vertex), vertex, label)
+    added = 0
+    while added < 2:
+        u, v = rng.randrange(size), rng.randrange(size)
+        if u == v or graph.has_edge(u, v):
+            continue
+        label = rng.choice("xy") if edge_labels else None
+        graph.add_edge(u, v, label)
+        added += 1
+    return graph
+
+
+class TestBicyclicCanonicalKey:
+    @given(
+        st.integers(min_value=4, max_value=11),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=50_000),
+        st.integers(min_value=0, max_value=50_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariant_under_relabeling(
+        self, size, num_labels, edge_labels, seed, shuffle
+    ):
+        graph = _random_bicyclic(random.Random(seed), size, num_labels, edge_labels)
+        rng = random.Random(shuffle)
+        ids = list(graph.vertices())
+        targets = [i + 500 for i in ids]
+        rng.shuffle(targets)
+        renamed = graph.relabel_vertices(dict(zip(ids, targets)))
+        assert bicyclic_canonical_key(graph) == bicyclic_canonical_key(renamed)
+
+    @given(
+        st.integers(min_value=4, max_value=7),
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_key_equality_matches_isomorphism(self, size, seed_a, seed_b):
+        left = _random_bicyclic(random.Random(seed_a), size, 2)
+        right = _random_bicyclic(random.Random(seed_b), size, 2)
+        assert (
+            bicyclic_canonical_key(left) == bicyclic_canonical_key(right)
+        ) == are_isomorphic(left, right)
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_edge_labels_keep_exactness(self, size, seed_a, seed_b):
+        left = _random_bicyclic(random.Random(seed_a), size, 2, edge_labels=True)
+        right = _random_bicyclic(random.Random(seed_b), size, 2, edge_labels=True)
+        assert (
+            bicyclic_canonical_key(left) == bicyclic_canonical_key(right)
+        ) == are_isomorphic(left, right)
+
+    def test_covers_all_three_core_shapes(self):
+        # figure-eight: two triangles sharing vertex 0.
+        eight = build_graph(
+            {0: "a", 1: "b", 2: "b", 3: "b", 4: "b"},
+            [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)],
+        )
+        # theta: two branch vertices joined by three strands.
+        theta = build_graph(
+            {0: "a", 1: "a", 2: "b", 3: "b", 4: "b"},
+            [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)],
+        )
+        # dumbbell: two triangles joined by a bridge edge.
+        dumbbell = build_graph(
+            {0: "a", 1: "a", 2: "a", 3: "a", 4: "a", 5: "a"},
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3)],
+        )
+        keys = {
+            bicyclic_canonical_key(eight)[1],
+            bicyclic_canonical_key(theta)[1],
+            bicyclic_canonical_key(dumbbell)[1],
+        }
+        assert keys == {"8", "theta", "dumbbell"}
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            bicyclic_canonical_key(
+                build_graph({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+            )
+        # |E| == |V| + 1 but disconnected: theta component + detached edge
+        # fails the connectivity check.
+        pseudo = build_graph(
+            {0: "a", 1: "a", 2: "a", 3: "a", 4: "a", 5: "a", 6: "a"},
+            [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1), (5, 6)],
+        )
+        with pytest.raises(ValueError):
+            bicyclic_canonical_key(pseudo)
 
 
 class TestWLSignature:

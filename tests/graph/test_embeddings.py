@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graph.embeddings import (
     Embedding,
@@ -12,6 +16,7 @@ from repro.graph.embeddings import (
     embeddings_from_maps,
     mni_support,
     path_embedding,
+    set_row_storage,
     transaction_support,
 )
 from repro.graph.isomorphism import find_subgraph_embeddings
@@ -275,3 +280,109 @@ class TestSupportMeasures:
     def test_path_embedding_duplicate_pattern_vertices(self):
         with pytest.raises(ValueError):
             path_embedding([0, 1, 1], [10, 11, 12])
+
+
+def _random_table_embeddings(rng, width, num_rows, vertex_pool, num_graphs):
+    """Random injective rows over a small pool — duplicate images likely."""
+    columns = tuple(range(width))
+    embeddings = []
+    for _ in range(num_rows):
+        images = rng.sample(vertex_pool, width)
+        embeddings.append(
+            Embedding(
+                mapping=tuple(zip(columns, images)),
+                graph_index=rng.randrange(num_graphs),
+            )
+        )
+    return embeddings
+
+
+class TestSupportCounterDifferential:
+    """ISSUE-9: the merge-scan support counter vs the hashing reference.
+
+    :meth:`EmbeddingTable.embedding_support` counts distinct (transaction,
+    image) occurrences by a sort + adjacent-distinct scan (byte slices of
+    the flat key arena under array storage); :meth:`image_keys` is the
+    hashing path it replaced.  Both must agree on every table shape, and
+    the two storage modes must produce identical supports and identically
+    *ordered* ``row_keys``.
+    """
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=24),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_merge_scan_matches_hashing_across_storage_modes(
+        self, width, num_rows, num_graphs, seed
+    ):
+        rng = random.Random(seed)
+        pool = list(range(width + 3))  # small pool → permuted duplicate images
+        embeddings = _random_table_embeddings(rng, width, num_rows, pool, num_graphs)
+        results = {}
+        previous = set_row_storage("array")
+        try:
+            for mode in ("array", "tuple"):
+                set_row_storage(mode)
+                table = EmbeddingTable.from_embeddings(embeddings)
+                if num_rows:  # empty tables have no arena in either mode
+                    assert table.storage_mode() == mode
+                # Hashing reference on a fresh copy so the merge-scan cannot
+                # read a cached value derived from image_keys (or vice versa).
+                hashed = len(EmbeddingTable.from_embeddings(embeddings).image_keys())
+                results[mode] = (
+                    table.embedding_support(),
+                    table.mni_support(),
+                    table.transaction_support(),
+                    table.row_keys(),
+                )
+                assert results[mode][0] == hashed
+        finally:
+            set_row_storage(previous)
+        assert results["array"] == results["tuple"]
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_parity_survives_extend_and_subset(self, width, num_rows, seed):
+        rng = random.Random(seed)
+        pool = list(range(width + 4))
+        embeddings = _random_table_embeddings(rng, width, num_rows, pool, 2)
+        new_vertex = width  # next pattern column
+        results = {}
+        previous = set_row_storage("array")
+        try:
+            for mode in ("array", "tuple"):
+                set_row_storage(mode)
+                table = EmbeddingTable.from_embeddings(embeddings)
+                table.row_keys()  # force the sorted-key path in extended()
+                join_rng = random.Random(seed + 1)
+                join_pairs = []
+                for row_index, row in enumerate(table.rows):
+                    free = [v for v in pool if v not in row]
+                    if free and join_rng.random() < 0.8:
+                        join_pairs.append((row_index, join_rng.choice(free)))
+                child = table.extended(new_vertex, join_pairs)
+                keep = [
+                    i
+                    for i in range(len(child.graph_ids))
+                    if random.Random(seed + 2 + i).random() < 0.7
+                ]
+                grandchild = child.subset(keep)
+                results[mode] = (
+                    child.embedding_support(),
+                    child.row_keys(),
+                    len(child.image_keys()),
+                    grandchild.embedding_support(),
+                    grandchild.row_keys(),
+                    grandchild.mni_support(),
+                )
+                assert results[mode][0] == results[mode][2]
+        finally:
+            set_row_storage(previous)
+        assert results["array"] == results["tuple"]

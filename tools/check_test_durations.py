@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Soft per-test duration budget over pytest's ``--durations`` report.
+
+Reads a captured pytest output (or stdin), finds the "slowest durations"
+entries, and emits a warning for every *call* phase that exceeds the budget
+(default 10s).  The check is advisory by design — it exits 0 either way
+unless ``--strict`` is passed — so a slow test shows up as a GitHub
+annotation long before anyone is tempted to gate on wall clock.
+
+Usage::
+
+    pytest -q --durations=15 2>&1 | tee out.txt
+    python tools/check_test_durations.py out.txt --budget 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Tuple
+
+# e.g. "12.34s call     tests/core/test_levelgrow.py::TestX::test_y"
+_DURATION_LINE = re.compile(
+    r"^\s*(?P<seconds>\d+(?:\.\d+)?)s\s+(?P<phase>call|setup|teardown)\s+(?P<test>\S+)"
+)
+
+
+def parse_durations(lines) -> List[Tuple[float, str, str]]:
+    """``(seconds, phase, test id)`` triples from a pytest report."""
+    entries = []
+    for line in lines:
+        match = _DURATION_LINE.match(line)
+        if match:
+            entries.append(
+                (float(match.group("seconds")), match.group("phase"), match.group("test"))
+            )
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "report",
+        nargs="?",
+        help="captured pytest output (defaults to stdin)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        help="per-test call-phase budget in seconds (default: 10)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any test exceeds the budget",
+    )
+    args = parser.parse_args(argv)
+
+    if args.report:
+        try:
+            with open(args.report, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            print(f"check_test_durations: cannot read report: {error}", file=sys.stderr)
+            return 0  # a missing report must not fail a soft check
+    else:
+        lines = sys.stdin.readlines()
+
+    entries = parse_durations(lines)
+    if not entries:
+        print(
+            "check_test_durations: no duration entries found "
+            "(was pytest run with --durations=N?)"
+        )
+        return 0
+
+    over_budget = [
+        (seconds, test)
+        for seconds, phase, test in entries
+        if phase == "call" and seconds > args.budget
+    ]
+    slowest = max(seconds for seconds, _, _ in entries)
+    print(
+        f"check_test_durations: {len(entries)} entries, slowest {slowest:.2f}s, "
+        f"budget {args.budget:.0f}s/test"
+    )
+    for seconds, test in sorted(over_budget, reverse=True):
+        # ::warning:: renders as an annotation on GitHub Actions and as a
+        # plain line everywhere else.
+        print(f"::warning::slow test {test} took {seconds:.2f}s (> {args.budget:.0f}s)")
+    if over_budget:
+        print(f"check_test_durations: {len(over_budget)} test(s) over budget")
+        return 1 if args.strict else 0
+    print("check_test_durations: all tests within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Corpus-query speedup: SQLite's indexed queries vs the JSONL full scan.
+
+The relational backend exists so "patterns containing label X, support ≥ σ"
+never pays for the patterns it does *not* return.  This gate builds one
+corpus of ``TOTAL_PATTERNS`` path patterns (split across many store
+entries), persists it through both backends, and times the same selective
+corpus query cold on each:
+
+* the JSONL backend must decode **every** body to answer (full scan);
+* the SQLite backend filters on indexed metadata columns and must decode
+  **only the matching bodies** — pinned exactly via the codec's decode
+  counter, not just inferred from timing;
+* the indexed query must be at least ``SPEEDUP_FLOOR``× faster than the
+  scan, and both backends must return byte-identical matches.
+
+Runs under ``-m bench`` (CI's bench-smoke job); not part of the tier-1
+suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.patterns import PathPattern
+from repro.index.codec import decode_count
+from repro.index.sqlite_store import SqlitePatternStore
+from repro.index.store import DiskPatternStore, IndexEntry, StoreKey
+
+#: Corpus size the ISSUE names: indexed lookup must win at this scale.
+TOTAL_PATTERNS = 10_000
+#: Entries the corpus is spread across (TOTAL_PATTERNS / ENTRIES each).
+ENTRIES = 50
+#: Patterns carrying the rare "needle" label (the query's target).
+NEEDLE_EVERY = 500
+#: Required cold-query advantage of the indexed backend over the scan.
+SPEEDUP_FLOOR = 5.0
+#: Timing repetitions; the minimum is compared (steadiest estimate).
+ROUNDS = 3
+
+QUERY = {"labels_contain": "needle", "min_support": 10, "order_by": "-support"}
+
+
+def corpus_pattern(index: int) -> PathPattern:
+    """Deterministic synthetic pattern #``index`` (no RNG: stable corpus)."""
+    labels = (
+        f"l{index % 17}",
+        "needle" if index % NEEDLE_EVERY == 0 else f"l{(index * 7) % 23}",
+        f"l{(index * 11) % 29}",
+    )
+    embeddings = ((0, (index, index + 1, index + 2)),)
+    return PathPattern(labels, embeddings, support=index % 40 + 1)
+
+
+def populate(store) -> None:
+    per_entry = TOTAL_PATTERNS // ENTRIES
+    for entry_index in range(ENTRIES):
+        start = entry_index * per_entry
+        key = StoreKey.make("bench-fp", "path", {"length": 2, "entry": entry_index})
+        store.put(
+            IndexEntry(
+                key=key,
+                patterns=[corpus_pattern(i) for i in range(start, start + per_entry)],
+            )
+        )
+
+
+def timed_cold_query(make_store):
+    """Min-of-ROUNDS cold query latency, fresh store instance per round.
+
+    A fresh instance per round means neither backend answers from its
+    in-process entry cache.
+    """
+    best, matches = None, None
+    for _ in range(ROUNDS):
+        store = make_store()
+        started = time.perf_counter()
+        matches = store.query(**QUERY)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+        close = getattr(store, "close", None)
+        if close is not None:
+            close()
+    return best, matches
+
+
+def test_indexed_corpus_query_beats_jsonl_scan(tmp_path):
+    jsonl_root = tmp_path / "jsonl"
+    sqlite_root = tmp_path / "sqlite"
+    populate(DiskPatternStore(jsonl_root))
+    sqlite_seed = SqlitePatternStore(sqlite_root)
+    populate(sqlite_seed)
+    sqlite_seed.close()
+
+    jsonl_seconds, jsonl_matches = timed_cold_query(lambda: DiskPatternStore(jsonl_root))
+    decodes_before = decode_count()
+    sqlite_seconds, sqlite_matches = timed_cold_query(lambda: SqlitePatternStore(sqlite_root))
+
+    expected = len(
+        [
+            i
+            for i in range(0, TOTAL_PATTERNS, NEEDLE_EVERY)
+            if corpus_pattern(i).support >= QUERY["min_support"]
+        ]
+    )
+    assert expected > 0
+    assert len(sqlite_matches) == expected
+
+    # Correctness first: both backends return the identical match list.
+    as_dicts = lambda ms: [m.to_dict(include_pattern=True) for m in ms]  # noqa: E731
+    assert as_dicts(jsonl_matches) == as_dicts(sqlite_matches)
+
+    # The indexed path decoded only what it returned: ROUNDS cold queries,
+    # each deserialising exactly the matching bodies — never the corpus.
+    assert decode_count() - decodes_before == ROUNDS * expected
+
+    speedup = jsonl_seconds / sqlite_seconds
+    print(
+        f"\ncorpus query over {TOTAL_PATTERNS} patterns: "
+        f"jsonl scan {jsonl_seconds * 1000:.1f} ms, "
+        f"sqlite indexed {sqlite_seconds * 1000:.1f} ms, "
+        f"speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"indexed corpus query only {speedup:.1f}x faster than the JSONL scan "
+        f"(required ≥ {SPEEDUP_FLOOR}x): jsonl {jsonl_seconds:.4f}s "
+        f"vs sqlite {sqlite_seconds:.4f}s"
+    )

@@ -578,6 +578,24 @@ class MiningEngine:
         ).observe(time.perf_counter() - started)
         return results
 
+    def query_corpus(self, **filters):
+        """Query the pattern corpus this engine serves from.
+
+        Delegates to :meth:`PatternStore.query
+        <repro.index.store.PatternStore.query>` on the engine's store
+        (indexed on the SQLite backend, a scan elsewhere), defaulting the
+        ``fingerprint`` filter to this engine's dataset so callers see the
+        corpus for *their* data unless they explicitly ask for everything
+        (``fingerprint=None`` queries across datasets).  Returns
+        :class:`repro.index.PatternMatch` objects ordered deterministically.
+        """
+        if "fingerprint" not in filters:
+            filters["fingerprint"] = self._fingerprint
+        elif filters["fingerprint"] is None:
+            del filters["fingerprint"]
+        with self._tracer.span("engine.query_corpus"):
+            return self._store.query(**filters)
+
     # ------------------------------------------------------------------ #
     # incremental maintenance
     # ------------------------------------------------------------------ #

@@ -6,10 +6,15 @@ unified constraint-plugin API (:mod:`repro.api`):
 * ``repro constraints``   — list the registered constraints and their schemas
 * ``repro index build``   — run Stage 1 offline and persist it to a disk store
 * ``repro index info``    — inspect a store (entries, sizes, build times)
+* ``repro index query``   — corpus queries over a store's patterns (indexed on sqlite)
 * ``repro mine``          — answer one query (warm store = no Stage 1)
 * ``repro serve-batch``   — answer a JSON file of batched queries
 * ``repro serve``         — run the long-lived concurrent mining service (TCP)
 * ``repro stats``         — render a metrics snapshot written by ``--emit-metrics``
+
+Every command that takes ``--store`` also takes ``--backend jsonl|sqlite``;
+without it the backend comes from ``$REPRO_STORE_BACKEND`` or from what is
+already on disk at the store root (see ``docs/STORE.md``).
 
 Telemetry (see ``docs/OBSERVABILITY.md``): ``mine`` and ``serve-batch``
 accept ``--trace-out PATH`` (append per-query span trees as JSONL) and
@@ -134,6 +139,18 @@ def _format_params(params: Dict[str, object]) -> str:
 
 
 # --------------------------------------------------------------------- #
+# store plumbing
+# --------------------------------------------------------------------- #
+def _open_store(args: argparse.Namespace, metrics=None):
+    """Open the store named by ``--store`` under the resolved backend."""
+    from repro.index import open_pattern_store
+
+    return open_pattern_store(
+        args.store, backend=getattr(args, "backend", None), metrics=metrics
+    )
+
+
+# --------------------------------------------------------------------- #
 # telemetry plumbing
 # --------------------------------------------------------------------- #
 def _telemetry(args: argparse.Namespace):
@@ -215,11 +232,10 @@ def _cmd_constraints(args: argparse.Namespace) -> int:
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
     from repro.api import MiningEngine, Query, get_constraint
-    from repro.index.store import DiskPatternStore
 
     spec = get_constraint(args.constraint)
     graphs = load_dataset(args.data)
-    store = DiskPatternStore(args.store)
+    store = _open_store(args)
     length_keyed = any(
         param.name == "length" and param.stage_one for param in spec.params
     )
@@ -300,9 +316,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_info(args: argparse.Namespace) -> int:
-    from repro.index.store import DiskPatternStore
-
-    store = DiskPatternStore(args.store)
+    store = _open_store(args)
     entries = store.info()
     if args.json:
         print(json.dumps(entries, indent=2, sort_keys=True))
@@ -312,25 +326,56 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         return 0
     print(f"{store.root}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
     for entry in entries:
+        size = (
+            f" {entry['size_bytes']} bytes" if "size_bytes" in entry else ""
+        )  # the sqlite backend shares one database file across entries
         print(
             f"  [{entry['constraint_id']}] {json.dumps(entry['parameter'], sort_keys=True)}"
             f" — {entry['num_patterns']} pattern(s),"
             f" built in {entry['build_seconds']:.3f}s,"
-            f" {entry['size_bytes']} bytes"
+            f"{size}"
             f" (data {entry['fingerprint'][:12]}…)"
+        )
+    return 0
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    filters: Dict[str, object] = {}
+    if args.labels_contain:
+        filters["labels_contain"] = tuple(args.labels_contain)
+    for name in ("min_support", "min_size", "max_size", "kind", "fingerprint", "limit"):
+        value = getattr(args, name)
+        if value is not None:
+            filters[name] = value
+    if args.constraint is not None:
+        filters["constraint_id"] = args.constraint
+    if args.order_by is not None:
+        filters["order_by"] = args.order_by
+    matches = store.query(**filters)
+    if args.json:
+        rows = [match.to_dict(include_pattern=args.include_patterns) for match in matches]
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    backend = type(store).__name__
+    print(f"{store.root}: {len(matches)} match(es) [{backend}]")
+    for match in matches:
+        support = "-" if match.support is None else str(match.support)
+        print(
+            f"  [{match.key.constraint_id}] #{match.position}"
+            f" kind={match.kind} support={support} |E|={match.size}"
+            f" |V|={match.num_vertices} labels={','.join(match.labels)}"
+            f" (data {match.key.fingerprint[:12]}…)"
         )
     return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.api import MiningEngine, Query
-    from repro.index.store import DiskPatternStore
 
     graphs = load_dataset(args.data)
     tracer, registry = _telemetry(args)
-    store = (
-        DiskPatternStore(args.store, metrics=registry) if args.store else None
-    )
+    store = _open_store(args, metrics=registry) if args.store else None
     engine = MiningEngine(graphs, store=store, tracer=tracer, metrics=registry)
     query = Query(
         constraint_id=args.constraint,
@@ -377,13 +422,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.api import MiningEngine, query_from_payload
-    from repro.index.store import DiskPatternStore
 
     graphs = load_dataset(args.data)
     tracer, registry = _telemetry(args)
-    store = (
-        DiskPatternStore(args.store, metrics=registry) if args.store else None
-    )
+    store = _open_store(args, metrics=registry) if args.store else None
     engine = MiningEngine(graphs, store=store, tracer=tracer, metrics=registry)
     payload = json.loads(Path(args.requests).read_text(encoding="utf-8"))
     if not isinstance(payload, list):
@@ -408,11 +450,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
 
-    from repro.index.store import DiskPatternStore
     from repro.server import MiningServer
 
     graphs = load_dataset(args.data)
-    store = DiskPatternStore(args.store) if args.store else None
+    store = _open_store(args) if args.store else None
     server = MiningServer(
         graphs,
         store=store,
@@ -521,6 +562,18 @@ def _add_data_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["jsonl", "sqlite"],
+        help=(
+            "store backend (default: $REPRO_STORE_BACKEND, else whatever is "
+            "already at --store, else jsonl)"
+        ),
+    )
+
+
 def _add_measure_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--support-measure",
@@ -586,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     build = index_sub.add_parser("build", help="precompute minimal patterns into a store")
     _add_data_argument(build)
     build.add_argument("--store", required=True, help="index store directory")
+    _add_backend_argument(build)
     _add_constraint_arguments(build)
     build.add_argument(
         "--lengths",
@@ -602,12 +656,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = index_sub.add_parser("info", help="inspect an index store")
     info.add_argument("--store", required=True, help="index store directory")
+    _add_backend_argument(info)
     info.add_argument("--json", action="store_true", help="machine-readable output")
     info.set_defaults(handler=_cmd_index_info)
+
+    query = index_sub.add_parser(
+        "query", help="corpus query over a store's patterns (indexed on sqlite)"
+    )
+    query.add_argument("--store", required=True, help="index store directory")
+    _add_backend_argument(query)
+    query.add_argument(
+        "--labels-contain",
+        action="append",
+        metavar="LABEL",
+        help="keep patterns whose label set contains LABEL (repeatable = AND)",
+    )
+    query.add_argument("--min-support", type=int, default=None)
+    query.add_argument("--min-size", type=int, default=None, help="minimum edge count")
+    query.add_argument("--max-size", type=int, default=None, help="maximum edge count")
+    query.add_argument(
+        "--kind", default=None, choices=["path", "skinny", "graph"],
+        help="restrict to one record kind",
+    )
+    query.add_argument(
+        "--constraint", default=None, help="restrict to one constraint id"
+    )
+    query.add_argument(
+        "--fingerprint", default=None, help="restrict to one dataset fingerprint"
+    )
+    query.add_argument(
+        "--order-by",
+        default=None,
+        choices=["support", "-support", "size", "-size", "num_vertices", "-num_vertices"],
+        help="sort field ('-' prefix = descending)",
+    )
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.add_argument(
+        "--include-patterns",
+        action="store_true",
+        help="include encoded pattern bodies in --json output",
+    )
+    query.set_defaults(handler=_cmd_index_query)
 
     mine = subparsers.add_parser("mine", help="answer one mining query")
     _add_data_argument(mine)
     mine.add_argument("--store", default=None, help="index store directory (optional)")
+    _add_backend_argument(mine)
     _add_constraint_arguments(mine)
     mine.add_argument(
         "--length", "-l", type=int, default=None,
@@ -632,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch = subparsers.add_parser("serve-batch", help="answer a JSON batch of queries")
     _add_data_argument(batch)
     batch.add_argument("--store", default=None, help="index store directory (optional)")
+    _add_backend_argument(batch)
     batch.add_argument(
         "--requests",
         required=True,
@@ -653,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_data_argument(serve)
     serve.add_argument("--store", default=None, help="index store directory (optional)")
+    _add_backend_argument(serve)
     serve.add_argument("--host", default="127.0.0.1", help="listen address")
     serve.add_argument(
         "--port",

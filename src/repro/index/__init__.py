@@ -5,14 +5,35 @@ subsystem:
 
 * :mod:`repro.index.store` — the abstract :class:`PatternStore` with
   in-memory and on-disk (JSON-lines, versioned, atomic) backends, keyed by
-  ``(dataset fingerprint, constraint id, parameter)``;
+  ``(dataset fingerprint, constraint id, parameter)``, plus the corpus-query
+  surface (:meth:`PatternStore.query`, :class:`PatternMatch`);
+* :mod:`repro.index.sqlite_store` — the relational backend: pattern
+  metadata in indexed SQLite columns (WAL mode for concurrent readers) so
+  corpus queries never deserialise non-matching bodies;
+* :mod:`repro.index.backends` — backend selection
+  (``--backend jsonl|sqlite``, ``REPRO_STORE_BACKEND``, on-disk detection)
+  behind one :func:`open_pattern_store` opener;
 * :mod:`repro.index.codec` — lossless record serialisation for minimal
-  patterns and their embeddings;
+  patterns and their embeddings, plus the shared
+  :func:`pattern_metadata` extraction both backends filter on;
 * :mod:`repro.index.incremental` — delta-driven repair so edge edits do not
   force a full Stage-1 rebuild.
 """
 
-from repro.index.codec import CodecError, decode_record, encode_record
+from repro.index.backends import (
+    BACKEND_ENV_VAR,
+    STORE_BACKENDS,
+    detect_store_backend,
+    open_pattern_store,
+    resolve_store_backend,
+)
+from repro.index.codec import (
+    CodecError,
+    decode_count,
+    decode_record,
+    encode_record,
+    pattern_metadata,
+)
 from repro.index.incremental import (
     SKINNY_CONSTRAINT_ID,
     IndexMaintainer,
@@ -21,11 +42,13 @@ from repro.index.incremental import (
     paths_through_edge,
     repair_path_entry,
 )
+from repro.index.sqlite_store import SqlitePatternStore
 from repro.index.store import (
     FORMAT_VERSION,
     DiskPatternStore,
     IndexEntry,
     MemoryPatternStore,
+    PatternMatch,
     PatternStore,
     SnapshotStoreView,
     StoreFormatError,
@@ -35,23 +58,31 @@ from repro.index.store import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "CodecError",
     "DiskPatternStore",
     "FORMAT_VERSION",
     "IndexEntry",
     "IndexMaintainer",
     "MemoryPatternStore",
+    "PatternMatch",
     "PatternStore",
     "RepairReport",
     "SKINNY_CONSTRAINT_ID",
+    "STORE_BACKENDS",
     "SnapshotStoreView",
+    "SqlitePatternStore",
     "StoreFormatError",
     "StoreKey",
+    "decode_count",
     "decode_parameter",
     "decode_record",
+    "detect_store_backend",
     "encode_parameter",
     "encode_record",
     "find_labeled_path_occurrences",
+    "open_pattern_store",
     "paths_through_edge",
+    "pattern_metadata",
     "repair_path_entry",
 ]

@@ -1,0 +1,119 @@
+"""Pattern-store backend selection: jsonl vs sqlite, one opener for both.
+
+Everything that persists a pattern index — the CLI verbs, ``repro serve``,
+the engine factories — goes through :func:`open_pattern_store` so backend
+choice is decided in exactly one place.  Resolution order:
+
+1. an explicit ``backend=`` argument (``"jsonl"`` or ``"sqlite"``);
+2. what is already on disk at the store root (a ``patterns.sqlite``
+   database or ``*.jsonl`` entry files) — an existing store is never
+   silently reopened under the other backend, whatever the environment
+   says;
+3. the ``REPRO_STORE_BACKEND`` environment variable, which therefore only
+   picks the format of *fresh* stores (this is what lets a CI leg run the
+   whole suite under ``REPRO_STORE_BACKEND=sqlite`` without corrupting
+   fixtures that build a JSONL store and reopen it by path);
+4. the default, ``"jsonl"``.
+
+Examples
+--------
+>>> resolve_store_backend("sqlite", env={})
+'sqlite'
+>>> resolve_store_backend(None, env={"REPRO_STORE_BACKEND": "sqlite"})
+'sqlite'
+>>> resolve_store_backend(None, env={})
+'jsonl'
+>>> resolve_store_backend("mongodb", env={})
+Traceback (most recent call last):
+    ...
+ValueError: unknown store backend 'mongodb'; expected one of ['jsonl', 'sqlite']
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.index.sqlite_store import DB_FILENAME, SqlitePatternStore
+from repro.index.store import DiskPatternStore, PathLike, PatternStore
+from repro.obs.metrics import MetricsRegistry
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
+
+#: The persistent backends ``open_pattern_store`` can produce.
+STORE_BACKENDS = ("jsonl", "sqlite")
+
+
+def _validate(backend: str, source: str) -> str:
+    backend = backend.strip().lower()
+    if backend not in STORE_BACKENDS:
+        raise ValueError(
+            f"unknown store backend {backend!r}{source}; "
+            f"expected one of {list(STORE_BACKENDS)}"
+        )
+    return backend
+
+
+def detect_store_backend(root: PathLike) -> Optional[str]:
+    """Which backend already owns ``root``, if any.
+
+    ``"sqlite"`` when the root is (or contains) a SQLite database,
+    ``"jsonl"`` when JSONL entry files exist under it, ``None`` for a
+    fresh/empty root.
+    """
+    path = Path(root)
+    if path.suffix == ".sqlite" or (path / DB_FILENAME).exists():
+        return "sqlite"
+    if next(path.glob("*/*/*.jsonl"), None) is not None:
+        return "jsonl"
+    return None
+
+
+def resolve_store_backend(
+    backend: Optional[str] = None,
+    root: Optional[PathLike] = None,
+    env: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Apply the resolution order documented in the module docstring."""
+    if backend:
+        return _validate(backend, "")
+    if root is not None:
+        detected = detect_store_backend(root)
+        if detected is not None:
+            return detected
+    env = os.environ if env is None else env
+    from_env = env.get(BACKEND_ENV_VAR)
+    if from_env:
+        return _validate(from_env, f" (from ${BACKEND_ENV_VAR})")
+    return "jsonl"
+
+
+def open_pattern_store(
+    root: PathLike,
+    backend: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    env: Optional[Mapping[str, str]] = None,
+) -> PatternStore:
+    """Open (creating if needed) the persistent store at ``root``.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> root = tempfile.mkdtemp()
+    >>> type(open_pattern_store(root, backend="jsonl")).__name__
+    'DiskPatternStore'
+    >>> store = open_pattern_store(root, backend="sqlite")
+    >>> type(store).__name__
+    'SqlitePatternStore'
+    >>> store.close()
+    >>> reopened = open_pattern_store(root)  # detects the existing database
+    >>> type(reopened).__name__
+    'SqlitePatternStore'
+    >>> reopened.close()
+    """
+    resolved = resolve_store_backend(backend, root=root, env=env)
+    if resolved == "sqlite":
+        return SqlitePatternStore(root, metrics=metrics)
+    return DiskPatternStore(root, metrics=metrics)

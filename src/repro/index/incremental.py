@@ -70,6 +70,11 @@ def paths_through_edge(
     The search is local: DFS of depth < ``length`` out of each endpoint, so
     the cost depends on the delta edge's neighbourhood, not on |G|.  Each
     undirected path is returned once (deduplicated across orientations).
+
+    >>> from repro.graph.labeled_graph import build_graph
+    >>> graph = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+    >>> paths_through_edge(graph, 0, 1, 2)
+    [(0, 1, 2)]
     """
     if not graph.has_edge(u, v):
         raise KeyError(f"edge ({u}, {v}) is not in the graph")
@@ -115,6 +120,12 @@ def find_labeled_path_occurrences(
     only paths matching ``labels`` (guided DFS from vertices carrying the
     first label), which incremental repair uses to admit label sequences that
     became frequent through an added edge.
+
+    >>> from repro.core.database import MiningContext
+    >>> from repro.graph.labeled_graph import graph_from_paths
+    >>> graph = graph_from_paths([list("ab"), list("ab")])
+    >>> find_labeled_path_occurrences(MiningContext(graph, 2), ("a", "b"))
+    [(0, (0, 1)), (0, (2, 3))]
     """
     canonical = canonical_label_orientation(labels)
     occurrences: Dict[Tuple[int, Tuple[VertexId, ...]], DirectedOccurrence] = {}
@@ -316,6 +327,40 @@ class IndexMaintainer:
         once, repaired in memory across all operations, and written back once
         under the final fingerprint — one disk write per surviving entry per
         batch, however many operations the delta holds.
+
+        Removing an edge drops the occurrences that traversed it; a pattern
+        whose support falls below σ is evicted from the repaired entry:
+
+        >>> from repro.core.database import EdgeDelta, MiningContext
+        >>> from repro.core.diammine import DiamMine
+        >>> from repro.graph.io import dataset_fingerprint
+        >>> from repro.graph.labeled_graph import graph_from_paths
+        >>> from repro.index.store import IndexEntry, MemoryPatternStore, StoreKey
+        >>> graphs = [graph_from_paths([list("abc"), list("abc")])]
+        >>> context = MiningContext(graphs[0], 2)
+        >>> parameter = {
+        ...     "length": 2,
+        ...     "min_support": 2,
+        ...     "support_measure": context.support_measure.value,
+        ...     "stage1_mode": "exact",
+        ... }
+        >>> store = MemoryPatternStore()
+        >>> key = StoreKey.make(dataset_fingerprint(graphs), "skinny", parameter)
+        >>> store.put(IndexEntry(key=key, patterns=DiamMine(context).mine(2)))
+        >>> [(p.labels, p.support) for p in store.get(key).patterns]
+        [(('a', 'b', 'c'), 2)]
+        >>> maintainer = IndexMaintainer(store)
+        >>> report = maintainer.apply_delta(graphs, [EdgeDelta.remove_edge(0, 1)])
+        >>> (report.entries_repaired, report.patterns_dropped)
+        (1, 1)
+
+        The surviving entry is re-keyed under the post-delta fingerprint, so
+        a stale lookup can never be satisfied:
+
+        >>> store.get(key) is None
+        True
+        >>> store.keys()[0].fingerprint == dataset_fingerprint(graphs)
+        True
         """
         started = time.perf_counter()
         operations = list(delta)

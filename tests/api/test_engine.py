@@ -152,6 +152,57 @@ class TestStoreIntegration:
             bounded_diameter_constraint(2)(p.graph) for p in result.patterns
         )
 
+    def test_apply_delta_repairs_identically_on_sqlite(self, tmp_path):
+        # Incremental repair must behave the same over the relational
+        # backend — same repaired/invalidated counts, warm serves after.
+        from repro.index.sqlite_store import SqlitePatternStore
+
+        graph = chains_graph()
+        engine = MiningEngine(graph, store=SqlitePatternStore(tmp_path / "idx"))
+        engine.run(Query("skinny", {"length": 3, "delta": 1}, min_support=2))
+        engine.run(Query("path", {"length": 3}, min_support=2))
+        engine.run(Query("diam-le", {"k": 2}, min_support=2))
+
+        report = engine.apply_delta([EdgeDelta.remove_edge(20, 21)])
+        assert report.entries_repaired + report.entries_migrated == 2
+        assert report.entries_invalidated == 1
+        remaining = {key.constraint_id for key in engine.store.keys()}
+        assert "diam-le" not in remaining
+        assert {"skinny", "path"} <= remaining
+        for query in (
+            Query("skinny", {"length": 3, "delta": 1}, min_support=2),
+            Query("path", {"length": 3}, min_support=2),
+        ):
+            assert engine.run(query).stats.served_from_store
+
+    def test_query_corpus_defaults_to_engine_fingerprint(self, tmp_path):
+        from repro.index import IndexEntry, StoreKey
+        from repro.index.sqlite_store import SqlitePatternStore
+
+        graph = chains_graph()
+        store = SqlitePatternStore(tmp_path / "idx")
+        engine = MiningEngine(graph, store=store)
+        engine.run(Query("path", {"length": 3}, min_support=2))
+        # Plant an entry under a foreign fingerprint: the default corpus
+        # view must not include it, fingerprint=None must.
+        foreign = engine.store.get(engine.store.keys()[0])
+        store.put(
+            IndexEntry(
+                key=StoreKey("other-data", "path", foreign.key.parameter),
+                patterns=list(foreign.patterns),
+            )
+        )
+        own = engine.query_corpus(order_by="-support")
+        assert own and all(m.key.fingerprint == engine.fingerprint for m in own)
+        everything = engine.query_corpus(fingerprint=None)
+        assert {m.key.fingerprint for m in everything} == {
+            engine.fingerprint,
+            "other-data",
+        }
+        # The abcd chain appears twice; its labels must be queryable.
+        chained = engine.query_corpus(labels_contain=["a", "d"], min_support=2)
+        assert chained and all({"a", "d"} <= set(m.labels) for m in chained)
+
     def test_capped_stage_one_not_served_to_uncapped_engine(self, tmp_path):
         graph = chains_graph()
         store_root = tmp_path / "idx"

@@ -27,3 +27,11 @@ def test_documentation_links_resolve():
 def test_architecture_and_correctness_docs_exist():
     assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
     assert (REPO_ROOT / "docs" / "CORRECTNESS.md").is_file()
+
+
+def test_store_doc_exists_and_is_link_checked():
+    # The store backend guide must exist and be inside the checker's
+    # default document set (docs/*.md), so its links are gated too.
+    store_doc = REPO_ROOT / "docs" / "STORE.md"
+    assert store_doc.is_file()
+    assert store_doc in [doc.resolve() for doc in default_documents()]

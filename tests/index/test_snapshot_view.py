@@ -110,6 +110,22 @@ class TestSnapshotStoreView:
         assert reread is not None
         assert reread.patterns == stored.patterns
 
+    def test_view_over_sqlite_store(self, tmp_path):
+        from repro.index.sqlite_store import SqlitePatternStore
+
+        base = SqlitePatternStore(tmp_path / "index")
+        stored = codec_safe_entry()
+        base.put(stored)
+        view = base.snapshot_view()
+        assert isinstance(view, SnapshotStoreView)
+        view.delete(stored.key)
+        assert view.get(stored.key) is None
+        # No database mutation happened: a fresh store over the same root
+        # still reads the entry.
+        reread = SqlitePatternStore(tmp_path / "index").get(stored.key)
+        assert reread is not None
+        assert len(reread.patterns) == len(stored.patterns)
+
     def test_info_reflects_the_view(self):
         base = MemoryPatternStore()
         stored = entry()
@@ -120,13 +136,16 @@ class TestSnapshotStoreView:
         assert len(base.info()) == 1
 
 
-@pytest.mark.parametrize("backend", ["memory", "disk"])
+@pytest.mark.parametrize("backend", ["memory", "disk", "sqlite"])
 def test_clear_on_view_leaves_base_intact(tmp_path, backend):
-    base = (
-        MemoryPatternStore()
-        if backend == "memory"
-        else DiskPatternStore(tmp_path / "index")
-    )
+    if backend == "memory":
+        base = MemoryPatternStore()
+    elif backend == "disk":
+        base = DiskPatternStore(tmp_path / "index")
+    else:
+        from repro.index.sqlite_store import SqlitePatternStore
+
+        base = SqlitePatternStore(tmp_path / "index")
     stored = entry() if backend == "memory" else codec_safe_entry()
     base.put(stored)
     view = base.snapshot_view()

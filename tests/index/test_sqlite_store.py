@@ -1,0 +1,320 @@
+"""SqlitePatternStore: CRUD, WAL mode, indexed queries, backend selection.
+
+The contract under test (ISSUE 10): the SQLite backend is a drop-in
+:class:`PatternStore` — same entries, same snapshot views, same repair
+semantics — whose corpus queries are answered from indexed metadata
+columns *without deserialising non-matching pattern bodies* (pinned via
+:func:`repro.index.codec.decode_count`).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.patterns import PathPattern, SkinnyPattern
+from repro.graph.labeled_graph import build_graph
+from repro.index import (
+    BACKEND_ENV_VAR,
+    DiskPatternStore,
+    IndexEntry,
+    MemoryPatternStore,
+    SqlitePatternStore,
+    StoreKey,
+    decode_count,
+    detect_store_backend,
+    open_pattern_store,
+    resolve_store_backend,
+)
+from repro.index.store import StoreFormatError
+
+
+def path_pattern(labels, support):
+    return PathPattern(tuple(labels), (), support=support)
+
+
+def skinny_pattern(support=5):
+    graph = build_graph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+    return SkinnyPattern(graph=graph, diameter=[0, 1, 2], embeddings=[], support=support)
+
+
+KEY_A = StoreKey.make("fp-one", "path", {"length": 2})
+KEY_B = StoreKey.make("fp-one", "skinny", {"length": 3, "delta": 1})
+KEY_C = StoreKey.make("fp-two", "path", {"length": 2})
+
+
+def fill(store):
+    store.put(
+        IndexEntry(
+            key=KEY_A,
+            patterns=[path_pattern("abc", 4), path_pattern("aa", 9)],
+            build_seconds=1.5,
+        )
+    )
+    store.put(IndexEntry(key=KEY_B, patterns=[skinny_pattern(support=5)]))
+    store.put(IndexEntry(key=KEY_C, patterns=[path_pattern("bcd", 2)]))
+
+
+class TestCrudRoundtrip:
+    def test_put_get_roundtrip_across_instances(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        store.close()
+        reopened = SqlitePatternStore(tmp_path)
+        entry = reopened.get(KEY_A)
+        assert [p.labels for p in entry.patterns] == [("a", "b", "c"), ("a", "a")]
+        assert entry.build_seconds == 1.5
+        assert entry.key == KEY_A
+        skinny = reopened.get(KEY_B).patterns[0]
+        assert skinny.support == 5 and skinny.diameter == [0, 1, 2]
+        assert reopened.get(StoreKey.make("fp-one", "path", {"length": 99})) is None
+        reopened.close()
+
+    def test_put_replaces_and_delete_removes(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        store.put(IndexEntry(key=KEY_A, patterns=[path_pattern("z", 1)]))
+        assert len(store.get(KEY_A).patterns) == 1
+        assert set(store.keys()) == {KEY_A, KEY_B, KEY_C}
+        assert store.delete(KEY_A) is True
+        assert store.delete(KEY_A) is False
+        assert store.get(KEY_A) is None
+        assert len(store) == 2
+        store.close()
+
+    def test_replaced_entry_leaves_no_orphan_rows(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        store.put(IndexEntry(key=KEY_A, patterns=[path_pattern("z", 1)]))
+        store.delete(KEY_B)
+        counts = store._connection().execute(
+            "SELECT (SELECT count(*) FROM patterns), (SELECT count(*) FROM pattern_labels)"
+        ).fetchone()
+        # KEY_A now holds 1 path (1 label), KEY_C 1 path (3 labels).
+        assert counts == (2, 4)
+        store.close()
+
+    def test_info_reads_columns_only(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        before = decode_count()
+        rows = store.info()
+        assert decode_count() == before
+        assert [row["num_patterns"] for row in rows] == [2, 1, 1]
+        assert rows[0]["parameter"] == {"length": 2}
+        store.close()
+
+    def test_direct_sqlite_path_root(self, tmp_path):
+        store = SqlitePatternStore(tmp_path / "corpus.sqlite")
+        fill(store)
+        assert store.path.name == "corpus.sqlite"
+        assert len(store) == 3
+        store.close()
+
+
+class TestWalAndFormat:
+    def test_database_runs_in_wal_mode(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        mode = store._connection().execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_foreign_format_database_is_rejected(self, tmp_path):
+        alien = tmp_path / "patterns.sqlite"
+        connection = sqlite3.connect(str(alien))
+        connection.executescript(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);"
+            "INSERT INTO meta VALUES ('format', 'something-else'), ('version', '1');"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreFormatError, match="not a repro-pattern-index"):
+            SqlitePatternStore(tmp_path)
+
+    def test_future_schema_version_is_rejected(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        store._connection().execute("UPDATE meta SET value = '999' WHERE key = 'version'")
+        store.close()
+        with pytest.raises(StoreFormatError, match="version"):
+            SqlitePatternStore(tmp_path)
+
+
+class TestIndexedQueries:
+    def test_matching_rows_only_are_decoded(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)  # 4 pattern bodies total
+        before = decode_count()
+        matches = store.query(min_support=9)
+        assert [m.support for m in matches] == [9]
+        assert decode_count() - before == 1, (
+            "sqlite corpus query decoded non-matching bodies"
+        )
+        before = decode_count()
+        assert store.query(labels_contain="nowhere") == []
+        assert decode_count() == before
+        store.close()
+
+    def test_filters_and_ordering(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        assert [m.support for m in store.query(order_by="-support")] == [9, 5, 4, 2]
+        assert [m.support for m in store.query(order_by="support", limit=2)] == [2, 4]
+        assert [m.kind for m in store.query(kind="skinny")] == ["skinny"]
+        assert [m.support for m in store.query(labels_contain=["b", "c"])] == [4, 5, 2]
+        assert [m.support for m in store.query(fingerprint="fp-two")] == [2]
+        assert [m.support for m in store.query(constraint_id="path", min_size=2)] == [4, 2]
+        assert [m.support for m in store.query(max_size=1)] == [9]
+        store.close()
+
+    def test_unknown_filter_rejected_like_scan_backends(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        with pytest.raises(TypeError, match="labels_containz"):
+            store.query(labels_containz="a")
+        with pytest.raises(ValueError, match="order by"):
+            store.query(order_by="beauty")
+        with pytest.raises(ValueError, match="limit"):
+            store.query(limit=-1)
+        store.close()
+
+    def test_match_metadata_agrees_with_scan_backend(self, tmp_path):
+        sqlite_store = SqlitePatternStore(tmp_path / "s")
+        jsonl_store = DiskPatternStore(tmp_path / "j")
+        fill(sqlite_store)
+        fill(jsonl_store)
+        for filters in (
+            {},
+            {"order_by": "-support", "limit": 3},
+            {"labels_contain": "b", "order_by": "size"},
+            {"kind": "path", "min_support": 3},
+        ):
+            got = [m.to_dict(include_pattern=True) for m in sqlite_store.query(**filters)]
+            want = [m.to_dict(include_pattern=True) for m in jsonl_store.query(**filters)]
+            assert got == want, filters
+        sqlite_store.close()
+
+    def test_support_none_sorts_like_sqlite_null(self, tmp_path):
+        # Bare graphs have support=None: first ascending, last descending,
+        # on both the SQL path and the Python scan path.
+        graph = build_graph({0: "q"}, [])
+        key = StoreKey.make("fp-one", "graph", {"n": 1})
+        stores = [SqlitePatternStore(tmp_path / "s"), MemoryPatternStore()]
+        for store in stores:
+            fill(store)
+            store.put(IndexEntry(key=key, patterns=[graph]))
+        expected_asc = [None, 2, 4, 5, 9]
+        expected_desc = [9, 5, 4, 2, None]
+        for store in stores:
+            assert [m.support for m in store.query(order_by="support")] == expected_asc
+            assert [m.support for m in store.query(order_by="-support")] == expected_desc
+        stores[0].close()
+
+
+class TestSnapshotViewOverlay:
+    def test_view_query_merges_overlay_and_base(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        view = store.snapshot_view()
+        assert [m.support for m in view.query(order_by="support")] == [2, 4, 5, 9]
+        view.delete(KEY_A)
+        view.put(IndexEntry(key=KEY_C, patterns=[path_pattern("bq", 7)]))
+        assert [m.support for m in view.query(order_by="support")] == [5, 7]
+        # The base store is untouched.
+        assert [m.support for m in store.query(order_by="support")] == [2, 4, 5, 9]
+        store.close()
+
+
+class TestBackendSelection:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "jsonl")
+        store = open_pattern_store(tmp_path, backend="sqlite")
+        assert isinstance(store, SqlitePatternStore)
+        store.close()
+
+    def test_environment_picks_fresh_store_format(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sqlite")
+        store = open_pattern_store(tmp_path)
+        assert isinstance(store, SqlitePatternStore)
+        store.close()
+
+    def test_on_disk_detection_beats_environment(self, tmp_path, monkeypatch):
+        # An existing store is never reopened under the other backend: the
+        # environment variable only decides the format of fresh roots, so a
+        # suite-wide REPRO_STORE_BACKEND=sqlite cannot shadow a JSONL store
+        # somebody already built at the same path (and vice versa).
+        jsonl = DiskPatternStore(tmp_path / "j")
+        fill(jsonl)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sqlite")
+        assert isinstance(open_pattern_store(tmp_path / "j"), DiskPatternStore)
+
+        relational = SqlitePatternStore(tmp_path / "s")
+        relational.close()
+        monkeypatch.setenv(BACKEND_ENV_VAR, "jsonl")
+        reopened = open_pattern_store(tmp_path / "s")
+        assert isinstance(reopened, SqlitePatternStore)
+        reopened.close()
+
+    def test_on_disk_detection_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        first = SqlitePatternStore(tmp_path / "s")
+        first.close()
+        assert detect_store_backend(tmp_path / "s") == "sqlite"
+        reopened = open_pattern_store(tmp_path / "s")
+        assert isinstance(reopened, SqlitePatternStore)
+        reopened.close()
+
+        jsonl = DiskPatternStore(tmp_path / "j")
+        fill(jsonl)
+        assert detect_store_backend(tmp_path / "j") == "jsonl"
+        assert isinstance(open_pattern_store(tmp_path / "j"), DiskPatternStore)
+
+    def test_fresh_root_defaults_to_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert detect_store_backend(tmp_path) is None
+        assert isinstance(open_pattern_store(tmp_path), DiskPatternStore)
+
+    def test_unknown_backend_names_are_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            open_pattern_store(tmp_path, backend="mongodb")
+        with pytest.raises(ValueError, match="REPRO_STORE_BACKEND"):
+            resolve_store_backend(None, env={"REPRO_STORE_BACKEND": "csv"})
+
+
+class TestTruncationGuard:
+    def test_missing_pattern_rows_raise_store_format_error(self, tmp_path):
+        store = SqlitePatternStore(tmp_path)
+        fill(store)
+        store._cache.clear()
+        store._connection().execute(
+            "DELETE FROM patterns WHERE position = 1"
+        )
+        with pytest.raises(StoreFormatError, match="truncated"):
+            store.get(KEY_A)
+        store.close()
+
+
+class TestMetrics:
+    def test_query_metrics_published(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = SqlitePatternStore(tmp_path, metrics=registry)
+        fill(store)
+        store.query(min_support=1)
+        store.query(labels_contain="a")
+        snapshot = json.dumps(registry.snapshot())
+        assert "repro_store_query_seconds" in snapshot
+        assert "repro_store_queries_total" in snapshot
+        counter = registry.counter("repro_store_queries_total")
+        assert counter.value == 2
+        store.close()
+
+    def test_jsonl_scan_publishes_same_metric_names(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = DiskPatternStore(tmp_path, metrics=registry)
+        fill(store)
+        store.query(min_support=1)
+        assert registry.counter("repro_store_queries_total").value == 1

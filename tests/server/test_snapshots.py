@@ -89,6 +89,48 @@ class TestApplyDelta:
         assert manager.generation == 0
 
 
+class TestSqliteBackedGenerations:
+    """Snapshot generations behave identically over the relational backend."""
+
+    def make_manager(self, tmp_path):
+        from repro.index.sqlite_store import SqlitePatternStore
+
+        graphs = graph_from_paths([list("abcde"), list("abcde"), list("abcde")])
+        store = SqlitePatternStore(tmp_path / "idx")
+        return SnapshotManager(
+            graphs,
+            store,
+            lambda g, s: MiningEngine(g, store=s, metrics=MetricsRegistry()),
+        )
+
+    def test_repair_writes_stay_in_the_overlay(self, tmp_path):
+        manager = self.make_manager(tmp_path)
+        old = manager.current
+        old.engine.run(QUERY)
+        old_keys = set(old.store.keys())
+        assert old_keys
+
+        new, _ = manager.apply_delta([EdgeDelta.remove_edge(0, 1)])
+        # The database itself holds only generation-0 entries; the repair
+        # landed in the new generation's copy-on-write view.
+        assert set(old.store.keys()) == old_keys
+        assert new.store.base is old.store
+        new_keys = set(new.store.keys()) - old_keys
+        assert new_keys
+        assert all(key.fingerprint == new.fingerprint for key in new_keys)
+
+    def test_corpus_queries_follow_the_generation(self, tmp_path):
+        manager = self.make_manager(tmp_path)
+        old = manager.current
+        old.engine.run(QUERY)
+        new, _ = manager.apply_delta([EdgeDelta.remove_edge(0, 1)])
+        old_matches = old.engine.query_corpus(min_support=2)
+        new_matches = new.engine.query_corpus(min_support=2)
+        assert old_matches
+        assert all(m.key.fingerprint == old.fingerprint for m in old_matches)
+        assert all(m.key.fingerprint == new.fingerprint for m in new_matches)
+
+
 class TestFrozenViewAdoption:
     """Frozen CSR views of untouched transactions carry across generations."""
 

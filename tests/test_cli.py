@@ -84,6 +84,116 @@ class TestIndexCommands:
         assert "empty index store" in capsys.readouterr().out
 
 
+class TestIndexQueryAndBackends:
+    def _build(self, lg_file, store, backend):
+        assert (
+            main(
+                [
+                    "index", "build",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "--backend", backend,
+                    "--lengths", "2,3",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+
+    def test_sqlite_build_info_query(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._build(lg_file, store, "sqlite")
+        capsys.readouterr()
+        assert (store / "patterns.sqlite").exists()
+
+        assert main(["index", "info", "--store", str(store), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+
+        assert (
+            main(
+                [
+                    "index", "query",
+                    "--store", str(store),
+                    "--labels-contain", "b",
+                    "--labels-contain", "c",
+                    "--order-by=-support",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert rows, "expected at least one b-and-c pattern"
+        assert all({"b", "c"} <= set(row["labels"]) for row in rows)
+        supports = [row["support"] for row in rows]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_query_identical_across_backends(self, lg_file, tmp_path, capsys):
+        outputs = {}
+        for backend in ("jsonl", "sqlite"):
+            store = tmp_path / backend
+            self._build(lg_file, store, backend)
+            capsys.readouterr()
+            assert (
+                main(
+                    [
+                        "index", "query",
+                        "--store", str(store),
+                        "--min-support", "2",
+                        "--order-by", "size",
+                        "--json",
+                        "--include-patterns",
+                    ]
+                )
+                == 0
+            )
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["jsonl"] == outputs["sqlite"]
+
+    def test_backend_from_environment(self, lg_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+        store = tmp_path / "env-store"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--data", str(lg_file),
+                    "--store", str(store),
+                    "-l", "3", "-d", "1",
+                    "--min-support", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (store / "patterns.sqlite").exists()
+
+    def test_query_limit_and_table_output(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._build(lg_file, store, "sqlite")
+        capsys.readouterr()
+        assert (
+            main(
+                ["index", "query", "--store", str(store), "--limit", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 match(es)" in out and "SqlitePatternStore" in out
+
+    def test_query_bad_filter_exits_one(self, lg_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._build(lg_file, store, "sqlite")
+        capsys.readouterr()
+        assert (
+            main(["index", "query", "--store", str(store), "--limit", "-3"]) == 1
+        )
+        assert "limit" in capsys.readouterr().err
+
+
 class TestMineCommand:
     def test_mine_warm_after_build(self, lg_file, tmp_path, capsys):
         store = tmp_path / "store"
@@ -135,7 +245,11 @@ class TestMineCommand:
             == 0
         )
         assert "cold" in capsys.readouterr().out
-        assert list(store.rglob("*.jsonl")), "Stage-1 entry was not persisted"
+        # Backend-agnostic persistence check: jsonl entry files or the
+        # sqlite database, whichever REPRO_STORE_BACKEND selected.
+        from repro.index import detect_store_backend
+
+        assert detect_store_backend(store) is not None, "Stage-1 entry was not persisted"
         assert (
             main(
                 [
